@@ -1,0 +1,99 @@
+"""Experiment E11 — ablation: why the balanced term matters (Section 7).
+
+The update time of the paper is logarithmic *because* the circuit is built
+over a balanced forest-algebra term rather than over the input tree directly:
+the trunk of an update is a root-to-leaf path, so its length is the term
+height.  We compare, on path-shaped trees (the worst case), the term height
+and the per-update trunk size of
+
+* the balanced encoder of this paper, and
+* a naive (unbalanced) right-comb encoding of the same tree,
+
+showing the log n vs n gap that motivates Section 7.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.reporting import record_experiment
+from repro.bench.workloads import query_for_name, tree_for_experiment
+from repro.core.enumerator import TreeEnumerator
+from repro.forest_algebra.encoder import encode_tree
+from repro.forest_algebra.terms import DecodedNode, apply, concat, context_leaf, tree_leaf
+
+SIZES = (128, 512, 2048)
+
+
+def naive_unbalanced_term(tree):
+    """The textbook (unbalanced) encoding: recursive ⊙VH over child chains."""
+
+    def encode(node):
+        if node.is_leaf():
+            return tree_leaf(node.label, node.node_id)
+        children = [encode(child) for child in node.children]
+        forest = children[0]
+        for child in children[1:]:
+            forest = concat(forest, child)
+        return apply(context_leaf(node.label, node.node_id), forest)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(50000)
+    try:
+        return encode(tree.root)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def test_balanced_update_benchmark(benchmark, bench_seed):
+    """pytest-benchmark entry: one relabel on a balanced 2048-node path tree."""
+    tree = tree_for_experiment(2048, "path", seed=bench_seed)
+    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    deep_node = tree.node_ids()[-1]
+    state = {"i": 0}
+
+    def one_relabel():
+        state["i"] += 1
+        enumerator.relabel(deep_node, "a" if state["i"] % 2 else "b")
+
+    benchmark(one_relabel)
+
+
+def _balancing_ablation_report(bench_seed):
+    rows = []
+    for size in SIZES:
+        tree = tree_for_experiment(size, "path", seed=bench_seed)
+        balanced = encode_tree(tree)
+        unbalanced = naive_unbalanced_term(tree)
+        enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+        deep_node = tree.node_ids()[-1]
+        stats = enumerator.relabel(deep_node, "a")
+        rows.append(
+            [
+                size,
+                balanced.height,
+                unbalanced.height,
+                f"{balanced.height / math.log2(size + 1):.2f}",
+                stats.trunk_size,
+            ]
+        )
+    record_experiment(
+        "E11",
+        "Ablation: balanced vs naive term encoding on path trees",
+        ["n", "balanced height", "naive height", "balanced height / log2(n)", "trunk of a deep relabel"],
+        rows,
+        notes=(
+            "The naive encoding's height (and hence its update trunk) grows linearly with the path length; "
+            "the balanced encoding stays logarithmic, which is what makes O(log n) updates possible."
+        ),
+    )
+    # the gap must be visible at the largest size
+    assert rows[-1][1] * 8 < rows[-1][2]
+
+def test_balancing_ablation_report(benchmark, bench_seed):
+    """Run the whole experiment sweep once and record its duration."""
+    benchmark.pedantic(lambda: _balancing_ablation_report(bench_seed), rounds=1, iterations=1)

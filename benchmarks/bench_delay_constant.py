@@ -1,0 +1,67 @@
+"""Experiment E3 — Theorem 8.1 / Corollary 8.3: delay independent of the tree.
+
+Sweep the tree size at fixed query, enumerate a window of answers and measure
+the per-answer delay.  Expected shape: mean and p95 delay flat in the tree
+size (constant delay for first-order variables); for the second-order query
+the delay grows with the *answer size*, not with the tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.measure import summarize
+from repro.bench.reporting import record_experiment
+from repro.bench.workloads import query_for_name, tree_for_experiment
+from repro.core.enumerator import TreeEnumerator
+
+SIZES = (256, 1024, 4096)
+MAX_ANSWERS = 200
+
+
+def delays_for(size: int, query_name: str, seed: int):
+    tree = tree_for_experiment(size, "random", seed=seed)
+    enumerator = TreeEnumerator(tree, query_for_name(query_name))
+    return summarize(enumerator.delay_probe(max_answers=MAX_ANSWERS))
+
+
+def test_delay_benchmark(benchmark, bench_seed):
+    """pytest-benchmark entry: enumerate 100 answers on a 4096-node tree."""
+    tree = tree_for_experiment(4096, "random", seed=bench_seed)
+    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    benchmark(lambda: enumerator.first(100))
+
+
+def _delay_constant_report(bench_seed):
+    rows = []
+    means = {}
+    for query_name in ("select-a", "pairs"):
+        for size in SIZES:
+            summary = delays_for(size, query_name, bench_seed)
+            means[(query_name, size)] = summary.mean
+            rows.append(
+                [
+                    query_name,
+                    size,
+                    summary.count,
+                    f"{summary.mean * 1e6:.1f}",
+                    f"{summary.p95 * 1e6:.1f}",
+                    f"{summary.maximum * 1e6:.1f}",
+                ]
+            )
+    record_experiment(
+        "E3",
+        "Per-answer delay vs tree size (Theorem 8.1: independent of n)",
+        ["query", "n", "answers", "mean (us)", "p95 (us)", "max (us)"],
+        rows,
+        notes="Expected shape: delays flat as n grows 16x (they depend on the automaton, not the tree).",
+    )
+    for query_name in ("select-a", "pairs"):
+        small = means[(query_name, SIZES[0])]
+        large = means[(query_name, SIZES[-1])]
+        # delays must not scale with the tree (allow generous noise margin)
+        assert large <= 6 * small + 1e-4
+
+def test_delay_constant_report(benchmark, bench_seed):
+    """Run the whole experiment sweep once and record its duration."""
+    benchmark.pedantic(lambda: _delay_constant_report(bench_seed), rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Experiment E9 — Figure 2 / Lemma 7.4: the forest-algebra encoding.
+
+Figure 2 illustrates the five monoid operations of the transition algebra;
+Lemma 7.4 promises (i) a faithful translation of the automaton, (ii) terms of
+logarithmic height, and (iii) logarithmic-size trunks per update.  We sweep
+tree shapes (including the adversarial path and star) and sizes and report
+term height / log2(n) and mean trunk size per edit; faithfulness is asserted
+against the brute-force oracle on a small instance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.automata.brute_force import unranked_satisfying_assignments
+from repro.bench.reporting import record_experiment
+from repro.bench.workloads import mixed_workload, query_for_name, tree_for_experiment
+from repro.core.enumerator import TreeEnumerator
+from repro.forest_algebra.encoder import encode_tree
+from repro.forest_algebra.maintenance import MaintainedTerm
+
+SHAPES = ("random", "path", "star", "caterpillar")
+SIZES = (512, 4096)
+
+
+def test_encoding_benchmark(benchmark, bench_seed):
+    """pytest-benchmark entry: encode a 4096-node random tree as a balanced term."""
+    tree = tree_for_experiment(4096, "random", seed=bench_seed)
+    benchmark(lambda: encode_tree(tree))
+
+
+def _figure2_report(bench_seed):
+    rows = []
+    for shape in SHAPES:
+        for size in SIZES:
+            tree = tree_for_experiment(size, shape, seed=bench_seed)
+            term = encode_tree(tree)
+            maintained = MaintainedTerm(tree.copy())
+            edits = mixed_workload(tree, 25, seed=bench_seed + 1)
+            scratch = tree.copy()
+            trunks = []
+            for edit in edits:
+                new_node = edit.apply_to_tree(scratch)
+                from repro.trees.edits import Insert, InsertRight
+
+                if isinstance(edit, (Insert, InsertRight)):
+                    report = maintained.apply_edit(edit, new_node_id=new_node.node_id)
+                else:
+                    report = maintained.apply_edit(edit)
+                trunks.append(report.trunk_size())
+            rows.append(
+                [
+                    shape,
+                    tree.size(),
+                    term.height,
+                    f"{term.height / math.log2(tree.size() + 1):.2f}",
+                    f"{sum(trunks) / len(trunks):.1f}",
+                    max(trunks),
+                ]
+            )
+    record_experiment(
+        "E9",
+        "Figure 2 / Lemma 7.4: balanced forest-algebra terms and hollowing trunks",
+        ["shape", "n", "term height", "height / log2(n)", "mean trunk", "max trunk"],
+        rows,
+        notes="Expected shape: height/log2(n) bounded by a small constant on every shape; trunks logarithmic.",
+    )
+
+    # Faithfulness of the translation (Lemma 7.4) on a small instance.
+    tree = tree_for_experiment(20, "random", seed=bench_seed)
+    query = query_for_name("marked-ancestor")
+    enumerator = TreeEnumerator(tree, query)
+    assert set(enumerator.assignments()) == unranked_satisfying_assignments(query, tree)
+
+def test_figure2_report(benchmark, bench_seed):
+    """Run the whole experiment sweep once and record its duration."""
+    benchmark.pedantic(lambda: _figure2_report(bench_seed), rounds=1, iterations=1)

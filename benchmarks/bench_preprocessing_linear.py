@@ -1,0 +1,55 @@
+"""Experiment E2 — Theorem 8.1: preprocessing time is linear in the tree.
+
+Sweep the tree size at fixed query and measure the time to build the full
+enumeration structure (balanced term + circuit + index).  Expected shape:
+time per node roughly constant, i.e. total time grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import record_experiment
+from repro.bench.workloads import query_for_name, tree_for_experiment
+from repro.core.enumerator import TreeEnumerator
+
+SIZES = (256, 512, 1024, 2048, 4096)
+
+
+def build(size: int, seed: int) -> float:
+    tree = tree_for_experiment(size, "random", seed=seed)
+    query = query_for_name("select-a")
+    start = time.perf_counter()
+    TreeEnumerator(tree, query)
+    return time.perf_counter() - start
+
+
+def test_preprocessing_benchmark(benchmark, bench_seed):
+    """pytest-benchmark entry: preprocessing of a 1024-node tree."""
+    tree = tree_for_experiment(1024, "random", seed=bench_seed)
+    query = query_for_name("select-a")
+    benchmark(lambda: TreeEnumerator(tree, query))
+
+
+def _preprocessing_linear_report(bench_seed):
+    rows = []
+    per_node = []
+    for size in SIZES:
+        seconds = build(size, bench_seed)
+        per_node.append(seconds / size)
+        rows.append([size, f"{seconds * 1e3:.1f}", f"{seconds / size * 1e6:.2f}"])
+    record_experiment(
+        "E2",
+        "Preprocessing time vs tree size (Theorem 8.1: linear)",
+        ["n", "total (ms)", "per node (us)"],
+        rows,
+        notes="Expected shape: per-node cost roughly constant across the sweep.",
+    )
+    # linearity check: per-node cost at the largest size within 4x of the smallest
+    assert per_node[-1] <= 4 * per_node[0]
+
+def test_preprocessing_linear_report(benchmark, bench_seed):
+    """Run the whole experiment sweep once and record its duration."""
+    benchmark.pedantic(lambda: _preprocessing_linear_report(bench_seed), rounds=1, iterations=1)

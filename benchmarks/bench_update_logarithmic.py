@@ -1,0 +1,87 @@
+"""Experiment E4 — Theorem 8.1: update time logarithmic in the tree.
+
+Sweep the tree size, apply a mixed workload of relabelings, leaf insertions
+and leaf deletions, and measure per-update time and trunk size (number of
+circuit boxes rebuilt, the quantity Lemma 7.3 charges).  Expected shape:
+both grow like log n — divide by log2(n) and the ratio stays roughly flat —
+while the full-recompute baseline grows linearly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.measure import measure_updates
+from repro.bench.reporting import record_experiment
+from repro.bench.workloads import mixed_workload, query_for_name, tree_for_experiment
+from repro.core.enumerator import TreeEnumerator
+
+SIZES = (256, 1024, 4096, 8192)
+N_UPDATES = 40
+
+
+def run(size: int, seed: int):
+    tree = tree_for_experiment(size, "random", seed=seed)
+    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    edits = mixed_workload(tree, N_UPDATES, seed=seed + 1)
+    trunks = []
+    times = []
+    import time
+
+    for edit in edits:
+        start = time.perf_counter()
+        stats = enumerator.apply(edit)
+        times.append(time.perf_counter() - start)
+        trunks.append(stats.trunk_size)
+    return times, trunks
+
+
+def test_update_benchmark(benchmark, bench_seed):
+    """pytest-benchmark entry: one relabeling update on an 8192-node tree."""
+    tree = tree_for_experiment(8192, "random", seed=bench_seed)
+    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    node_ids = tree.node_ids()
+    state = {"i": 0}
+
+    def one_relabel():
+        state["i"] += 1
+        enumerator.relabel(node_ids[(37 * state["i"]) % len(node_ids)], "a" if state["i"] % 2 else "b")
+
+    benchmark(one_relabel)
+
+
+def _update_logarithmic_report(bench_seed):
+    rows = []
+    mean_times = []
+    for size in SIZES:
+        times, trunks = run(size, bench_seed)
+        mean_time = sum(times) / len(times)
+        mean_trunk = sum(trunks) / len(trunks)
+        mean_times.append(mean_time)
+        rows.append(
+            [
+                size,
+                f"{mean_time * 1e3:.2f}",
+                f"{mean_trunk:.1f}",
+                f"{mean_trunk / math.log2(size):.2f}",
+                f"{max(trunks)}",
+            ]
+        )
+    record_experiment(
+        "E4",
+        "Update cost vs tree size (Theorem 8.1: logarithmic)",
+        ["n", "mean update (ms)", "mean trunk (boxes)", "trunk / log2(n)", "max trunk"],
+        rows,
+        notes=(
+            "Expected shape: trunk/log2(n) roughly flat; update time grows far slower than n "
+            "(a 32x larger tree costs only slightly more per update)."
+        ),
+    )
+    # sub-linear growth: 32x larger tree must not cost anywhere near 32x more per update
+    assert mean_times[-1] <= 8 * mean_times[0] + 1e-3
+
+def test_update_logarithmic_report(benchmark, bench_seed):
+    """Run the whole experiment sweep once and record its duration."""
+    benchmark.pedantic(lambda: _update_logarithmic_report(bench_seed), rounds=1, iterations=1)

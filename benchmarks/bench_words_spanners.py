@@ -1,0 +1,83 @@
+"""Experiment E6 — Theorem 8.5 / Corollary 8.4: words and document spanners.
+
+Sweep the document length for a fixed spanner (regex with captures compiled
+to a nondeterministic WVA) and measure preprocessing, delay and update time
+for character edits.  Expected shape: preprocessing linear, delay flat,
+update time logarithmic — the word instance of the tree results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bench.measure import summarize
+from repro.bench.reporting import record_experiment
+from repro.bench.workloads import spanner_document
+from repro.spanners.spanner import Spanner
+
+LENGTHS = (256, 1024, 4096)
+PATTERN = ".* x{a b+} .*"
+ALPHABET = ("a", "b", "c", " ")
+
+
+def build(length: int, seed: int):
+    document = spanner_document(length, seed=seed, alphabet=ALPHABET)
+    spanner = Spanner(PATTERN, ALPHABET)
+    start = time.perf_counter()
+    enumerator = spanner.enumerator(document)
+    preprocessing = time.perf_counter() - start
+    return enumerator, preprocessing
+
+
+def test_spanner_benchmark(benchmark, bench_seed):
+    """pytest-benchmark entry: enumerate 100 matches on a 4096-letter document."""
+    enumerator, _ = build(4096, bench_seed)
+    benchmark(lambda: [a for a, _ in zip(enumerator.assignments(), range(100))])
+
+
+def _words_spanners_report(bench_seed):
+    rng = random.Random(bench_seed)
+    rows = []
+    update_means = []
+    for length in LENGTHS:
+        enumerator, preprocessing = build(length, bench_seed)
+        delays = summarize(enumerator.delay_probe(max_answers=150))
+        update_times = []
+        for _ in range(30):
+            ids = enumerator.position_ids()
+            action = rng.random()
+            start = time.perf_counter()
+            if action < 0.4:
+                enumerator.replace(rng.choice(ids), rng.choice(ALPHABET))
+            elif action < 0.7:
+                enumerator.insert_after(rng.choice(ids), rng.choice(ALPHABET))
+            elif len(ids) > 2:
+                enumerator.delete(rng.choice(ids))
+            update_times.append(time.perf_counter() - start)
+        updates = summarize(update_times)
+        update_means.append(updates.mean)
+        rows.append(
+            [
+                length,
+                f"{preprocessing * 1e3:.1f}",
+                delays.count,
+                f"{(delays.mean if delays.count else 0.0) * 1e6:.1f}",
+                f"{updates.mean * 1e3:.2f}",
+            ]
+        )
+    record_experiment(
+        "E6",
+        "Document spanners on words (Theorem 8.5): preprocessing, delay, updates",
+        ["length", "preprocessing (ms)", "answers probed", "delay mean (us)", "update mean (ms)"],
+        rows,
+        notes="Expected shape: preprocessing ~linear in the document, delay flat, updates ~logarithmic.",
+    )
+    # updates must scale sub-linearly with the document length (16x longer, < 8x slower)
+    assert update_means[-1] <= 8 * update_means[0] + 1e-3
+
+def test_words_spanners_report(benchmark, bench_seed):
+    """Run the whole experiment sweep once and record its duration."""
+    benchmark.pedantic(lambda: _words_spanners_report(bench_seed), rounds=1, iterations=1)

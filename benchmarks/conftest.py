@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module reproduces one experiment of DESIGN.md §4 (E1–E11): it
+sweeps the relevant parameter, prints a table of the measured shape via
+:func:`repro.bench.reporting.record_experiment` (persisted as JSON under
+``benchmarks/results/``), and registers one representative timing with
+pytest-benchmark so that ``pytest benchmarks/ --benchmark-only`` gives a
+stable, comparable set of numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """A fixed seed so that benchmark workloads are reproducible."""
+    return 20190612  # PODS 2019 ;-)

@@ -1,0 +1,73 @@
+"""Quickstart: enumerate MSO-style query answers on a tree, then update the tree.
+
+This example builds a small document tree, runs the query
+Φ(x) = "x is a node labelled 'highlight'" through the full pipeline of the
+paper (balanced forest-algebra term → assignment circuit → index →
+enumeration), prints the answers, and then edits the tree — relabeling a
+node, inserting a leaf and deleting one — re-enumerating after each update.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.automata.queries import select_labeled
+from repro.core.enumerator import TreeEnumerator
+from repro.trees.serialization import to_sexpr
+from repro.trees.unranked import UnrankedTree
+
+
+def main() -> None:
+    # A small "document": a catalog with records and some highlighted fields.
+    tree = UnrankedTree.from_nested(
+        (
+            "catalog",
+            [
+                ("record", ["field", "highlight", "field"]),
+                ("record", ["field", "field"]),
+                ("record", ["highlight"]),
+            ],
+        )
+    )
+    labels = ("catalog", "record", "field", "highlight")
+    query = select_labeled("highlight", labels)
+
+    print("input tree:", to_sexpr(tree))
+    enumerator = TreeEnumerator(tree, query)
+    stats = enumerator.stats()
+    print(
+        f"preprocessing: tree of {stats.tree_size} nodes, term height {stats.term_height}, "
+        f"circuit width {stats.circuit_width}, {stats.circuit_gates} gates, "
+        f"{stats.preprocessing_seconds * 1000:.1f} ms"
+    )
+
+    print("\nanswers (node ids of highlighted fields):")
+    for assignment in enumerator.assignments():
+        print("  ", sorted(node_id for _var, node_id in assignment))
+
+    # --- update 1: a plain field becomes a highlight (relabeling)
+    some_field = enumerator.tree.nodes_with_label("field")[0]
+    update = enumerator.relabel(some_field.node_id, "highlight")
+    print(
+        f"\nafter relabel(#{some_field.node_id} -> highlight) "
+        f"(trunk of {update.trunk_size} boxes rebuilt): {enumerator.count()} answers"
+    )
+
+    # --- update 2: insert a brand new highlighted field under the second record
+    second_record = enumerator.tree.nodes_with_label("record")[1]
+    update = enumerator.insert_first_child(second_record.node_id, "highlight")
+    print(
+        f"after insert(highlight under record #{second_record.node_id}) "
+        f"(new node #{update.new_node_id}): {enumerator.count()} answers"
+    )
+
+    # --- update 3: delete one of the original highlights
+    first_highlight = enumerator.tree.nodes_with_label("highlight")[0]
+    enumerator.delete_leaf(first_highlight.node_id)
+    print(f"after delete(#{first_highlight.node_id}): {enumerator.count()} answers")
+
+    print("\nanswers as tuples:", sorted(enumerator.answer_tuples(("x",))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that the package can be installed in environments without the ``wheel``
+package (where PEP 660 editable installs are unavailable) via
+``python setup.py develop`` or legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — Enumeration on trees with tractable combined complexity and efficient updates.
+
+A from-scratch Python reproduction of Amarilli, Bourhis, Mengel and Niewerth,
+*Enumeration on Trees with Tractable Combined Complexity and Efficient
+Updates* (PODS 2019).  See README.md for a tour and DESIGN.md for the mapping
+between the paper and the modules.
+
+The most convenient entry points are:
+
+* :class:`repro.core.enumerator.TreeEnumerator` — enumerate the satisfying
+  assignments of an unranked tree variable automaton (or a query from
+  :mod:`repro.automata.queries`) on an unranked tree, with support for
+  relabeling, leaf insertion and leaf deletion updates;
+* :class:`repro.core.enumerator.WordEnumerator` — the same for word variable
+  automata / document spanners on words (Theorem 8.5);
+* :mod:`repro.spanners` — compile regexes with capture variables into word
+  variable automata.
+"""
+
+from repro.assignments import (
+    Assignment,
+    EMPTY_ASSIGNMENT,
+    assignment_from_valuation,
+    assignment_of,
+    format_assignment,
+    valuation_from_assignment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "EMPTY_ASSIGNMENT",
+    "assignment_of",
+    "assignment_from_valuation",
+    "valuation_from_assignment",
+    "format_assignment",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the high-level API without import cycles at package import."""
+    if name in {"TreeEnumerator", "WordEnumerator"}:
+        from repro.core import enumerator
+
+        return getattr(enumerator, name)
+    if name == "queries":
+        from repro.automata import queries
+
+        return queries
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

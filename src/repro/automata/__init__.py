@@ -1,0 +1,33 @@
+"""Automata: binary tree variable automata (TVAs), unranked stepwise TVAs,
+word variable automata (WVAs), homogenization, translations and a query
+library.
+
+Submodules are imported lazily so that the lightweight parts (binary TVAs,
+homogenization) can be used without pulling in the whole translation and
+query stack.
+"""
+
+from repro.automata.binary_tva import BinaryTVA
+from repro.automata.unranked_tva import UnrankedTVA
+from repro.automata.homogenize import homogenize
+
+__all__ = [
+    "BinaryTVA",
+    "UnrankedTVA",
+    "WVA",
+    "homogenize",
+    "translate_unranked_tva",
+    "translate_wva",
+]
+
+
+def __getattr__(name):
+    if name == "WVA":
+        from repro.automata.wva import WVA
+
+        return WVA
+    if name in {"translate_unranked_tva", "translate_wva"}:
+        from repro.automata import translate
+
+        return getattr(translate, name)
+    raise AttributeError(f"module 'repro.automata' has no attribute {name!r}")

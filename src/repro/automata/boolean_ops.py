@@ -1,0 +1,73 @@
+"""Boolean combinations of unranked TVAs.
+
+Queries given as (nondeterministic) automata can be combined without
+determinization for conjunction and disjunction:
+
+* **intersection** — the product automaton: a run of the product is a pair of
+  runs, so the satisfying valuations are exactly those satisfying both
+  queries (the two automata must use the same variable set for the usual
+  conjunctive semantics; different variable sets give a natural join);
+* **union** — the disjoint union of the automata: every run stays inside one
+  component, so the satisfying valuations are those of either query.
+
+Complementation would require determinizing the stepwise automaton (worst
+case exponential) and is deliberately not provided: the paper's point is
+tractability in a *nondeterministic* automaton.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.automata.unranked_tva import UnrankedTVA
+
+__all__ = ["intersect", "union"]
+
+
+def intersect(first: UnrankedTVA, second: UnrankedTVA) -> UnrankedTVA:
+    """The product automaton: accepts a valuation iff both automata accept it.
+
+    The variable sets are united; a valuation is read by both components, so
+    each component constrains the variables it knows about (variables unknown
+    to a component make its ι entries miss, so for the standard conjunctive
+    use both automata should be over the same variable set).
+    """
+    states = [(q1, q2) for q1 in first.states for q2 in second.states]
+    initial: List[Tuple[object, frozenset, object]] = []
+    by_label_second = {}
+    for label, var_set, q in second.initial:
+        by_label_second.setdefault((label, var_set), []).append(q)
+    for label, var_set, q1 in first.initial:
+        for q2 in by_label_second.get((label, var_set), []):
+            initial.append((label, var_set, (q1, q2)))
+    delta: List[Tuple[object, object, object]] = []
+    for a1, c1, n1 in first.delta:
+        for a2, c2, n2 in second.delta:
+            delta.append((((a1, a2)), (c1, c2), (n1, n2)))
+    final = [(q1, q2) for q1 in first.final for q2 in second.final]
+    return UnrankedTVA(
+        states,
+        first.variables | second.variables,
+        initial,
+        delta,
+        final,
+        name=f"({first.name} & {second.name})",
+    )
+
+
+def union(first: UnrankedTVA, second: UnrankedTVA) -> UnrankedTVA:
+    """The disjoint-union automaton: accepts a valuation iff either automaton does."""
+    states = [("L", q) for q in first.states] + [("R", q) for q in second.states]
+    initial = [(label, vs, ("L", q)) for label, vs, q in first.initial]
+    initial += [(label, vs, ("R", q)) for label, vs, q in second.initial]
+    delta = [(("L", a), ("L", c), ("L", n)) for a, c, n in first.delta]
+    delta += [(("R", a), ("R", c), ("R", n)) for a, c, n in second.delta]
+    final = [("L", q) for q in first.final] + [("R", q) for q in second.final]
+    return UnrankedTVA(
+        states,
+        first.variables | second.variables,
+        initial,
+        delta,
+        final,
+        name=f"({first.name} | {second.name})",
+    )

@@ -1,0 +1,28 @@
+"""Workload generation, measurement helpers and reporting for the benchmarks."""
+
+from repro.bench.workloads import (
+    mixed_workload,
+    query_for_name,
+    spanner_document,
+    tree_for_experiment,
+)
+from repro.bench.measure import (
+    measure_delays,
+    measure_preprocessing,
+    measure_updates,
+    summarize,
+)
+from repro.bench.reporting import format_table, record_experiment
+
+__all__ = [
+    "tree_for_experiment",
+    "query_for_name",
+    "mixed_workload",
+    "spanner_document",
+    "measure_preprocessing",
+    "measure_delays",
+    "measure_updates",
+    "summarize",
+    "format_table",
+    "record_experiment",
+]

@@ -1,0 +1,35 @@
+"""Set circuits, structured complete DNNFs and assignment circuits (Section 3)."""
+
+from repro.circuits.gates import (
+    BOTTOM,
+    TOP,
+    AssignmentCircuit,
+    Box,
+    ProdGate,
+    UnionGate,
+    VarGate,
+)
+from repro.circuits.build import (
+    build_assignment_circuit,
+    build_internal_box,
+    build_leaf_box,
+)
+from repro.circuits.semantics import captured_set
+from repro.circuits.dnnf import CircuitStats, circuit_stats, validate_circuit
+
+__all__ = [
+    "TOP",
+    "BOTTOM",
+    "VarGate",
+    "ProdGate",
+    "UnionGate",
+    "Box",
+    "AssignmentCircuit",
+    "build_leaf_box",
+    "build_internal_box",
+    "build_assignment_circuit",
+    "captured_set",
+    "validate_circuit",
+    "circuit_stats",
+    "CircuitStats",
+]

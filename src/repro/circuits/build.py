@@ -1,0 +1,211 @@
+"""Assignment-circuit construction (Lemma 3.7 / Appendix B).
+
+Given a *homogenized* binary TVA and a binary tree, we build bottom-up, for
+every tree node ``n``, a **box** containing the gates ``γ(n, q)`` for every
+state ``q``:
+
+* leaf node ``n`` with label ``l``:
+
+  - 0-state ``q``: ``γ(n, q)`` is ⊤ if ``(l, ∅, q) ∈ ι`` and ⊥ otherwise;
+  - 1-state ``q``: a ∪-gate over one var-gate ``⟨Y : n⟩`` per non-empty
+    ``Y`` with ``(l, Y, q) ∈ ι`` (⊥ if there is none);
+
+* internal node ``n`` with label ``l`` and children ``n1, n2``:
+
+  - 0-state ``q``: ⊤ iff some ``(q1, q2, q) ∈ δ_l`` has both child gates ⊤;
+  - 1-state ``q``: a ∪-gate over, for every ``(q1, q2, q) ∈ δ_l``, either a
+    ×-gate on the two child ∪-gates, or — when one child gate is ⊤ — the
+    other child ∪-gate directly (this is the trick that keeps ⊤/⊥ from ever
+    being used as inputs).
+
+The per-node work is proportional to the number of transitions that can fire
+given the states present in the children, so the whole construction runs in
+time ``O(|T| × |A|)`` and produces a complete structured DNNF of width
+``|Q|`` and depth ``O(height(T))`` as stated by Lemma 3.7.
+
+The two box builders are exposed separately because the incremental
+maintenance of Section 7 (Lemma 7.3) re-invokes them on the trunk of each
+tree hollowing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.automata.binary_tva import BinaryTVA
+from repro.circuits.gates import (
+    BOTTOM,
+    TOP,
+    AssignmentCircuit,
+    Box,
+    ProdGate,
+    UnionGate,
+    VarGate,
+)
+from repro.errors import CircuitStructureError, NotHomogenizedError
+from repro.trees.binary import BinaryNode, BinaryTree
+
+__all__ = ["build_leaf_box", "build_internal_box", "build_assignment_circuit"]
+
+
+def _require_homogenized(automaton: BinaryTVA) -> None:
+    if not automaton.is_homogenized():
+        raise NotHomogenizedError(
+            "the circuit construction of Lemma 3.7 requires a homogenized automaton; "
+            "call repro.automata.homogenize() first"
+        )
+
+
+def build_leaf_box(label: object, leaf_payload: int, automaton: BinaryTVA) -> Box:
+    """Build the box ``B_n`` for a leaf node with the given label.
+
+    ``leaf_payload`` is the identifier of the leaf used in the var-gate
+    singletons ``⟨Y : n⟩`` (in the full pipeline this is the id of the
+    *unranked* tree node the leaf represents).
+    """
+    box = Box(label, leaf_payload=leaf_payload)
+    zero_states = automaton.zero_states
+    one_states = automaton.one_states
+
+    # Var-gates are shared across states: Svar must be injective within the
+    # circuit (Definition 3.1), and sharing is also what makes the
+    # single-var-gate outputs of Algorithm 2 duplicate-free.
+    var_gate_by_set: Dict[frozenset, VarGate] = {}
+
+    def var_gate_for(var_set: frozenset) -> VarGate:
+        gate = var_gate_by_set.get(var_set)
+        if gate is None:
+            assignment = frozenset((var, leaf_payload) for var in var_set)
+            gate = box.add_var_gate(assignment)
+            var_gate_by_set[var_set] = gate
+        return gate
+
+    for state in automaton.states:
+        entries = automaton.initial_by_label_state.get((label, state), [])
+        if state in zero_states:
+            box.state_gate[state] = TOP if any(not vs for vs in entries) else BOTTOM
+        elif state in one_states:
+            nonempty = [vs for vs in entries if vs]
+            if not nonempty:
+                box.state_gate[state] = BOTTOM
+            else:
+                inputs = []
+                seen = set()
+                for vs in nonempty:
+                    if vs not in seen:
+                        seen.add(vs)
+                        inputs.append(var_gate_for(vs))
+                box.state_gate[state] = box.add_union_gate(state, inputs)
+        else:  # unreachable state (possible only if the automaton is not trimmed)
+            box.state_gate[state] = BOTTOM
+    return box
+
+
+def build_internal_box(
+    label: object, left_box: Box, right_box: Box, automaton: BinaryTVA
+) -> Box:
+    """Build the box ``B_n`` for an internal node from its children's boxes."""
+    box = Box(label, left_child=left_box, right_child=right_box)
+    zero_states = automaton.zero_states
+    one_states = automaton.one_states
+
+    # States actually present (non-⊥) in the children; iterating over the
+    # product of these instead of over all of δ keeps the work proportional
+    # to the transitions that can fire.
+    left_present = [(q, g) for q, g in left_box.state_gate.items() if g is not BOTTOM]
+    right_present = [(q, g) for q, g in right_box.state_gate.items() if g is not BOTTOM]
+
+    # For every target state, the contributions (left gate, right gate).
+    contributions: Dict[object, List[Tuple[object, object]]] = {}
+    delta = automaton.delta_by_children
+    for q1, g1 in left_present:
+        for q2, g2 in right_present:
+            targets = delta.get((label, q1, q2))
+            if not targets:
+                continue
+            for q in targets:
+                contributions.setdefault(q, []).append((g1, g2))
+
+    # ×-gates are shared between target states: the paper defines one gate
+    # д^{q1,q2} per transition source pair.
+    prod_gate_cache: Dict[Tuple[int, int], ProdGate] = {}
+
+    def prod_gate_for(g1: UnionGate, g2: UnionGate) -> ProdGate:
+        key = (g1.slot, g2.slot)
+        gate = prod_gate_cache.get(key)
+        if gate is None:
+            gate = box.add_prod_gate(g1, g2)
+            prod_gate_cache[key] = gate
+        return gate
+
+    for state in automaton.states:
+        contribs = contributions.get(state, [])
+        if state in zero_states:
+            is_top = any(g1 is TOP and g2 is TOP for g1, g2 in contribs)
+            box.state_gate[state] = TOP if is_top else BOTTOM
+            continue
+        if state not in one_states:
+            box.state_gate[state] = BOTTOM
+            continue
+        # 1-state: build the ∪-gate inputs.
+        inputs: List[object] = []
+        seen_ids = set()
+        for g1, g2 in contribs:
+            if g1 is BOTTOM or g2 is BOTTOM:
+                continue
+            if g1 is TOP and g2 is TOP:
+                raise CircuitStructureError(
+                    f"1-state {state!r} would capture the empty assignment; "
+                    "the automaton is not homogenized"
+                )
+            if g1 is TOP:
+                candidate: object = g2
+            elif g2 is TOP:
+                candidate = g1
+            else:
+                candidate = prod_gate_for(g1, g2)
+            if id(candidate) not in seen_ids:
+                seen_ids.add(id(candidate))
+                inputs.append(candidate)
+        if inputs:
+            box.state_gate[state] = box.add_union_gate(state, inputs)
+        else:
+            box.state_gate[state] = BOTTOM
+    return box
+
+
+def build_assignment_circuit(tree: BinaryTree, automaton: BinaryTVA) -> AssignmentCircuit:
+    """Build the assignment circuit of ``automaton`` on ``tree`` (Lemma 3.7).
+
+    The automaton must be homogenized (Lemma 2.1).  The circuit's v-tree is
+    the input tree itself, with each leaf labelled by the singletons
+    ``⟨X : n⟩`` of that leaf.
+    """
+    _require_homogenized(automaton)
+
+    box_by_node: Dict[int, Box] = {}
+    # Post-order traversal without recursion (input trees can be deep).
+    order: List[BinaryNode] = []
+    stack: List[Tuple[BinaryNode, bool]] = [(tree.root, False)]
+    while stack:
+        node, visited = stack.pop()
+        if visited or node.is_leaf():
+            order.append(node)
+        else:
+            stack.append((node, True))
+            stack.append((node.right, False))
+            stack.append((node.left, False))
+
+    for node in order:
+        if node.is_leaf():
+            box = build_leaf_box(node.label, node.node_id, automaton)
+        else:
+            box = build_internal_box(
+                node.label,
+                box_by_node[node.left.node_id],
+                box_by_node[node.right.node_id],
+                automaton,
+            )
+        box_by_node[node.node_id] = box
+
+    return AssignmentCircuit(box_by_node[tree.root.node_id], automaton, box_by_node)

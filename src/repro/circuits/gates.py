@@ -1,0 +1,299 @@
+"""Set circuits: gates, boxes and assignment circuits (Section 3).
+
+A *set circuit* has five kinds of gates: ⊤, ⊥, var, × and ∪ (Definition 3.1).
+Our circuits are always *complete structured DNNFs* (Definition 3.4): the
+gates are partitioned into **boxes**, one box per node of the v-tree, and the
+wiring respects the v-tree.  Because the v-tree of an assignment circuit is
+(isomorphic to) the input binary tree itself (Lemma 3.7), we do not store a
+separate v-tree object: the tree of boxes *is* the v-tree, and each leaf box
+remembers the tree leaf it corresponds to (its ``leaf_payload``).
+
+Design notes
+------------
+* ⊤ and ⊥ are module-level singletons, not gate objects: the construction of
+  Lemma 3.7 guarantees they are never used as inputs of other gates, so they
+  only ever appear as values of the per-state mapping ``γ(n, q)`` stored in
+  each box (``Box.state_gate``).
+* ∪-gates carry a ``slot`` (their position inside their box); the
+  ∪-reachability relations of Sections 5–6 are stored as relations between
+  slot numbers, which keeps them valid when parent boxes are rebuilt during
+  updates.
+* Boxes know their children but **not** their parent: under updates a box can
+  be reused under a freshly rebuilt parent (Lemma 7.3), so parent pointers
+  would become stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.assignments import Assignment
+from repro.errors import CircuitStructureError
+
+__all__ = [
+    "TOP",
+    "BOTTOM",
+    "VarGate",
+    "ProdGate",
+    "UnionGate",
+    "Box",
+    "AssignmentCircuit",
+    "child_wire_pairs",
+]
+
+
+class _Sentinel:
+    """Singleton used for the ⊤ and ⊥ circuit constants."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: The ⊤-gate: captures exactly the empty assignment ``{∅}``.
+TOP = _Sentinel("TOP")
+#: The ⊥-gate: captures the empty set of assignments.
+BOTTOM = _Sentinel("BOTTOM")
+
+
+class VarGate:
+    """A variable gate; captures the single assignment ``Svar(g)`` (= ``⟨Y : n⟩``)."""
+
+    __slots__ = ("box", "assignment")
+
+    def __init__(self, box: "Box", assignment: Assignment):
+        self.box = box
+        self.assignment = assignment
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VarGate({set(self.assignment)!r})"
+
+
+class ProdGate:
+    """A ×-gate; its two inputs are ∪-gates in the left and right child boxes."""
+
+    __slots__ = ("box", "left", "right")
+
+    def __init__(self, box: "Box", left: "UnionGate", right: "UnionGate"):
+        self.box = box
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ProdGate(left=slot {self.left.slot}, right=slot {self.right.slot})"
+
+
+class UnionGate:
+    """A ∪-gate; captures the union of the sets captured by its inputs.
+
+    Inputs are var-gates or ×-gates of the *same* box, or ∪-gates of a
+    *child* box (this normalization — no ∪→∪ wire within a box — is what the
+    construction of Lemma 3.7 produces and what the index of Section 6
+    assumes; it is checked by :func:`repro.circuits.dnnf.validate_circuit`).
+    """
+
+    __slots__ = ("box", "slot", "state", "inputs")
+
+    def __init__(self, box: "Box", slot: int, state: object, inputs: Tuple[object, ...]):
+        self.box = box
+        self.slot = slot
+        self.state = state
+        self.inputs = inputs
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UnionGate(slot={self.slot}, state={self.state!r}, fan_in={len(self.inputs)})"
+
+
+class Box:
+    """One box of a complete structured DNNF = one node of the v-tree.
+
+    Attributes
+    ----------
+    label:
+        The tree-node label this box was built for (informational).
+    leaf_payload:
+        For leaf boxes, the identifier of the tree leaf (used in var-gate
+        singletons); ``None`` for internal boxes.
+    left_child / right_child:
+        Child boxes (``None`` for leaf boxes).
+    union_gates:
+        The ∪-gates of the box, indexed by their ``slot``.
+    state_gate:
+        The mapping ``q ↦ γ(n, q)``; values are :class:`UnionGate`, ``TOP``
+        or ``BOTTOM``.
+    prod_gates / var_gates:
+        The ×-gates and var-gates of the box (for statistics and validation).
+    index:
+        The :class:`repro.enumeration.index.BoxIndex` attached by the
+        preprocessing of Section 6 (``None`` until it is built).
+    """
+
+    __slots__ = (
+        "label",
+        "leaf_payload",
+        "left_child",
+        "right_child",
+        "union_gates",
+        "state_gate",
+        "prod_gates",
+        "var_gates",
+        "index",
+    )
+
+    def __init__(
+        self,
+        label: object,
+        leaf_payload: Optional[int] = None,
+        left_child: Optional["Box"] = None,
+        right_child: Optional["Box"] = None,
+    ):
+        self.label = label
+        self.leaf_payload = leaf_payload
+        self.left_child = left_child
+        self.right_child = right_child
+        self.union_gates: List[UnionGate] = []
+        self.state_gate: Dict[object, object] = {}
+        self.prod_gates: List[ProdGate] = []
+        self.var_gates: List[VarGate] = []
+        self.index = None
+
+    # ------------------------------------------------------------------ api
+    def is_leaf_box(self) -> bool:
+        """Return ``True`` if this box corresponds to a leaf of the v-tree."""
+        return self.left_child is None
+
+    def add_union_gate(self, state: object, inputs: Iterable[object]) -> UnionGate:
+        """Create a ∪-gate in this box with the given inputs and register it."""
+        inputs = tuple(inputs)
+        if not inputs:
+            raise CircuitStructureError("∪-gates must have at least one input")
+        gate = UnionGate(self, len(self.union_gates), state, inputs)
+        self.union_gates.append(gate)
+        return gate
+
+    def add_prod_gate(self, left: UnionGate, right: UnionGate) -> ProdGate:
+        """Create a ×-gate in this box and register it."""
+        gate = ProdGate(self, left, right)
+        self.prod_gates.append(gate)
+        return gate
+
+    def add_var_gate(self, assignment: Assignment) -> VarGate:
+        """Create a var-gate in this box and register it."""
+        gate = VarGate(self, assignment)
+        self.var_gates.append(gate)
+        return gate
+
+    def children(self) -> Tuple["Box", ...]:
+        """Return the tuple of child boxes (empty for leaf boxes)."""
+        if self.is_leaf_box():
+            return ()
+        return (self.left_child, self.right_child)
+
+    def subtree_boxes(self) -> Iterator["Box"]:
+        """Yield the boxes of the subtree rooted here, in preorder."""
+        stack = [self]
+        while stack:
+            box = stack.pop()
+            yield box
+            if not box.is_leaf_box():
+                stack.append(box.right_child)
+                stack.append(box.left_child)
+
+    def width(self) -> int:
+        """Return the number of ∪-gates of this box (the local width)."""
+        return len(self.union_gates)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "leaf" if self.is_leaf_box() else "internal"
+        return f"Box(label={self.label!r}, {kind}, unions={len(self.union_gates)})"
+
+
+def child_wire_pairs(box: Box, side: str) -> FrozenSet[Tuple[int, int]]:
+    """Return the ∪-wire relation between a child box and ``box``.
+
+    The result is the set of pairs ``(child_slot, box_slot)`` such that the
+    ∪-gate ``child_slot`` of the chosen child box is an input of the ∪-gate
+    ``box_slot`` of ``box`` — i.e. the relation ``R(child, box)`` restricted
+    to single wires, which is the base case of the index construction
+    (Lemma 6.3) and of Algorithm 3.
+    """
+    if box.is_leaf_box():
+        return frozenset()
+    child = box.left_child if side == "left" else box.right_child
+    pairs = set()
+    for gate in box.union_gates:
+        for inp in gate.inputs:
+            if isinstance(inp, UnionGate) and inp.box is child:
+                pairs.add((inp.slot, gate.slot))
+    return frozenset(pairs)
+
+
+class AssignmentCircuit:
+    """An assignment circuit of a TVA on a binary tree (Definition 3.3).
+
+    The circuit owns the root box of the tree of boxes, remembers the
+    homogenized automaton it was built for, and (when built from an explicit
+    :class:`~repro.trees.binary.BinaryTree`) a mapping from tree node ids to
+    boxes.  In the incremental pipeline the mapping is maintained by the
+    forest-algebra layer instead, and ``box_by_node`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        root_box: Box,
+        automaton,
+        box_by_node: Optional[Dict[int, Box]] = None,
+    ):
+        self.root_box = root_box
+        self.automaton = automaton
+        self.box_by_node = box_by_node
+
+    # ------------------------------------------------------------------ api
+    def boxes(self) -> Iterator[Box]:
+        """Yield all boxes (preorder over the tree of boxes)."""
+        return self.root_box.subtree_boxes()
+
+    def box_of(self, node_id: int) -> Box:
+        """Return the box built for the given tree node (static circuits only)."""
+        if self.box_by_node is None:
+            raise CircuitStructureError("this circuit does not track a node→box mapping")
+        return self.box_by_node[node_id]
+
+    def width(self) -> int:
+        """Return the circuit width: the maximum number of ∪-gates in a box."""
+        return max((box.width() for box in self.boxes()), default=0)
+
+    def depth(self) -> int:
+        """Return the depth of the tree of boxes (edges on the longest path)."""
+        best = 0
+        stack: List[Tuple[Box, int]] = [(self.root_box, 0)]
+        while stack:
+            box, d = stack.pop()
+            best = max(best, d)
+            for child in box.children():
+                stack.append((child, d + 1))
+        return best
+
+    def gate_count(self) -> int:
+        """Return the total number of gates (∪, ×, var) in the circuit."""
+        total = 0
+        for box in self.boxes():
+            total += len(box.union_gates) + len(box.prod_gates) + len(box.var_gates)
+        return total
+
+    def root_gates(self, final_states: Optional[Iterable[object]] = None) -> List[object]:
+        """Return the gates ``γ(root, q)`` for the final states ``q``.
+
+        The satisfying assignments of the automaton are the union of the sets
+        captured by these gates (plus the empty assignment when one of them
+        is ⊤).
+        """
+        states = self.automaton.final if final_states is None else final_states
+        return [self.root_box.state_gate.get(q, BOTTOM) for q in states]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AssignmentCircuit(width={self.width()}, gates={self.gate_count()})"

@@ -1,0 +1,56 @@
+"""Captured-set semantics of set circuits (Definition 3.1).
+
+``captured_set(g)`` computes the set ``S(g)`` of assignments captured by a
+gate, by direct structural recursion:
+
+* var-gate: the singleton set ``{Svar(g)}``;
+* ⊥: the empty set; ⊤: ``{∅}``;
+* ×-gate: the pairwise unions of the sets of its two inputs;
+* ∪-gate: the union of the sets of its inputs.
+
+This is exponential in general and is **only** meant as a ground-truth oracle
+for the test suite: the whole point of the paper is to *enumerate* ``S(g)``
+without materializing it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.assignments import Assignment
+from repro.circuits.gates import BOTTOM, TOP, ProdGate, UnionGate, VarGate
+from repro.errors import CircuitStructureError
+
+__all__ = ["captured_set"]
+
+
+def captured_set(gate: object, _memo: Dict[int, FrozenSet[Assignment]] = None) -> FrozenSet[Assignment]:
+    """Return ``S(gate)`` as a frozenset of assignments (Definition 3.1)."""
+    memo: Dict[int, FrozenSet[Assignment]] = {} if _memo is None else _memo
+
+    def rec(g: object) -> FrozenSet[Assignment]:
+        if g is BOTTOM:
+            return frozenset()
+        if g is TOP:
+            return frozenset({frozenset()})
+        key = id(g)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(g, VarGate):
+            result: FrozenSet[Assignment] = frozenset({g.assignment})
+        elif isinstance(g, ProdGate):
+            left = rec(g.left)
+            right = rec(g.right)
+            result = frozenset(sl | sr for sl in left for sr in right)
+        elif isinstance(g, UnionGate):
+            acc: Set[Assignment] = set()
+            for inp in g.inputs:
+                acc |= rec(inp)
+            result = frozenset(acc)
+        else:
+            raise CircuitStructureError(f"unknown gate object {g!r}")
+        memo[key] = result
+        return result
+
+    return rec(gate)

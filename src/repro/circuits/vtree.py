@@ -1,0 +1,64 @@
+"""The v-tree view of an assignment circuit (Definition 3.4).
+
+For the circuits built by Lemma 3.7 the v-tree is the input binary tree
+itself: each leaf of the v-tree is labelled by the set of singletons
+``{⟨Z : n⟩ | Z ∈ X}`` of the corresponding tree leaf, and the structuring
+function maps the gates built for node ``n`` to the v-tree node ``n``.  The
+library therefore does not materialize a separate v-tree object; this module
+provides the explicit view for users who want to inspect it (and for the
+tests that check Definition 3.4 directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.circuits.gates import AssignmentCircuit, Box
+
+__all__ = ["vtree_leaf_labels", "vtree_partition_is_valid", "iter_vtree_edges"]
+
+
+def vtree_leaf_labels(circuit: AssignmentCircuit) -> Dict[int, FrozenSet[Tuple[object, int]]]:
+    """Return, for every leaf box, the set of singletons labelling that v-tree leaf.
+
+    Keys are the leaf payloads (tree node ids); values are the singleton sets
+    ``{⟨Z : n⟩ | Z ∈ X}``.
+    """
+    variables = circuit.automaton.variables
+    result: Dict[int, FrozenSet[Tuple[object, int]]] = {}
+    for box in circuit.boxes():
+        if box.is_leaf_box():
+            payload = box.leaf_payload
+            result[payload] = frozenset((var, payload) for var in variables)
+    return result
+
+
+def vtree_partition_is_valid(circuit: AssignmentCircuit) -> bool:
+    """Check that the leaf labels form a partition of the circuit variables.
+
+    Every var-gate's singleton set must be included in the label of its leaf,
+    and the labels of distinct leaves must be disjoint (they mention distinct
+    tree nodes, so this holds by construction; the check guards against
+    accidental payload collisions after updates).
+    """
+    labels = vtree_leaf_labels(circuit)
+    seen: set = set()
+    for payload, label in labels.items():
+        if label & seen:
+            return False
+        seen |= label
+    for box in circuit.boxes():
+        for gate in box.var_gates:
+            if not gate.assignment <= labels.get(box.leaf_payload, frozenset()):
+                return False
+    return True
+
+
+def iter_vtree_edges(circuit: AssignmentCircuit) -> Iterator[Tuple[Box, Box]]:
+    """Yield the (parent box, child box) edges of the v-tree in preorder."""
+    stack: List[Box] = [circuit.root_box]
+    while stack:
+        box = stack.pop()
+        for child in box.children():
+            yield (box, child)
+            stack.append(child)

@@ -1,0 +1,20 @@
+"""High-level public API: tree and word enumerators with update support,
+result types and the baselines of Table 1."""
+
+from repro.core.enumerator import TreeEnumerator, WordEnumerator
+from repro.core.results import EnumeratorStats, UpdateStats
+from repro.core.baselines import (
+    BaselineStrategy,
+    RecomputeTreeEnumerator,
+    RelabelOnlyTreeEnumerator,
+)
+
+__all__ = [
+    "TreeEnumerator",
+    "WordEnumerator",
+    "EnumeratorStats",
+    "UpdateStats",
+    "BaselineStrategy",
+    "RecomputeTreeEnumerator",
+    "RelabelOnlyTreeEnumerator",
+]

@@ -1,0 +1,275 @@
+"""The public enumerators: trees (Theorem 8.1) and words (Theorem 8.5).
+
+:class:`TreeEnumerator` is the end-to-end object of the paper: given an
+unranked tree and a (generally nondeterministic) unranked tree variable
+automaton, it
+
+1. translates the automaton to a binary TVA on forest-algebra terms
+   (Lemma 7.4) and homogenizes it (Lemma 2.1);
+2. encodes the tree as a balanced term (Section 7) and builds the assignment
+   circuit (Lemma 3.7) and enumeration index (Lemma 6.3) bottom-up over it;
+3. enumerates the satisfying assignments without duplicates with
+   output-linear delay (Theorem 6.5 / Theorem 8.1);
+4. supports the edit operations of Definition 7.1 by rebuilding only the
+   trunk of the corresponding hollowing (Lemma 7.3) — logarithmic work per
+   update — after which enumeration restarts on the updated tree.
+
+:class:`WordEnumerator` is the word specialization (Corollary 8.4 /
+Theorem 8.5), used for document spanners: the query is a word variable
+automaton (for instance compiled from a regex with capture variables by
+:mod:`repro.spanners`), answers bind variables to word positions, and the
+supported updates are character insertion, deletion and replacement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.assignments import Assignment, valuation_from_assignment
+from repro.automata.homogenize import homogenize
+from repro.automata.translate import translate_unranked_tva, translate_wva
+from repro.automata.unranked_tva import UnrankedTVA
+from repro.automata.wva import WVA
+from repro.core.results import EnumeratorStats, UpdateStats, assignment_to_tuple
+from repro.circuits.dnnf import circuit_stats
+from repro.enumeration.assignment_iter import CircuitEnumerator
+from repro.errors import InvalidEditError, StaleIteratorError
+from repro.forest_algebra.maintenance import MaintainedTerm
+from repro.forest_algebra.word_maintenance import MaintainedWordTerm
+from repro.incremental.maintainer import IncrementalCircuitMaintainer
+from repro.trees.edits import Delete, EditOperation, Insert, InsertRight, Relabel
+from repro.trees.unranked import UnrankedNode, UnrankedTree
+
+__all__ = ["TreeEnumerator", "WordEnumerator"]
+
+
+class TreeEnumerator:
+    """Enumerate the answers of an unranked TVA on an unranked tree, under updates."""
+
+    def __init__(
+        self,
+        tree: UnrankedTree,
+        query: UnrankedTVA,
+        relation_backend: Optional[str] = None,
+        copy_tree: bool = True,
+    ):
+        start = time.perf_counter()
+        self.query = query
+        #: reference copy of the tree, kept in sync with the index structures
+        self.tree = tree.copy() if copy_tree else tree
+        self.binary_automaton = homogenize(translate_unranked_tva(query))
+        self.term = MaintainedTerm(self.tree)
+        self.maintainer = IncrementalCircuitMaintainer(
+            self.term, self.binary_automaton, relation_backend=relation_backend
+        )
+        self._preprocessing_seconds = time.perf_counter() - start
+        self._version = 0
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> EnumeratorStats:
+        """Preprocessing statistics (sizes, width, wall-clock time)."""
+        stats = circuit_stats(self.maintainer.circuit())
+        return EnumeratorStats(
+            tree_size=self.tree.size(),
+            term_size=self.term.size(),
+            term_height=self.term.height(),
+            automaton_states=len(self.binary_automaton.states),
+            circuit_width=stats.width,
+            circuit_gates=stats.gate_count(),
+            preprocessing_seconds=self._preprocessing_seconds,
+        )
+
+    # -------------------------------------------------------------- enumeration
+    def assignments(self) -> Iterator[Assignment]:
+        """Enumerate the satisfying assignments (sets of ``(variable, node id)``).
+
+        The iterator is invalidated by updates: advancing it after an update
+        raises :class:`~repro.errors.StaleIteratorError`, as the paper's model
+        requires restarting enumeration after each update.
+        """
+        version = self._version
+        enumerator = self.maintainer.enumerator()
+        for assignment in enumerator.assignments():
+            if self._version != version:
+                raise StaleIteratorError("the tree was updated; restart the enumeration")
+            yield assignment
+
+    def __iter__(self) -> Iterator[Assignment]:
+        return self.assignments()
+
+    def valuations(self) -> Iterator[Dict[int, FrozenSet[object]]]:
+        """Enumerate answers as valuations (node id → set of variables)."""
+        for assignment in self.assignments():
+            yield valuation_from_assignment(assignment)
+
+    def answer_tuples(self, variables: Optional[Sequence[object]] = None) -> Iterator[Tuple]:
+        """Enumerate answers as tuples of node ids, for first-order-style queries."""
+        order = tuple(variables) if variables is not None else tuple(sorted(self.query.variables, key=repr))
+        for assignment in self.assignments():
+            yield assignment_to_tuple(assignment, order)
+
+    def count(self, limit: Optional[int] = None) -> int:
+        """Count the answers by enumerating them (early stop at ``limit``)."""
+        total = 0
+        for _ in self.assignments():
+            total += 1
+            if limit is not None and total >= limit:
+                break
+        return total
+
+    def first(self, k: int) -> List[Assignment]:
+        """The first ``k`` answers."""
+        result: List[Assignment] = []
+        for assignment in self.assignments():
+            result.append(assignment)
+            if len(result) >= k:
+                break
+        return result
+
+    def delay_probe(self, max_answers: Optional[int] = None) -> List[float]:
+        """Wall-clock delays before each answer (for the delay experiments)."""
+        return self.maintainer.enumerator().delay_probe(max_answers=max_answers)
+
+    # ------------------------------------------------------------------ updates
+    def _apply_term_update(self, edit: EditOperation, new_node: Optional[UnrankedNode]) -> UpdateStats:
+        start = time.perf_counter()
+        new_id = new_node.node_id if new_node is not None else None
+        if isinstance(edit, (Insert, InsertRight)):
+            report = self.term.apply_edit(edit, new_node_id=new_id)
+        else:
+            report = self.term.apply_edit(edit)
+        trunk = self.maintainer.apply_report(report)
+        self._version += 1
+        return UpdateStats(
+            trunk_size=trunk,
+            rebuilt_subterm_size=report.rebuilt_subterm_size,
+            seconds=time.perf_counter() - start,
+            new_node_id=new_id,
+        )
+
+    def apply(self, edit: EditOperation) -> UpdateStats:
+        """Apply one edit operation of Definition 7.1 to the tree."""
+        new_node = edit.apply_to_tree(self.tree)
+        return self._apply_term_update(edit, new_node if isinstance(edit, (Insert, InsertRight)) else None)
+
+    def relabel(self, node_id: int, label: object) -> UpdateStats:
+        """``relabel(n, l)``."""
+        return self.apply(Relabel(node_id, label))
+
+    def insert_first_child(self, parent_id: int, label: object) -> UpdateStats:
+        """``insert(n, l)``; the new node's id is in ``UpdateStats.new_node_id``."""
+        return self.apply(Insert(parent_id, label))
+
+    def insert_right_sibling(self, anchor_id: int, label: object) -> UpdateStats:
+        """``insertR(n, l)``; the new node's id is in ``UpdateStats.new_node_id``."""
+        return self.apply(InsertRight(anchor_id, label))
+
+    def delete_leaf(self, node_id: int) -> UpdateStats:
+        """``delete(n)`` (``n`` must be a leaf)."""
+        return self.apply(Delete(node_id))
+
+
+class WordEnumerator:
+    """Enumerate the matches of a WVA (document spanner) on a word, under updates."""
+
+    def __init__(
+        self,
+        word: Sequence[object],
+        query: WVA,
+        relation_backend: Optional[str] = None,
+    ):
+        if len(word) == 0:
+            raise InvalidEditError("words must be non-empty")
+        start = time.perf_counter()
+        self.query = query
+        self.binary_automaton = homogenize(translate_wva(query))
+        self.term = MaintainedWordTerm(list(word))
+        self.maintainer = IncrementalCircuitMaintainer(
+            self.term, self.binary_automaton, relation_backend=relation_backend
+        )
+        self._preprocessing_seconds = time.perf_counter() - start
+        self._version = 0
+
+    # ------------------------------------------------------------------ views
+    def word(self) -> List[object]:
+        """The current word (letters left to right)."""
+        return self.term.letters()
+
+    def position_ids(self) -> List[int]:
+        """Stable position ids, left to right (answers refer to these)."""
+        return self.term.position_ids()
+
+    def stats(self) -> EnumeratorStats:
+        """Preprocessing statistics."""
+        stats = circuit_stats(self.maintainer.circuit())
+        return EnumeratorStats(
+            tree_size=self.term.size(),
+            term_size=self.term.size(),
+            term_height=self.term.height(),
+            automaton_states=len(self.binary_automaton.states),
+            circuit_width=stats.width,
+            circuit_gates=stats.gate_count(),
+            preprocessing_seconds=self._preprocessing_seconds,
+        )
+
+    # -------------------------------------------------------------- enumeration
+    def assignments(self) -> Iterator[Assignment]:
+        """Enumerate the satisfying assignments (sets of ``(variable, position id)``)."""
+        version = self._version
+        enumerator = self.maintainer.enumerator()
+        for assignment in enumerator.assignments():
+            if self._version != version:
+                raise StaleIteratorError("the word was updated; restart the enumeration")
+            yield assignment
+
+    def __iter__(self) -> Iterator[Assignment]:
+        return self.assignments()
+
+    def assignments_by_index(self) -> Iterator[Assignment]:
+        """Answers with positions given as current 0-based indices (not stable ids)."""
+        index_of = {pos_id: index for index, pos_id in enumerate(self.position_ids())}
+        for assignment in self.assignments():
+            yield frozenset((var, index_of[pos_id]) for var, pos_id in assignment)
+
+    def count(self, limit: Optional[int] = None) -> int:
+        """Count the answers by enumerating them."""
+        total = 0
+        for _ in self.assignments():
+            total += 1
+            if limit is not None and total >= limit:
+                break
+        return total
+
+    def delay_probe(self, max_answers: Optional[int] = None) -> List[float]:
+        """Wall-clock delays before each answer."""
+        return self.maintainer.enumerator().delay_probe(max_answers=max_answers)
+
+    # ------------------------------------------------------------------ updates
+    def _finish_update(self, report, start: float, new_position_id: Optional[int] = None) -> UpdateStats:
+        trunk = self.maintainer.apply_report(report)
+        self._version += 1
+        return UpdateStats(
+            trunk_size=trunk,
+            rebuilt_subterm_size=report.rebuilt_subterm_size,
+            seconds=time.perf_counter() - start,
+            new_position_id=new_position_id,
+        )
+
+    def replace(self, position_id: int, letter: object) -> UpdateStats:
+        """Replace the letter at a position."""
+        start = time.perf_counter()
+        report = self.term.replace(position_id, letter)
+        return self._finish_update(report, start)
+
+    def insert_after(self, position_id: Optional[int], letter: object) -> UpdateStats:
+        """Insert a letter after a position (``None`` = at the front)."""
+        start = time.perf_counter()
+        report = self.term.insert_after(position_id, letter)
+        return self._finish_update(report, start, getattr(report, "new_position_id", None))
+
+    def delete(self, position_id: int) -> UpdateStats:
+        """Delete a position."""
+        start = time.perf_counter()
+        report = self.term.delete(position_id)
+        return self._finish_update(report, start)

@@ -1,0 +1,158 @@
+"""Box enumeration: naive (Section 5) and index-accelerated (Algorithm 3, Section 6).
+
+Both procedures take a *boxed set* ``Γ`` (a list of ∪-gates of one box) and
+yield, for every **interesting box** ``B'`` (a box containing a var- or
+×-gate ∪-reachable from ``Γ``), the pair ``(B', R(B', Γ))`` where
+``R(B', Γ)`` is the ∪-reachability relation, encoded as a
+:class:`~repro.enumeration.relations.Relation` between the slots of ``B'``
+and the positions of ``Γ``.  Every interesting box is produced exactly once.
+
+* :func:`naive_box_enum` walks the tree of boxes downward, maintaining the
+  relation; its delay is proportional to the depth of the circuit (the
+  behaviour Section 5 starts from).
+* :func:`indexed_box_enum` is Algorithm 3: it uses the per-box index
+  (first interesting box, first bidirectional box, stored relations) to jump
+  directly between interesting boxes, so the work between two outputs only
+  depends on the circuit width — this is what makes the final delay
+  independent of the input tree (Lemma 6.4, Theorem 6.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import Box, ProdGate, UnionGate, VarGate, child_wire_pairs
+from repro.enumeration.index import BoxIndex, fbb_of_slots, fib_of_slots
+from repro.enumeration.relations import Relation
+from repro.errors import CircuitStructureError, IndexError_
+
+__all__ = ["naive_box_enum", "indexed_box_enum", "gamma_relation"]
+
+
+def gamma_relation(gamma: Sequence[UnionGate], backend: Optional[str] = None) -> Relation:
+    """The initial relation ``{(g, g) | g ∈ Γ}`` between box slots and Γ positions."""
+    if not gamma:
+        raise ValueError("the boxed set Γ must be non-empty")
+    box = gamma[0].box
+    for gate in gamma:
+        if gate.box is not box:
+            raise CircuitStructureError("a boxed set must contain gates of a single box")
+    return Relation(
+        len(box.union_gates),
+        len(gamma),
+        ((gate.slot, position) for position, gate in enumerate(gamma)),
+        backend=backend,
+    )
+
+
+def _is_interesting(box: Box, relation: Relation) -> bool:
+    """True iff some ∪-gate of ``box`` related by ``relation`` has a var/×-gate input."""
+    for slot in relation.lower_slots():
+        for inp in box.union_gates[slot].inputs:
+            if isinstance(inp, (VarGate, ProdGate)):
+                return True
+    return False
+
+
+def _wire_relation(box: Box, side: str, n_upper: int, backend: Optional[str]) -> Relation:
+    """The single-level relation between a child box of ``box`` and ``box``."""
+    child = box.left_child if side == "left" else box.right_child
+    return Relation(len(child.union_gates), n_upper, child_wire_pairs(box, side), backend=backend)
+
+
+# --------------------------------------------------------------------------- naive version
+def naive_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation]]:
+    """Enumerate interesting boxes by walking the circuit downward (Section 5).
+
+    Correct but with delay ``O(depth(C) · poly(w))``; used as the reference
+    implementation that Algorithm 3 is tested against.
+    """
+    gamma = list(gamma)
+    box = gamma[0].box
+    relation = gamma_relation(gamma)
+    stack: List[Tuple[Box, Relation]] = [(box, relation)]
+    while stack:
+        current, rel = stack.pop()
+        if _is_interesting(current, rel):
+            yield (current, rel)
+        if current.is_leaf_box():
+            continue
+        for side in ("right", "left"):  # pushed right first so left is handled first
+            wire = _wire_relation(current, side, len(current.union_gates), rel.backend)
+            child_rel = wire.compose(rel)
+            if child_rel:
+                child = current.left_child if side == "left" else current.right_child
+                stack.append((child, child_rel))
+
+
+# --------------------------------------------------------------------------- Algorithm 3
+def indexed_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation]]:
+    """Algorithm 3: enumerate interesting boxes using the index.
+
+    The boxes of the circuit must carry their :class:`BoxIndex` (built by
+    :func:`repro.enumeration.index.build_index`).  The enumeration order is
+    the one sketched in Figure 1 of the paper: first the subtree of the first
+    interesting box, then the right subtrees of the bidirectional boxes on
+    the path from the current box down to it.
+    """
+    gamma = list(gamma)
+    relation = gamma_relation(gamma)
+    yield from _b_enum(gamma[0].box, relation)
+
+
+def _b_enum(box: Box, relation: Relation) -> Iterator[Tuple[Box, Relation]]:
+    index: BoxIndex = box.index
+    if index is None:
+        raise IndexError_("indexed_box_enum requires the index to be built (build_index)")
+    n_gamma = relation.n_upper
+    backend = relation.backend
+    slots = relation.lower_slots()
+    if not slots:
+        return
+
+    # ---- first interesting box (lines 4-6)
+    first_interesting = fib_of_slots(index, slots)
+    rel_first = index.relation_to(first_interesting).compose(relation)
+    yield (first_interesting, rel_first)
+
+    # ---- everything below the first interesting box (lines 7-10)
+    if not first_interesting.is_leaf_box():
+        for side in ("left", "right"):
+            wire = _wire_relation(first_interesting, side, len(first_interesting.union_gates), backend)
+            child_rel = wire.compose(rel_first)
+            if child_rel:
+                child = (
+                    first_interesting.left_child if side == "left" else first_interesting.right_child
+                )
+                yield from _b_enum(child, child_rel)
+
+    # ---- walk the bidirectional boxes on the path to the first interesting box
+    current_box = box
+    current_rel = relation
+    while True:
+        current_index: BoxIndex = current_box.index
+        current_slots = current_rel.lower_slots()
+        if not current_slots:
+            break
+        bidirectional = fbb_of_slots(current_index, current_slots)
+        if bidirectional is None:
+            break
+        # The first interesting box of the current subtree is still the global
+        # first interesting box as long as we are on the path above it.
+        local_first = fib_of_slots(current_index, current_slots)
+        if bidirectional is local_first:
+            break
+        if not current_index.is_ancestor(bidirectional, local_first):
+            break
+        rel_bidirectional = current_index.relation_to(bidirectional).compose(current_rel)
+        # Right subtree of the bidirectional box: enumerate it (line 15).
+        wire_right = _wire_relation(bidirectional, "right", len(bidirectional.union_gates), backend)
+        rel_right = wire_right.compose(rel_bidirectional)
+        if rel_right:
+            yield from _b_enum(bidirectional.right_child, rel_right)
+        # Descend into the left child and look for the next bidirectional box.
+        wire_left = _wire_relation(bidirectional, "left", len(bidirectional.union_gates), backend)
+        current_rel = wire_left.compose(rel_bidirectional)
+        current_box = bidirectional.left_child
+        if not current_rel:
+            break

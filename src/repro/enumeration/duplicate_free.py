@@ -1,0 +1,128 @@
+"""Algorithm 2: duplicate-free enumeration of a boxed set (Section 5).
+
+``enumerate_boxed_set(Γ)`` enumerates the assignments of ``S(Γ)`` — the union
+of the sets captured by the ∪-gates of the boxed set ``Γ`` — without
+duplicates, and returns with every assignment its *provenance*
+``Prov(S, Γ) = {g ∈ Γ | S ∈ S(g)}`` (the provenance is what the recursive
+calls need to stay duplicate-free across the two sides of ×-gates).
+
+The duplicate-freeness argument (Theorem 5.3) rests on Lemma 5.1: in a
+complete structured DNNF, the box of a var-/×-gate capturing an assignment
+``S`` is *determined* by ``S`` (it is the lca of the leaf boxes of the
+variables of ``S``), so enumerating box-wise — one interesting box at a time,
+via ``box-enum`` — partitions the assignments, and inside one box the v-tree
+splits each assignment uniquely into a left and a right part.
+
+The ``box_enum`` argument selects the box-enumeration procedure: the naive
+walk of Section 5 or the index-accelerated Algorithm 3; the delay of the
+overall enumeration is ``O(|S| · (Δ + w³))`` where ``Δ`` is the delay of the
+chosen box enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.assignments import Assignment
+from repro.circuits.gates import Box, ProdGate, UnionGate, VarGate
+from repro.enumeration.box_enum import indexed_box_enum
+from repro.enumeration.relations import Relation
+
+__all__ = ["enumerate_boxed_set"]
+
+BoxEnumFn = Callable[[Sequence[UnionGate]], Iterator[Tuple[Box, Relation]]]
+
+
+def enumerate_boxed_set(
+    gamma: Sequence[UnionGate],
+    box_enum: BoxEnumFn = indexed_box_enum,
+) -> Iterator[Tuple[Assignment, FrozenSet[UnionGate]]]:
+    """Enumerate ``S(Γ)`` without duplicates, with provenance (Algorithm 2).
+
+    Parameters
+    ----------
+    gamma:
+        The boxed set ``Γ``: a non-empty sequence of ∪-gates of one box.
+    box_enum:
+        The box-enumeration procedure (:func:`indexed_box_enum` by default,
+        :func:`~repro.enumeration.box_enum.naive_box_enum` for the
+        depth-dependent variant of Section 5).
+
+    Yields
+    ------
+    (assignment, provenance):
+        Each assignment of ``S(Γ)`` exactly once, together with the subset of
+        ``Γ`` capturing it.
+    """
+    gamma = list(gamma)
+    if not gamma:
+        return
+
+    for interesting_box, relation in box_enum(gamma):
+        yield from _enumerate_in_box(gamma, interesting_box, relation, box_enum)
+
+
+def _enumerate_in_box(
+    gamma: List[UnionGate],
+    box: Box,
+    relation: Relation,
+    box_enum: BoxEnumFn,
+) -> Iterator[Tuple[Assignment, FrozenSet[UnionGate]]]:
+    """Handle one interesting box ``B'`` with its relation ``R(B', Γ)``.
+
+    This is the body of the outer loop of Algorithm 2 (lines 4-16).
+    """
+    uppers_by_lower = relation.uppers_by_lower()
+
+    # W ∘ R(B', Γ): for every var-/×-gate input h of a related ∪-gate, the set
+    # of Γ positions it can reach.
+    provenance_of: Dict[int, Set[int]] = {}
+    gate_by_id: Dict[int, object] = {}
+    for slot, positions in uppers_by_lower.items():
+        union_gate = box.union_gates[slot]
+        for inp in union_gate.inputs:
+            if isinstance(inp, (VarGate, ProdGate)):
+                gate_by_id[id(inp)] = inp
+                provenance_of.setdefault(id(inp), set()).update(positions)
+
+    def provenance_gates(positions: Set[int]) -> FrozenSet[UnionGate]:
+        return frozenset(gamma[pos] for pos in positions)
+
+    # ---- assignments using a single var-gate (line 7)
+    prod_gates: List[ProdGate] = []
+    for gate_id, positions in provenance_of.items():
+        gate = gate_by_id[gate_id]
+        if isinstance(gate, VarGate):
+            yield (gate.assignment, provenance_gates(positions))
+        else:
+            prod_gates.append(gate)
+
+    if not prod_gates:
+        return
+
+    # ---- assignments combining a left and a right part through ×-gates (lines 8-16)
+    gamma_left: List[UnionGate] = []
+    seen_left = set()
+    for gate in prod_gates:
+        if id(gate.left) not in seen_left:
+            seen_left.add(id(gate.left))
+            gamma_left.append(gate.left)
+
+    for left_assignment, left_provenance in enumerate_boxed_set(gamma_left, box_enum):
+        left_ids = {id(g) for g in left_provenance}
+        matching = [gate for gate in prod_gates if id(gate.left) in left_ids]
+        if not matching:
+            continue
+        gamma_right: List[UnionGate] = []
+        seen_right = set()
+        for gate in matching:
+            if id(gate.right) not in seen_right:
+                seen_right.add(id(gate.right))
+                gamma_right.append(gate.right)
+        for right_assignment, right_provenance in enumerate_boxed_set(gamma_right, box_enum):
+            right_ids = {id(g) for g in right_provenance}
+            final_gates = [gate for gate in matching if id(gate.right) in right_ids]
+            positions: Set[int] = set()
+            for gate in final_gates:
+                positions |= provenance_of[id(gate)]
+            yield (left_assignment | right_assignment, provenance_gates(positions))

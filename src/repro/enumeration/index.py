@@ -1,0 +1,316 @@
+"""The enumeration index (Definition 6.1, Lemma 6.3).
+
+For every box ``B`` of the circuit the index stores:
+
+* for every ∪-gate ``g`` of ``B``, its **first interesting box** ``fib(g)``:
+  the first box (in the preorder of ``B``'s subtree) containing a var- or
+  ×-gate ∪-reachable from ``g``;
+* for every boxed set ``Γ ⊆ B`` with ``1 ≤ |Γ| ≤ 2``, its **first
+  bidirectional box** ``fbb(Γ)``: the first box whose two subtrees both
+  contain gates ∪-reachable from ``Γ``;
+* the ∪-reachability relation ``R(X, B)`` for every *target box* ``X``
+  (every fib/fbb value, the children of ``B``, and the closure of these under
+  least common ancestors), together with the preorder ranks and pairwise lca
+  of the target boxes.
+
+Everything is computed bottom-up, per box, from the children's index entries
+(equations (3)–(5) of the appendix), which is exactly what makes the index
+incrementally maintainable: when an update rebuilds the boxes on a trunk
+(Lemma 7.3), recomputing the index entries of those boxes reuses the
+untouched entries of the reused subtrees.
+
+Preorder ranks are stored as *path tuples* relative to the box owning the
+index ((0,) for the box itself, (1, …) for targets in the left subtree,
+(2, …) for targets in the right subtree); comparing tuples lexicographically
+compares preorder positions without any global numbering — global numberings
+would be invalidated by updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.circuits.gates import AssignmentCircuit, Box, ProdGate, UnionGate, VarGate, child_wire_pairs
+from repro.enumeration.relations import Relation
+from repro.errors import CircuitStructureError, IndexError_
+
+__all__ = [
+    "TargetInfo",
+    "BoxIndex",
+    "build_box_index",
+    "build_index",
+    "fib_of_slots",
+    "fbb_of_slots",
+]
+
+SIDE_SELF = "self"
+SIDE_LEFT = "left"
+SIDE_RIGHT = "right"
+
+
+class TargetInfo:
+    """Index entry for one target box ``X`` of a box ``B``.
+
+    Holds the ∪-reachability relation ``R(X, B)``, which side of ``B`` the
+    target lies on, and its preorder rank (a path tuple, see module docs).
+    """
+
+    __slots__ = ("box", "relation", "side", "rank")
+
+    def __init__(self, box: Box, relation: Relation, side: str, rank: Tuple[int, ...]):
+        self.box = box
+        self.relation = relation
+        self.side = side
+        self.rank = rank
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TargetInfo(side={self.side}, rank={self.rank}, rel={len(self.relation.pairs())})"
+
+
+class BoxIndex:
+    """The per-box part of the index structure ``I(C)`` of Definition 6.1."""
+
+    __slots__ = ("box", "fib", "fib_side", "fbb_pair", "targets", "lca")
+
+    def __init__(self, box: Box):
+        self.box = box
+        #: per ∪-gate slot: the first interesting box
+        self.fib: List[Box] = []
+        self.fib_side: List[str] = []
+        #: per pair of slots (i ≤ j): the first bidirectional box (or None)
+        self.fbb_pair: Dict[Tuple[int, int], Optional[Box]] = {}
+        #: target box -> TargetInfo (relation, side, rank)
+        self.targets: Dict[Box, TargetInfo] = {}
+        #: (target, target) -> least common ancestor (also a target)
+        self.lca: Dict[Tuple[Box, Box], Box] = {}
+
+    # ------------------------------------------------------------------ api
+    def rank_of(self, box: Box) -> Tuple[int, ...]:
+        """Return the preorder rank of a target box."""
+        try:
+            return self.targets[box].rank
+        except KeyError:
+            raise IndexError_("box is not a target of this index entry") from None
+
+    def relation_to(self, box: Box) -> Relation:
+        """Return the stored relation ``R(box, B)``."""
+        try:
+            return self.targets[box].relation
+        except KeyError:
+            raise IndexError_("no stored reachability relation for this target box") from None
+
+    def lca_of(self, first: Box, second: Box) -> Box:
+        """Return the least common ancestor of two target boxes."""
+        try:
+            return self.lca[(first, second)]
+        except KeyError:
+            raise IndexError_("lca of a non-target pair requested") from None
+
+    def is_ancestor(self, ancestor: Box, descendant: Box) -> bool:
+        """Return True if ``ancestor`` is an ancestor of (or equal to) ``descendant``."""
+        return self.lca_of(ancestor, descendant) is ancestor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BoxIndex(targets={len(self.targets)}, width={len(self.fib)})"
+
+
+# --------------------------------------------------------------------------- set-level helpers
+def fib_of_slots(index: BoxIndex, slots: Iterable[int]) -> Box:
+    """``fib(Γ)`` for a boxed set given by its slots (equation (1))."""
+    best: Optional[Box] = None
+    best_rank: Optional[Tuple[int, ...]] = None
+    for slot in slots:
+        candidate = index.fib[slot]
+        rank = index.rank_of(candidate)
+        if best_rank is None or rank < best_rank:
+            best, best_rank = candidate, rank
+    if best is None:
+        raise IndexError_("fib of an empty boxed set requested")
+    return best
+
+
+def fbb_of_slots(index: BoxIndex, slots: Iterable[int]) -> Optional[Box]:
+    """``fbb(Γ)`` for a boxed set given by its slots.
+
+    Following Definition 6.1 and Observation 6.2, the first bidirectional box
+    of a larger set is the preorder-minimum of the stored values for the
+    pairs (and singletons) included in the set.
+    """
+    slot_list = sorted(set(slots))
+    best: Optional[Box] = None
+    best_rank: Optional[Tuple[int, ...]] = None
+    for i, a in enumerate(slot_list):
+        for b in slot_list[i:]:
+            candidate = index.fbb_pair.get((a, b))
+            if candidate is None:
+                continue
+            rank = index.rank_of(candidate)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = candidate, rank
+    return best
+
+
+# --------------------------------------------------------------------------- construction
+def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxIndex:
+    """Build the index entry of a single box from its children's entries.
+
+    For internal boxes, both children must already carry a ``BoxIndex`` (the
+    construction is bottom-up).  The freshly built index is also stored on
+    ``box.index`` for convenience.
+    """
+    index = BoxIndex(box)
+    n = len(box.union_gates)
+    left_box = box.left_child
+    right_box = box.right_child
+    left_index: Optional[BoxIndex] = None
+    right_index: Optional[BoxIndex] = None
+    if not box.is_leaf_box():
+        left_index = left_box.index
+        right_index = right_box.index
+        if left_index is None or right_index is None:
+            raise IndexError_("children must be indexed before their parent (bottom-up order)")
+
+    # ----------------------------------------------------- input classification
+    local_input: List[bool] = []
+    left_inputs: List[FrozenSet[int]] = []
+    right_inputs: List[FrozenSet[int]] = []
+    for gate in box.union_gates:
+        has_local = False
+        lefts: set = set()
+        rights: set = set()
+        for inp in gate.inputs:
+            if isinstance(inp, (VarGate, ProdGate)):
+                has_local = True
+            elif isinstance(inp, UnionGate):
+                if inp.box is left_box:
+                    lefts.add(inp.slot)
+                elif inp.box is right_box:
+                    rights.add(inp.slot)
+                else:
+                    raise CircuitStructureError("∪-gate input from a non-child box")
+            else:
+                raise CircuitStructureError(f"unexpected input gate {inp!r}")
+        local_input.append(has_local)
+        left_inputs.append(frozenset(lefts))
+        right_inputs.append(frozenset(rights))
+
+    # -------------------------------------------------------------- base targets
+    index.targets[box] = TargetInfo(box, Relation.identity(n, backend=relation_backend), SIDE_SELF, (0,))
+    child_relation: Dict[str, Relation] = {}
+    if not box.is_leaf_box():
+        for side, child in ((SIDE_LEFT, left_box), (SIDE_RIGHT, right_box)):
+            rel = Relation(
+                len(child.union_gates), n, child_wire_pairs(box, side), backend=relation_backend
+            )
+            child_relation[side] = rel
+            prefix = 1 if side == SIDE_LEFT else 2
+            child_index = left_index if side == SIDE_LEFT else right_index
+            rank = (prefix,) + child_index.targets[child].rank
+            index.targets[child] = TargetInfo(child, rel, side, rank)
+
+    def ensure_target(target: Box, side: str) -> None:
+        if target in index.targets:
+            return
+        if side == SIDE_SELF:
+            raise IndexError_("the box itself must already be a target")
+        child = left_box if side == SIDE_LEFT else right_box
+        child_index = left_index if side == SIDE_LEFT else right_index
+        info = child_index.targets.get(target)
+        if info is None:
+            raise IndexError_("target box is not indexed in the child entry")
+        relation = info.relation.compose(child_relation[side])
+        prefix = 1 if side == SIDE_LEFT else 2
+        index.targets[target] = TargetInfo(target, relation, side, (prefix,) + info.rank)
+
+    # ------------------------------------------------------------------- fib
+    for slot in range(n):
+        if local_input[slot]:
+            index.fib.append(box)
+            index.fib_side.append(SIDE_SELF)
+            continue
+        if left_inputs[slot]:
+            side = SIDE_LEFT
+            child_index = left_index
+            child_slots = left_inputs[slot]
+        elif right_inputs[slot]:
+            side = SIDE_RIGHT
+            child_index = right_index
+            child_slots = right_inputs[slot]
+        else:
+            raise CircuitStructureError("∪-gate with no inputs during index construction")
+        best = fib_of_slots(child_index, child_slots)
+        index.fib.append(best)
+        index.fib_side.append(side)
+        ensure_target(best, side)
+
+    # ------------------------------------------------------------------- fbb
+    for i in range(n):
+        for j in range(i, n):
+            lefts = left_inputs[i] | left_inputs[j]
+            rights = right_inputs[i] | right_inputs[j]
+            if lefts and rights:
+                value: Optional[Box] = box
+                side = SIDE_SELF
+            elif lefts:
+                value = fbb_of_slots(left_index, lefts)
+                side = SIDE_LEFT
+            elif rights:
+                value = fbb_of_slots(right_index, rights)
+                side = SIDE_RIGHT
+            else:
+                value = None
+                side = SIDE_SELF
+            index.fbb_pair[(i, j)] = value
+            if value is not None and value is not box:
+                ensure_target(value, side)
+
+    # ----------------------------------------------------------- lca closure
+    def compute_lca(first: Box, second: Box) -> Tuple[Box, str]:
+        if first is second:
+            return first, index.targets[first].side
+        info_first = index.targets[first]
+        info_second = index.targets[second]
+        if first is box or second is box or info_first.side != info_second.side:
+            return box, SIDE_SELF
+        side = info_first.side
+        child = left_box if side == SIDE_LEFT else right_box
+        child_index = left_index if side == SIDE_LEFT else right_index
+        if first is child or second is child:
+            return child, side
+        return child_index.lca_of(first, second), side
+
+    changed = True
+    while changed:
+        changed = False
+        current = list(index.targets.keys())
+        for first in current:
+            for second in current:
+                key = (first, second)
+                if key in index.lca:
+                    continue
+                ancestor, side = compute_lca(first, second)
+                if ancestor not in index.targets:
+                    ensure_target(ancestor, side)
+                    changed = True
+                index.lca[(first, second)] = ancestor
+                index.lca[(second, first)] = ancestor
+
+    box.index = index
+    return index
+
+
+def build_index(circuit: AssignmentCircuit, relation_backend: Optional[str] = None) -> None:
+    """Build the full index ``I(C)`` bottom-up over all boxes (Lemma 6.3)."""
+    # Post-order traversal of the tree of boxes.
+    order: List[Box] = []
+    stack: List[Tuple[Box, bool]] = [(circuit.root_box, False)]
+    while stack:
+        current, visited = stack.pop()
+        if visited or current.is_leaf_box():
+            order.append(current)
+        else:
+            stack.append((current, True))
+            stack.append((current.right_child, False))
+            stack.append((current.left_child, False))
+    for current in order:
+        build_box_index(current, relation_backend=relation_backend)

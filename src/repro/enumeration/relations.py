@@ -1,0 +1,194 @@
+"""∪-reachability relations between boxes (Sections 5–6).
+
+A relation ``R(B', B)`` relates the ∪-gates of a lower box ``B'`` to the
+∪-gates of an upper box ``B`` (or, during enumeration, to the positions of a
+boxed set ``Γ``): ``(g', g) ∈ R`` iff there is a path of ∪-gates from ``g'``
+to ``g``.  The enumeration algorithms only ever *compose* such relations,
+project them to one side, or test them for emptiness; the index of Section 6
+precomputes the relations needed so that all compositions at enumeration time
+involve relations of size at most width².
+
+Two composition backends are provided:
+
+* ``"pairs"`` — the naive join over explicit pair sets, the ``O(w³)`` bound
+  used in the body of the paper;
+* ``"matrix"`` — Boolean matrix multiplication with numpy, the ``O(w^ω)``
+  refinement discussed after Lemma 6.4 (Theorem 6.5).
+
+The backend is chosen per relation at creation time (and propagated through
+compositions), with a module-level default that the benchmarks switch to
+compare the two (experiment E10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["Relation", "set_default_backend", "get_default_backend"]
+
+_DEFAULT_BACKEND = "pairs"
+_VALID_BACKENDS = ("pairs", "matrix")
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the default composition backend (``"pairs"`` or ``"matrix"``)."""
+    global _DEFAULT_BACKEND
+    if backend not in _VALID_BACKENDS:
+        raise ValueError(f"unknown relation backend {backend!r}; expected one of {_VALID_BACKENDS}")
+    _DEFAULT_BACKEND = backend
+
+
+def get_default_backend() -> str:
+    """Return the current default composition backend."""
+    return _DEFAULT_BACKEND
+
+
+class Relation:
+    """A binary relation between ``n_lower`` lower slots and ``n_upper`` upper slots."""
+
+    __slots__ = ("n_lower", "n_upper", "backend", "_pairs", "_matrix")
+
+    def __init__(
+        self,
+        n_lower: int,
+        n_upper: int,
+        pairs: Iterable[Tuple[int, int]] = (),
+        backend: Optional[str] = None,
+    ):
+        self.n_lower = n_lower
+        self.n_upper = n_upper
+        self.backend = backend if backend is not None else _DEFAULT_BACKEND
+        if self.backend not in _VALID_BACKENDS:
+            raise ValueError(f"unknown relation backend {self.backend!r}")
+        self._pairs: Optional[FrozenSet[Tuple[int, int]]] = None
+        self._matrix: Optional[np.ndarray] = None
+        if self.backend == "matrix":
+            matrix = np.zeros((n_lower, n_upper), dtype=bool)
+            for lower, upper in pairs:
+                matrix[lower, upper] = True
+            self._matrix = matrix
+        else:
+            self._pairs = frozenset(pairs)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def identity(cls, n: int, backend: Optional[str] = None) -> "Relation":
+        """The identity relation on ``n`` slots."""
+        return cls(n, n, ((i, i) for i in range(n)), backend=backend)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, backend: Optional[str] = None) -> "Relation":
+        """Build a relation from a Boolean matrix (lower × upper)."""
+        rel = cls(matrix.shape[0], matrix.shape[1], (), backend=backend)
+        if rel.backend == "matrix":
+            rel._matrix = matrix.astype(bool)
+        else:
+            lowers, uppers = np.nonzero(matrix)
+            rel._pairs = frozenset(zip(lowers.tolist(), uppers.tolist()))
+        return rel
+
+    # ----------------------------------------------------------------- access
+    def pairs(self) -> FrozenSet[Tuple[int, int]]:
+        """Return the relation as a frozenset of (lower, upper) pairs."""
+        if self._pairs is None:
+            lowers, uppers = np.nonzero(self._matrix)
+            self._pairs = frozenset(zip(lowers.tolist(), uppers.tolist()))
+        return self._pairs
+
+    def matrix(self) -> np.ndarray:
+        """Return the relation as a Boolean matrix (lower × upper)."""
+        if self._matrix is None:
+            matrix = np.zeros((self.n_lower, self.n_upper), dtype=bool)
+            for lower, upper in self._pairs:
+                matrix[lower, upper] = True
+            self._matrix = matrix
+        return self._matrix
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the relation contains no pair."""
+        if self._pairs is not None:
+            return not self._pairs
+        return not self._matrix.any()
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __len__(self) -> int:
+        return len(self.pairs())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.n_lower == other.n_lower
+            and self.n_upper == other.n_upper
+            and self.pairs() == other.pairs()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_lower, self.n_upper, self.pairs()))
+
+    def lower_slots(self) -> FrozenSet[int]:
+        """Return ``π₁(R)``: the lower slots related to at least one upper slot."""
+        if self.backend == "matrix" and self._matrix is not None:
+            return frozenset(np.nonzero(self._matrix.any(axis=1))[0].tolist())
+        return frozenset(lower for lower, _upper in self.pairs())
+
+    def upper_slots(self) -> FrozenSet[int]:
+        """Return ``π₂(R)``: the upper slots related to at least one lower slot."""
+        if self.backend == "matrix" and self._matrix is not None:
+            return frozenset(np.nonzero(self._matrix.any(axis=0))[0].tolist())
+        return frozenset(upper for _lower, upper in self.pairs())
+
+    def uppers_of(self, lower: int) -> FrozenSet[int]:
+        """Return the upper slots related to the given lower slot."""
+        if self.backend == "matrix" and self._matrix is not None:
+            return frozenset(np.nonzero(self._matrix[lower])[0].tolist())
+        return frozenset(u for l, u in self.pairs() if l == lower)
+
+    def uppers_by_lower(self) -> Dict[int, FrozenSet[int]]:
+        """Return the relation as a mapping lower slot → set of upper slots."""
+        mapping: Dict[int, Set[int]] = {}
+        for lower, upper in self.pairs():
+            mapping.setdefault(lower, set()).add(upper)
+        return {lower: frozenset(uppers) for lower, uppers in mapping.items()}
+
+    # ------------------------------------------------------------- composition
+    def compose(self, upper_relation: "Relation") -> "Relation":
+        """Compose ``self : lower × mid`` with ``upper_relation : mid × upper``.
+
+        The result relates ``lower`` to ``upper``; this is the operation
+        written ``R(B, B') ∘ R`` in Algorithm 3 and in Lemma 6.3.
+        """
+        if self.n_upper != upper_relation.n_lower:
+            raise ValueError(
+                f"cannot compose relations: mid dimensions differ "
+                f"({self.n_upper} vs {upper_relation.n_lower})"
+            )
+        if self.backend == "matrix" or upper_relation.backend == "matrix":
+            matrix = np.matmul(self.matrix(), upper_relation.matrix())
+            return Relation.from_matrix(matrix, backend="matrix")
+        # Naive join on pair sets: index the upper relation by its lower side.
+        by_mid: Dict[int, List[int]] = {}
+        for mid, upper in upper_relation.pairs():
+            by_mid.setdefault(mid, []).append(upper)
+        out: Set[Tuple[int, int]] = set()
+        for lower, mid in self.pairs():
+            for upper in by_mid.get(mid, ()):
+                out.add((lower, upper))
+        return Relation(self.n_lower, upper_relation.n_upper, out, backend="pairs")
+
+    def restrict_upper(self, uppers: Iterable[int]) -> "Relation":
+        """Keep only the pairs whose upper slot is in ``uppers``."""
+        keep = set(uppers)
+        return Relation(
+            self.n_lower,
+            self.n_upper,
+            (p for p in self.pairs() if p[1] in keep),
+            backend=self.backend,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Relation({self.n_lower}x{self.n_upper}, {len(self.pairs())} pairs, {self.backend})"

@@ -1,0 +1,60 @@
+"""Algorithm 1: simple enumeration with duplicates (Section 4).
+
+Given a ∪-gate ``g`` of a decomposable set circuit, enumerate the assignments
+of ``S(g)``.  The algorithm follows Observation 4.1: walk down ∪-only paths
+(``enum_dupes↓``) to reach var-gates and ×-gates, emit var-gate singletons
+directly, and for ×-gates combine the enumerations of the two inputs.
+
+As the paper points out, this algorithm has two deliberate flaws that the
+following sections repair: the same assignment can be produced many times
+(once per run of the automaton, essentially), and the delay is proportional
+to the depth of the circuit.  It is kept in the library both for exposition
+and because its multiset of outputs is a useful oracle in tests (each
+assignment must appear at least once, and exactly once when the underlying
+automaton is unambiguous).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.assignments import Assignment
+from repro.circuits.gates import ProdGate, UnionGate, VarGate
+from repro.errors import CircuitStructureError
+
+__all__ = ["enumerate_with_duplicates", "iter_down_with_duplicates"]
+
+
+def iter_down_with_duplicates(gate: UnionGate) -> Iterator[object]:
+    """``enum_dupes↓(g)``: yield the var-/×-gates reachable by ∪-only paths.
+
+    Gates are yielded once per witnessing path (hence possibly several
+    times), by a preorder traversal of the ∪-wires below ``gate``.
+    """
+    stack: List[object] = [gate]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, UnionGate):
+            # Push inputs in reverse so they are visited left to right.
+            for inp in reversed(current.inputs):
+                stack.append(inp)
+        elif isinstance(current, (VarGate, ProdGate)):
+            yield current
+        else:
+            raise CircuitStructureError(f"unexpected gate {current!r} below a ∪-gate")
+
+
+def enumerate_with_duplicates(gate: UnionGate) -> Iterator[Assignment]:
+    """Algorithm 1: enumerate ``S(gate)`` (with duplicates).
+
+    The delay between outputs is ``O(depth(C) × |S|)`` as in Proposition 4.2;
+    Python generators provide the paused-thread semantics the paper assumes
+    for the recursive sub-enumerations.
+    """
+    for lower in iter_down_with_duplicates(gate):
+        if isinstance(lower, VarGate):
+            yield lower.assignment
+        else:
+            for left_assignment in enumerate_with_duplicates(lower.left):
+                for right_assignment in enumerate_with_duplicates(lower.right):
+                    yield left_assignment | right_assignment

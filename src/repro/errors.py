@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch everything coming out of the enumeration pipeline with one handler
+while still being able to distinguish the usual failure modes (bad input
+trees, malformed automata, circuit invariant violations, invalid edits, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidTreeError",
+    "InvalidEditError",
+    "InvalidAutomatonError",
+    "NotHomogenizedError",
+    "CircuitStructureError",
+    "IndexError_",
+    "TermStructureError",
+    "RegexSyntaxError",
+    "StaleIteratorError",
+    "UnsupportedUpdateError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the library."""
+
+
+class InvalidTreeError(ReproError):
+    """An input tree violates a structural requirement (e.g. empty tree,
+    node re-used in two places, binary node with a single child)."""
+
+
+class InvalidEditError(ReproError):
+    """An edit operation cannot be applied to the current tree (e.g. deleting
+    an internal node, inserting a right sibling of the root)."""
+
+
+class InvalidAutomatonError(ReproError):
+    """An automaton definition is inconsistent (unknown states in transitions,
+    empty state set, variables not declared, ...)."""
+
+
+class NotHomogenizedError(InvalidAutomatonError):
+    """An operation that requires a homogenized automaton (Lemma 2.1) was
+    given an automaton with a state that is both a 0-state and a 1-state."""
+
+
+class CircuitStructureError(ReproError):
+    """A set circuit violates the structured complete DNNF requirements of
+    Definition 3.4 (or the additional normalization assumed by the index)."""
+
+
+class IndexError_(ReproError):
+    """The enumeration index (Definition 6.1) is inconsistent with the
+    circuit it was built for."""
+
+
+class TermStructureError(ReproError):
+    """A forest algebra term is ill-typed or does not decode to a single
+    tree (Section 7 / Appendix E)."""
+
+
+class RegexSyntaxError(ReproError):
+    """A spanner regular expression could not be parsed."""
+
+
+class StaleIteratorError(ReproError):
+    """An enumeration iterator was advanced after the underlying tree was
+    updated; the paper's model requires restarting enumeration after each
+    update."""
+
+
+class UnsupportedUpdateError(ReproError):
+    """The requested update is outside the edit language of Definition 7.1
+    supported by a given enumerator (e.g. structural updates on the
+    relabeling-only baseline)."""

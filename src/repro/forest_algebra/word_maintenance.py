@@ -1,0 +1,232 @@
+"""Balanced terms for *words* and their maintenance under edits (Theorem 8.5).
+
+A word is the degenerate case of a forest: every position is a single-node
+tree, and its term is a balanced ⊕HH-tree over one ``a_t`` leaf per position
+(Corollary 8.4).  Updates are the usual text edits — insert a character,
+delete a character, replace a character — and each touches ``O(log n)`` term
+nodes, with the same partial-rebuilding strategy as the tree maintainer.
+
+Positions are identified by stable integer ids (not indices), so that query
+answers remain meaningful across updates; :class:`MaintainedWordTerm` tracks
+the id sequence and exposes the current word.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InvalidEditError, TermStructureError
+from repro.forest_algebra.encoder import encode_word
+from repro.forest_algebra.maintenance import UpdateReport
+from repro.forest_algebra.terms import (
+    CONCAT_HH,
+    LEAF_TREE,
+    TermNode,
+    concat,
+    term_leaves,
+    tree_leaf,
+    validate_term,
+)
+
+__all__ = ["MaintainedWordTerm"]
+
+
+class MaintainedWordTerm:
+    """A balanced ⊕HH-term over the positions of a word, maintained under edits."""
+
+    REBALANCE_FACTOR = 3.0
+    REBALANCE_SLACK = 8
+
+    def __init__(self, letters: Sequence[object]):
+        if not letters:
+            raise InvalidEditError("words must be non-empty (insert into a one-letter word instead)")
+        self._next_id = len(letters)
+        self.root: TermNode = encode_word(list(letters), list(range(len(letters))))
+        self.leaf_of: Dict[int, TermNode] = {
+            leaf.tree_node_id: leaf for leaf in term_leaves(self.root)
+        }
+
+    # ------------------------------------------------------------------ views
+    def size(self) -> int:
+        """Number of positions."""
+        return self.root.weight
+
+    def height(self) -> int:
+        return self.root.height
+
+    def position_ids(self) -> List[int]:
+        """The stable ids of the positions, left to right."""
+        return [leaf.tree_node_id for leaf in term_leaves(self.root)]
+
+    def letters(self) -> List[object]:
+        """The current word, left to right."""
+        return [leaf.label for leaf in term_leaves(self.root)]
+
+    def letter_of(self, position_id: int) -> object:
+        return self._leaf(position_id).label
+
+    def height_budget(self, weight: int) -> float:
+        return self.REBALANCE_FACTOR * math.log2(weight + 1) + self.REBALANCE_SLACK
+
+    def validate(self) -> None:
+        validate_term(self.root)
+        for node in self.root.subtree_nodes():
+            if not node.is_leaf() and node.kind != CONCAT_HH:
+                raise TermStructureError("word terms may only contain ⊕HH nodes")
+        if {l.tree_node_id for l in term_leaves(self.root)} != set(self.leaf_of):
+            raise TermStructureError("leaf_of map out of sync")
+
+    def _leaf(self, position_id: int) -> TermNode:
+        try:
+            return self.leaf_of[position_id]
+        except KeyError:
+            raise InvalidEditError(f"unknown position id {position_id}") from None
+
+    # ------------------------------------------------------------------- edits
+    def replace(self, position_id: int, letter: object) -> UpdateReport:
+        """Replace the letter at a position (a relabeling update)."""
+        leaf = self._leaf(position_id)
+        leaf.label = letter
+        return self._finalize([leaf], leaf.parent)
+
+    def insert_after(self, position_id: Optional[int], letter: object) -> UpdateReport:
+        """Insert a new character after the given position (or at the front if ``None``).
+
+        The id of the new position is available as ``report.new_position_id``
+        (stored on the report object).
+        """
+        new_id = self._next_id
+        self._next_id += 1
+        new_leaf = tree_leaf(letter, new_id)
+
+        if position_id is None:
+            # Insert at the very front: wrap the whole term.
+            old_root = self.root
+            wrapper = concat(new_leaf, old_root)
+            self.root = wrapper
+            wrapper.parent = None
+            attach_parent: Optional[TermNode] = None
+        else:
+            # Climb while the anchor is the last position of the current
+            # subterm; the seam immediately after it is where we splice.
+            anchor = self._leaf(position_id)
+            current = anchor
+            while current.parent is not None and current.parent.right is current:
+                current = current.parent
+            attach_parent = current.parent
+            was_left = attach_parent is not None and attach_parent.left is current
+            wrapper = concat(current, new_leaf)
+            if attach_parent is None:
+                self.root = wrapper
+                wrapper.parent = None
+            else:
+                if was_left:
+                    attach_parent.left = wrapper
+                else:
+                    attach_parent.right = wrapper
+                wrapper.parent = attach_parent
+
+        self.leaf_of[new_id] = new_leaf
+        report = self._finalize([new_leaf, wrapper], attach_parent)
+        report.new_position_id = new_id  # type: ignore[attr-defined]
+        return report
+
+    def delete(self, position_id: int) -> UpdateReport:
+        """Delete a position (the word must keep at least one letter)."""
+        if self.size() <= 1:
+            raise InvalidEditError("cannot delete the last letter of the word")
+        leaf = self._leaf(position_id)
+        parent = leaf.parent
+        sibling = parent.left if parent.right is leaf else parent.right
+        grandparent = parent.parent
+        if grandparent is None:
+            self.root = sibling
+            sibling.parent = None
+        else:
+            if grandparent.left is parent:
+                grandparent.left = sibling
+            else:
+                grandparent.right = sibling
+            sibling.parent = grandparent
+        del self.leaf_of[position_id]
+        return self._finalize([], grandparent, removed=[position_id])
+
+    # --------------------------------------------------------------- internals
+    def _finalize(
+        self,
+        modified: Sequence[TermNode],
+        refresh_from: Optional[TermNode],
+        removed: Sequence[int] = (),
+    ) -> UpdateReport:
+        node = refresh_from
+        while node is not None:
+            node.refresh()
+            node = node.parent
+
+        rebuilt_size = 0
+        new_subterm: Optional[TermNode] = None
+        scapegoat = None
+        node = refresh_from if refresh_from is not None else self.root
+        while node is not None:
+            if node.height > self.height_budget(node.weight):
+                scapegoat = node
+            node = node.parent
+        if scapegoat is not None:
+            leaves = term_leaves(scapegoat)
+            new_subterm = encode_word([l.label for l in leaves], [l.tree_node_id for l in leaves])
+            parent = scapegoat.parent
+            if parent is None:
+                self.root = new_subterm
+                new_subterm.parent = None
+            else:
+                if parent.left is scapegoat:
+                    parent.left = new_subterm
+                else:
+                    parent.right = new_subterm
+                new_subterm.parent = parent
+            for leaf in term_leaves(new_subterm):
+                self.leaf_of[leaf.tree_node_id] = leaf
+            node = parent
+            while node is not None:
+                node.refresh()
+                node = node.parent
+            rebuilt_size = new_subterm.weight
+
+        dirty: set = set()
+        dirty_nodes: List[TermNode] = []
+
+        def mark(node: Optional[TermNode], with_ancestors: bool = True) -> None:
+            while node is not None:
+                if id(node) in dirty:
+                    return
+                dirty.add(id(node))
+                if not with_ancestors:
+                    return
+                node = node.parent
+
+        for item in modified:
+            if item.root() is self.root:
+                mark(item)
+        if new_subterm is not None:
+            for item in new_subterm.subtree_nodes():
+                mark(item, with_ancestors=False)
+            mark(new_subterm.parent)
+        if refresh_from is not None and refresh_from.root() is self.root:
+            mark(refresh_from)
+
+        order: List[TermNode] = []
+        stack = [(self.root, False)]
+        while stack:
+            current, visited = stack.pop()
+            if id(current) not in dirty:
+                continue
+            if visited or current.is_leaf():
+                order.append(current)
+                continue
+            stack.append((current, True))
+            stack.append((current.right, False))
+            stack.append((current.left, False))
+        return UpdateReport(
+            dirty_bottom_up=order, removed_leaves=list(removed), rebuilt_subterm_size=rebuilt_size
+        )

@@ -1,0 +1,6 @@
+"""Incremental maintenance of the assignment circuit and its index under
+term updates (Lemma 7.3)."""
+
+from repro.incremental.maintainer import IncrementalCircuitMaintainer, build_circuit_over_term
+
+__all__ = ["IncrementalCircuitMaintainer", "build_circuit_over_term"]

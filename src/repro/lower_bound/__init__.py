@@ -1,0 +1,13 @@
+"""The marked-ancestor lower bound (Section 9)."""
+
+from repro.lower_bound.marked_ancestor import (
+    EnumerationMarkedAncestor,
+    MarkedAncestorInstance,
+    NaiveMarkedAncestor,
+)
+
+__all__ = [
+    "MarkedAncestorInstance",
+    "EnumerationMarkedAncestor",
+    "NaiveMarkedAncestor",
+]

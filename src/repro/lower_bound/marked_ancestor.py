@@ -1,0 +1,138 @@
+"""The existential marked-ancestor problem and the reduction of Theorem 9.2.
+
+The *marked ancestor problem* [1] maintains a tree in which nodes can be
+marked and unmarked, and answers queries "does node v have a marked
+ancestor?".  Alstrup, Husfeldt and Rauhe proved the unconditional cell-probe
+trade-off ``t_q = Ω(log n / log(t_u log n))``; Theorem 9.2 transfers this to
+MSO enumeration under relabelings: an enumeration algorithm with update time
+``t̂_u`` and delay ``t̂_e`` solves marked-ancestor queries in ``2·t̂_u + t̂_e``,
+so ``max(t̂_u, t̂_e) = Ω(log n / log log n)`` — in particular constant update
+time is impossible even with slightly super-constant delay.
+
+This module makes the reduction executable:
+
+* :class:`MarkedAncestorInstance` — the dynamic problem itself (a labelled
+  tree whose nodes are ``marked`` / ``unmarked`` / ``special``);
+* :class:`EnumerationMarkedAncestor` — solves it through a
+  :class:`~repro.core.enumerator.TreeEnumerator` for the MSO query "select
+  the special nodes that have a marked ancestor", exactly as in the proof of
+  Theorem 9.2: a query on ``v`` relabels ``v`` to ``special``, enumerates (at
+  most one answer), and relabels it back — i.e. two updates plus one delay;
+* :class:`NaiveMarkedAncestor` — an obvious correct baseline (walk to the
+  root) used to validate answers and to contrast costs.
+
+Benchmark E7 measures the per-query cost of the reduction as the tree grows,
+illustrating the update/delay trade-off the lower bound is about.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.automata.queries import select_special_with_marked_ancestor
+from repro.core.enumerator import TreeEnumerator
+from repro.trees.unranked import UnrankedTree
+
+__all__ = ["MarkedAncestorInstance", "NaiveMarkedAncestor", "EnumerationMarkedAncestor"]
+
+UNMARKED = "unmarked"
+MARKED = "marked"
+SPECIAL = "special"
+LABELS = (UNMARKED, MARKED, SPECIAL)
+
+
+class MarkedAncestorInstance:
+    """A random instance of the dynamic marked-ancestor problem."""
+
+    def __init__(self, size: int, seed: int = 0, shape: str = "random"):
+        from repro.trees.generators import path_tree, random_tree
+
+        if shape == "path":
+            self.tree = path_tree(size, (UNMARKED,), seed=seed)
+        else:
+            self.tree = random_tree(size, (UNMARKED,), seed=seed)
+        self.rng = random.Random(seed + 1)
+
+    def random_node(self) -> int:
+        return self.rng.choice(self.tree.node_ids())
+
+    def random_operations(self, count: int) -> List[tuple]:
+        """A random workload of ``("mark", v)``, ``("unmark", v)``, ``("query", v)``."""
+        operations = []
+        for _ in range(count):
+            kind = self.rng.choice(["mark", "unmark", "query", "query"])
+            operations.append((kind, self.random_node()))
+        return operations
+
+
+class NaiveMarkedAncestor:
+    """Baseline: store marks in a set, answer queries by walking to the root."""
+
+    def __init__(self, tree: UnrankedTree):
+        self.tree = tree
+        self.marked: set = set()
+
+    def mark(self, node_id: int) -> None:
+        self.marked.add(node_id)
+
+    def unmark(self, node_id: int) -> None:
+        self.marked.discard(node_id)
+
+    def query(self, node_id: int) -> bool:
+        node = self.tree.node(node_id)
+        for ancestor in node.ancestors():
+            if ancestor.node_id in self.marked:
+                return True
+        return False
+
+
+class EnumerationMarkedAncestor:
+    """Solve marked ancestor through MSO enumeration under relabelings (Thm 9.2)."""
+
+    def __init__(self, tree: UnrankedTree, relation_backend: Optional[str] = None):
+        query = select_special_with_marked_ancestor(MARKED, SPECIAL, LABELS)
+        self.enumerator = TreeEnumerator(tree, query, relation_backend=relation_backend)
+        #: bookkeeping of the current label of every node (mirrors the tree)
+        self._label: Dict[int, str] = {n.node_id: n.label for n in self.enumerator.tree.nodes()}
+
+    # -------------------------------------------------------------- operations
+    def mark(self, node_id: int) -> None:
+        """Mark a node (one relabeling update)."""
+        if self._label[node_id] != MARKED:
+            self.enumerator.relabel(node_id, MARKED)
+            self._label[node_id] = MARKED
+
+    def unmark(self, node_id: int) -> None:
+        """Unmark a node (one relabeling update)."""
+        if self._label[node_id] == MARKED:
+            self.enumerator.relabel(node_id, UNMARKED)
+            self._label[node_id] = UNMARKED
+
+    def query(self, node_id: int) -> bool:
+        """Existential marked-ancestor query via the reduction of Theorem 9.2.
+
+        Relabel ``node_id`` to ``special``, enumerate the answers of
+        Φ(x) = "x is special and has a marked ancestor" (there is at most one
+        because only one node is special), relabel back, and report whether
+        an answer was produced: two updates plus one enumeration delay.
+        """
+        previous = self._label[node_id]
+        self.enumerator.relabel(node_id, SPECIAL)
+        has_answer = self.enumerator.count(limit=1) > 0
+        self.enumerator.relabel(node_id, previous)
+        return has_answer
+
+    def run(self, operations: Sequence[tuple]) -> List[bool]:
+        """Run a workload; return the answers to the queries in order."""
+        answers: List[bool] = []
+        for kind, node_id in operations:
+            if kind == "mark":
+                self.mark(node_id)
+            elif kind == "unmark":
+                self.unmark(node_id)
+            elif kind == "query":
+                answers.append(self.query(node_id))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown operation {kind!r}")
+        return answers

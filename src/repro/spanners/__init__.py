@@ -1,0 +1,13 @@
+"""Document spanners: regexes with capture variables compiled to WVAs (Section 8)."""
+
+from repro.spanners.regex import RegexNode, parse_regex
+from repro.spanners.compile import compile_regex, regex_to_wva
+from repro.spanners.spanner import Spanner
+
+__all__ = [
+    "RegexNode",
+    "parse_regex",
+    "compile_regex",
+    "regex_to_wva",
+    "Spanner",
+]

@@ -1,0 +1,26 @@
+"""Tree data structures: unranked ordered labelled trees, binary trees,
+edit operations, random generators and (de)serialization."""
+
+from repro.trees.unranked import UnrankedNode, UnrankedTree
+from repro.trees.binary import BinaryNode, BinaryTree
+from repro.trees.edits import (
+    Delete,
+    EditOperation,
+    Insert,
+    InsertRight,
+    Relabel,
+    random_edit,
+)
+
+__all__ = [
+    "UnrankedNode",
+    "UnrankedTree",
+    "BinaryNode",
+    "BinaryTree",
+    "EditOperation",
+    "Relabel",
+    "Insert",
+    "InsertRight",
+    "Delete",
+    "random_edit",
+]

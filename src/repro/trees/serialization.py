@@ -1,0 +1,166 @@
+"""(De)serialization of unranked trees.
+
+Three formats are supported:
+
+* **S-expressions** — compact textual form, convenient in tests and examples:
+  ``(a (b) (c (d)))``.
+* **JSON-style dictionaries** — ``{"label": ..., "children": [...]}``;
+  round-trips node ids, used to snapshot trees in benchmark reports.
+* **XML-ish markup** — ``<a><b/><c><d/></c></a>``; labels must be XML-name
+  safe.  Used by the document examples.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import InvalidTreeError
+from repro.trees.unranked import UnrankedNode, UnrankedTree
+
+__all__ = [
+    "to_sexpr",
+    "from_sexpr",
+    "to_dict",
+    "from_dict",
+    "to_xml",
+    "from_xml",
+]
+
+
+# --------------------------------------------------------------------------- s-expressions
+def to_sexpr(tree: UnrankedTree) -> str:
+    """Render ``tree`` as an s-expression string."""
+
+    def rec(node: UnrankedNode) -> str:
+        if node.is_leaf():
+            return f"({node.label})"
+        return "(" + str(node.label) + " " + " ".join(rec(c) for c in node.children) + ")"
+
+    return rec(tree.root)
+
+
+_TOKEN_RE = re.compile(r"\(|\)|[^\s()]+")
+
+
+def from_sexpr(text: str) -> UnrankedTree:
+    """Parse an s-expression into an :class:`UnrankedTree`.
+
+    >>> t = from_sexpr("(a (b) (c (d)))")
+    >>> t.size()
+    4
+    """
+    tokens = _TOKEN_RE.findall(text)
+    if not tokens:
+        raise InvalidTreeError("empty s-expression")
+    pos = [0]
+
+    def parse() -> Tuple[object, list]:
+        if tokens[pos[0]] != "(":
+            raise InvalidTreeError(f"expected '(' at token {pos[0]}")
+        pos[0] += 1
+        if pos[0] >= len(tokens) or tokens[pos[0]] in "()":
+            raise InvalidTreeError("expected a label after '('")
+        label = tokens[pos[0]]
+        pos[0] += 1
+        children = []
+        while pos[0] < len(tokens) and tokens[pos[0]] == "(":
+            children.append(parse())
+        if pos[0] >= len(tokens) or tokens[pos[0]] != ")":
+            raise InvalidTreeError("missing ')'")
+        pos[0] += 1
+        return (label, children)
+
+    nested = parse()
+    if pos[0] != len(tokens):
+        raise InvalidTreeError("trailing tokens after the root s-expression")
+
+    def convert(item):
+        label, children = item
+        if not children:
+            return label
+        return (label, [convert(c) for c in children])
+
+    return UnrankedTree.from_nested(convert(nested))
+
+
+# --------------------------------------------------------------------------- dicts
+def to_dict(tree: UnrankedTree) -> Dict:
+    """Render ``tree`` as a JSON-compatible nested dictionary (with node ids)."""
+
+    def rec(node: UnrankedNode) -> Dict:
+        return {
+            "id": node.node_id,
+            "label": node.label,
+            "children": [rec(c) for c in node.children],
+        }
+
+    return rec(tree.root)
+
+
+def from_dict(data: Dict) -> UnrankedTree:
+    """Rebuild a tree from :func:`to_dict` output (node ids are *not* preserved)."""
+
+    def convert(item: Dict):
+        children = item.get("children", [])
+        if not children:
+            return item["label"]
+        return (item["label"], [convert(c) for c in children])
+
+    return UnrankedTree.from_nested(convert(data))
+
+
+# --------------------------------------------------------------------------- xml
+_XML_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+_XML_TAG_RE = re.compile(r"<(/?)([A-Za-z_][A-Za-z0-9_.-]*)\s*(/?)>")
+
+
+def to_xml(tree: UnrankedTree) -> str:
+    """Render ``tree`` as a minimal XML document (labels must be XML names)."""
+
+    def rec(node: UnrankedNode) -> str:
+        name = str(node.label)
+        if not _XML_NAME_RE.match(name):
+            raise InvalidTreeError(f"label {name!r} is not a valid XML name")
+        if node.is_leaf():
+            return f"<{name}/>"
+        return f"<{name}>" + "".join(rec(c) for c in node.children) + f"</{name}>"
+
+    return rec(tree.root)
+
+
+def from_xml(text: str) -> UnrankedTree:
+    """Parse the element structure of a minimal XML document (no attributes/text)."""
+    tags = _XML_TAG_RE.findall(text)
+    if not tags:
+        raise InvalidTreeError("no XML elements found")
+    stack: List[Tuple[object, list]] = []
+    root_item = None
+    for closing, name, selfclosing in tags:
+        if closing:
+            if not stack or stack[-1][0] != name:
+                raise InvalidTreeError(f"mismatched closing tag </{name}>")
+            item = stack.pop()
+            if stack:
+                stack[-1][1].append(item)
+            else:
+                root_item = item
+        else:
+            item = (name, [])
+            if selfclosing:
+                if stack:
+                    stack[-1][1].append(item)
+                else:
+                    root_item = item
+            else:
+                stack.append(item)
+    if stack or root_item is None:
+        raise InvalidTreeError("unclosed XML elements")
+
+    def convert(item):
+        label, children = item
+        if not children:
+            return label
+        return (label, [convert(c) for c in children])
+
+    return UnrankedTree.from_nested(convert(root_item))

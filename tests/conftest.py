@@ -1,0 +1,6 @@
+"""pytest configuration: make the tests package importable as plain modules."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,138 @@
+"""Tests for the marked-ancestor reduction (Theorem 9.2), the query library
+and the benchmark helper modules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.automata.brute_force import unranked_satisfying_assignments
+from repro.automata.queries import (
+    select_special_with_marked_ancestor,
+    select_with_marked_ancestor,
+)
+from repro.bench.measure import measure_delays, measure_preprocessing, measure_updates, summarize
+from repro.bench.reporting import format_table, record_experiment
+from repro.bench.workloads import (
+    mixed_workload,
+    nondeterministic_family,
+    query_for_name,
+    spanner_document,
+    tree_for_experiment,
+)
+from repro.core.enumerator import TreeEnumerator
+from repro.lower_bound.marked_ancestor import (
+    EnumerationMarkedAncestor,
+    MarkedAncestorInstance,
+    NaiveMarkedAncestor,
+)
+from repro.trees.generators import random_tree
+
+LABELS = ("unmarked", "marked", "special")
+
+
+# --------------------------------------------------------------------------- lower bound
+class TestMarkedAncestorReduction:
+    @pytest.mark.parametrize("shape", ["random", "path"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_reduction_agrees_with_naive(self, shape, seed):
+        instance = MarkedAncestorInstance(30, seed=seed, shape=shape)
+        operations = instance.random_operations(60)
+        naive = NaiveMarkedAncestor(instance.tree)
+        reduction = EnumerationMarkedAncestor(instance.tree.copy())
+        naive_answers = []
+        for kind, node in operations:
+            if kind == "mark":
+                naive.mark(node)
+            elif kind == "unmark":
+                naive.unmark(node)
+            else:
+                naive_answers.append(naive.query(node))
+        assert reduction.run(operations) == naive_answers
+
+    def test_query_is_side_effect_free(self):
+        instance = MarkedAncestorInstance(15, seed=2)
+        reduction = EnumerationMarkedAncestor(instance.tree.copy())
+        node = instance.random_node()
+        before = set(reduction.enumerator.assignments())
+        reduction.query(node)
+        after = set(reduction.enumerator.assignments())
+        assert before == after
+
+    def test_marked_ancestor_queries_semantics(self):
+        # direct check of the two query automata on a hand-built tree
+        from repro.trees.unranked import UnrankedTree
+
+        tree = UnrankedTree.from_nested(
+            ("unmarked", [("marked", ["special"]), "unmarked"])
+        )
+        special_id = tree.nodes_with_label("special")[0].node_id
+        query = select_special_with_marked_ancestor("marked", "special", LABELS)
+        answers = unranked_satisfying_assignments(query, tree)
+        assert answers == {frozenset({("x", special_id)})}
+        # the unmarked sibling has no marked ancestor
+        query_all = select_with_marked_ancestor("marked", LABELS)
+        answers_all = unranked_satisfying_assignments(query_all, tree)
+        assert frozenset({("x", special_id)}) in answers_all
+
+
+# --------------------------------------------------------------------------- bench helpers
+class TestBenchHelpers:
+    def test_tree_and_query_factories(self):
+        tree = tree_for_experiment(50, "random", seed=1)
+        assert tree.size() == 50
+        for name in ["select-a", "leaves", "marked-ancestor", "pairs", "descendant", "label-set", "boolean"]:
+            query = query_for_name(name)
+            assert query.size() > 0
+        with pytest.raises(ValueError):
+            query_for_name("nope")
+
+    def test_mixed_workload_replayable(self):
+        tree = tree_for_experiment(40, "random", seed=2)
+        edits = mixed_workload(tree, 30, seed=3)
+        assert len(edits) == 30
+        relabels_only = mixed_workload(tree, 10, seed=3, structural=False)
+        assert all(type(e).__name__ == "Relabel" for e in relabels_only)
+
+    def test_spanner_document(self):
+        doc = spanner_document(100, seed=1)
+        assert len(doc) == 100
+        assert set(doc) <= {"a", "b", "c", " "}
+
+    def test_nondeterministic_family_is_consistent(self):
+        tree = random_tree(12, ("a", "b", "c"), seed=5)
+        small = nondeterministic_family(1)
+        large = nondeterministic_family(3)
+        assert large.size() > small.size()
+        # the enumeration pipeline handles the family and agrees with the oracle
+        enumerator = TreeEnumerator(tree, small)
+        assert set(enumerator.assignments()) == unranked_satisfying_assignments(small, tree)
+
+    def test_measure_helpers(self):
+        tree = tree_for_experiment(60, "random", seed=4)
+        query = query_for_name("select-a")
+        seconds = measure_preprocessing(lambda: TreeEnumerator(tree, query))
+        assert seconds > 0
+        enumerator = TreeEnumerator(tree, query)
+        delays = measure_delays(enumerator, max_answers=10)
+        assert delays.count <= 10
+        updates = measure_updates(enumerator, mixed_workload(tree, 5, seed=0))
+        assert updates.count == 5
+        assert updates.mean >= 0
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary.median == 2.0 and summary.maximum == 3.0
+        assert summarize([]).count == 0
+
+    def test_reporting(self, tmp_path):
+        table = record_experiment(
+            "E0",
+            "smoke test",
+            ["n", "seconds"],
+            [[10, 0.1], [20, 0.2]],
+            notes="just a test",
+            directory=str(tmp_path),
+        )
+        assert "smoke test" in table
+        assert (tmp_path / "E0.json").exists()
+        assert "n" in format_table("t", ["n"], [[1]])
