@@ -1,0 +1,22 @@
+# Developer entry points.  `make check` is the gate every change must pass:
+# the tier-1 test suite plus a <30 s perf smoke comparing the default bitset
+# relation backend against the reference pairs backend on a small workload.
+
+PYTHON ?= python
+PYPATH := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: check test bench-smoke bench
+
+test:
+	$(PYPATH) $(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYPATH) $(PYTHON) benchmarks/run_all.py --quick --compare
+
+# Full benchmark harness: rewrites benchmarks/results/BENCH_*.json so the
+# committed trajectories can be compared across PRs.
+bench:
+	$(PYPATH) $(PYTHON) benchmarks/run_all.py
+
+check: test bench-smoke
+	@echo "check OK: tier-1 tests + perf smoke passed"

@@ -1,0 +1,304 @@
+"""Benchmark regression harness: record per-backend medians as BENCH_*.json.
+
+Runs the three headline measurements of the paper's claims — preprocessing
+(Theorem 8.1, linear), updates (Theorem 8.1, logarithmic) and delay
+(Theorem 6.5, output-linear) — once per relation backend on the stock
+workloads of the benchmark suite, and writes one ``BENCH_<name>.json``
+trajectory per measurement into ``benchmarks/results/``.
+
+Future PRs re-run this script and compare the fresh numbers against the
+committed files, so every performance change leaves an auditable trail:
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full run
+    PYTHONPATH=src python benchmarks/run_all.py --quick    # <30 s smoke
+
+``--quick`` shrinks the sweep (used by ``make check`` as a perf smoke test);
+``--compare`` only prints the bitset-vs-pairs speedups without writing files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import gc
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.bench.workloads import mixed_workload, query_for_name, tree_for_experiment
+from repro.core.enumerator import TreeEnumerator
+
+BACKENDS = ("pairs", "matrix", "bitset")
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Collect, then pause the cyclic GC around a timed region.
+
+    Generational collections otherwise fire at deterministic allocation
+    counts, landing full-heap pauses inside specific measurements and
+    skewing individual medians.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+SEED = 20190612
+
+
+def _fresh_enumerator(size: int, query_name: str, backend: str) -> TreeEnumerator:
+    tree = tree_for_experiment(size, "random", seed=SEED)
+    return TreeEnumerator(tree, query_for_name(query_name), relation_backend=backend)
+
+
+def _clear_query_caches() -> None:
+    """Drop the content-keyed compiled-query cache so the next build is cold.
+
+    Without this every sample after the very first would reuse the compiled
+    automaton and its box plans, and the recorded numbers would conflate
+    cache warming with genuine preprocessing speed.
+    """
+    from repro.core import enumerator as enumerator_module
+
+    enumerator_module._COMPILED_QUERIES.clear()
+
+
+def bench_preprocessing(sizes, reps: int):
+    """Median seconds to build the full enumeration structure, per backend/size.
+
+    ``median_s`` is the *cold* build (query caches cleared first: translation,
+    homogenization and box plans all run), which is what the seed baseline
+    measured; ``warm_median_s`` is a second build of a content-equal query,
+    showing what a serving deployment pays per additional document.  Reps are
+    interleaved across backends (round-robin) so that slow drift — host load,
+    allocator state — hits every backend equally instead of biasing whichever
+    backend runs last.
+    """
+    cold = {backend: {size: [] for size in sizes} for backend in BACKENDS}
+    warm = {backend: {size: [] for size in sizes} for backend in BACKENDS}
+    for _ in range(reps):
+        for backend in BACKENDS:
+            for size in sizes:
+                tree = tree_for_experiment(size, "random", seed=SEED)
+                query = query_for_name("select-a")
+                _clear_query_caches()
+                with _gc_paused():
+                    start = time.perf_counter()
+                    TreeEnumerator(tree, query, relation_backend=backend)
+                    cold[backend][size].append(time.perf_counter() - start)
+                query = query_for_name("select-a")
+                with _gc_paused():
+                    start = time.perf_counter()
+                    TreeEnumerator(tree, query, relation_backend=backend)
+                    warm[backend][size].append(time.perf_counter() - start)
+    results = {
+        backend: {
+            str(size): {
+                "median_s": statistics.median(cold[backend][size]),
+                "warm_median_s": statistics.median(warm[backend][size]),
+                "reps": reps,
+            }
+            for size in sizes
+        }
+        for backend in BACKENDS
+    }
+    return {
+        "bench": "preprocessing_linear",
+        "workload": {"query": "select-a", "shape": "random", "seed": SEED, "sizes": list(sizes)},
+        "backends": results,
+    }
+
+
+def bench_update(sizes, n_updates: int, passes: int = 2):
+    """Median per-update seconds and trunk size, per backend/size.
+
+    Each backend runs the workload ``passes`` times, interleaved with the
+    other backends, and keeps the best median — one host load spike during
+    a single pass then cannot poison a backend's number.
+    """
+    medians = {backend: {size: [] for size in sizes} for backend in BACKENDS}
+    trunk_medians = {backend: {} for backend in BACKENDS}
+    for _ in range(passes):
+        for backend in BACKENDS:
+            for size in sizes:
+                tree = tree_for_experiment(size, "random", seed=SEED)
+                enumerator = TreeEnumerator(
+                    tree, query_for_name("select-a"), relation_backend=backend
+                )
+                edits = mixed_workload(tree, n_updates, seed=SEED + 1)
+                times = []
+                trunks = []
+                with _gc_paused():
+                    for edit in edits:
+                        start = time.perf_counter()
+                        stats = enumerator.apply(edit)
+                        times.append(time.perf_counter() - start)
+                        trunks.append(stats.trunk_size)
+                medians[backend][size].append(statistics.median(times))
+                trunk_medians[backend][size] = statistics.median(trunks)
+    results = {
+        backend: {
+            str(size): {
+                "median_s": min(medians[backend][size]),
+                "median_trunk": trunk_medians[backend][size],
+                "updates": n_updates,
+            }
+            for size in sizes
+        }
+        for backend in BACKENDS
+    }
+    return {
+        "bench": "update_logarithmic",
+        "workload": {
+            "query": "select-a",
+            "shape": "random",
+            "seed": SEED,
+            "sizes": list(sizes),
+            "updates": n_updates,
+        },
+        "backends": results,
+    }
+
+
+def bench_delay(size: int, max_answers: int):
+    """Median and p95 per-answer delay, per backend, on the descendant query."""
+    results = {}
+    for backend in BACKENDS:
+        enumerator = _fresh_enumerator(size, "descendant", backend)
+        with _gc_paused():
+            delays = enumerator.delay_probe(max_answers=max_answers)
+        delays_sorted = sorted(delays)
+        p95 = delays_sorted[min(len(delays_sorted) - 1, int(0.95 * len(delays_sorted)))]
+        results[backend] = {
+            "median_s": statistics.median(delays),
+            "p95_s": p95,
+            "answers": len(delays),
+        }
+    return {
+        "bench": "delay_constant",
+        "workload": {"query": "descendant", "shape": "random", "seed": SEED, "size": size},
+        "backends": results,
+    }
+
+
+def _attach_seed_baseline(payload, out_dir):
+    """Merge the recorded seed baseline (pairs backend, pre-bitset code) in.
+
+    ``SEED_BASELINE.json`` was measured once on the seed revision with the
+    same workloads; keeping it next to the trajectories lets every BENCH file
+    document its speedup against the seed configuration.
+    """
+    path = os.path.join(out_dir, "SEED_BASELINE.json")
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf8") as handle:
+        baseline = json.load(handle)
+    section = {
+        "preprocessing_linear": "preprocessing",
+        "update_logarithmic": "update",
+        "delay_constant": "delay",
+    }[payload["bench"]]
+    base = baseline.get(section, {})
+    bitset = payload["backends"]["bitset"]
+    if payload["bench"] == "delay_constant":
+        size = str(payload["workload"]["size"])
+        if size in base and bitset["median_s"]:
+            payload["seed_baseline"] = base[size]
+            payload["speedup_vs_seed_pairs"] = base[size]["median_s"] / bitset["median_s"]
+    else:
+        payload["seed_baseline"] = {s: base[s] for s in bitset if s in base}
+        payload["speedup_vs_seed_pairs"] = {
+            s: base[s]["median_s"] / bitset[s]["median_s"] for s in bitset if s in base
+        }
+
+
+def _speedup_lines(payload):
+    """Human-readable bitset-vs-pairs speedups for one payload."""
+    lines = []
+    pairs = payload["backends"]["pairs"]
+    bitset = payload["backends"]["bitset"]
+    if payload["bench"] == "delay_constant":
+        ratio = pairs["median_s"] / bitset["median_s"] if bitset["median_s"] else float("inf")
+        lines.append(f"  delay: pairs {pairs['median_s']*1e6:.1f}us -> bitset "
+                     f"{bitset['median_s']*1e6:.1f}us  ({ratio:.2f}x)")
+    else:
+        for size in pairs:
+            ratio = pairs[size]["median_s"] / bitset[size]["median_s"]
+            lines.append(
+                f"  n={size}: pairs {pairs[size]['median_s']*1e3:.2f}ms -> bitset "
+                f"{bitset[size]['median_s']*1e3:.2f}ms  ({ratio:.2f}x)"
+            )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sweep (<30 s), for make check")
+    parser.add_argument("--compare", action="store_true", help="print speedups only, write nothing")
+    parser.add_argument("--out", default=RESULTS_DIR, help="output directory for BENCH_*.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        payloads = [
+            bench_preprocessing((256, 1024), reps=3),
+            bench_update((1024,), n_updates=20),
+            bench_delay(512, max_answers=150),
+        ]
+    else:
+        payloads = [
+            bench_preprocessing((256, 512, 1024, 2048, 4096), reps=5),
+            bench_update((256, 1024, 4096, 8192), n_updates=40),
+            bench_delay(1024, max_answers=300),
+        ]
+
+    failed = False
+    for payload in payloads:
+        _attach_seed_baseline(payload, args.out)
+        print(f"[{payload['bench']}]")
+        for line in _speedup_lines(payload):
+            print(line)
+        speedups = payload.get("speedup_vs_seed_pairs")
+        if isinstance(speedups, dict):
+            rendered = ", ".join(f"n={s}: {v:.2f}x" for s, v in speedups.items())
+            print(f"  vs seed pairs: {rendered}")
+        elif isinstance(speedups, float):
+            print(f"  vs seed pairs: {speedups:.2f}x")
+        if args.quick:
+            # Quick sweeps are a smoke test, not a trajectory: never overwrite
+            # the committed full-sweep BENCH files with 2-size/3-rep numbers.
+            pass
+        elif not args.compare:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"BENCH_{payload['bench']}.json")
+            with open(path, "w", encoding="utf8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"  wrote {os.path.relpath(path)}")
+        if args.quick:
+            # Perf smoke: the default bitset backend must not be slower than
+            # the reference pairs backend on any headline measurement.
+            backends = payload["backends"]
+            if payload["bench"] == "delay_constant":
+                ok = backends["bitset"]["median_s"] <= backends["pairs"]["median_s"] * 1.5
+            else:
+                ok = all(
+                    backends["bitset"][size]["median_s"]
+                    <= backends["pairs"][size]["median_s"] * 1.5
+                    for size in backends["pairs"]
+                )
+            if not ok:
+                print(f"  PERF SMOKE FAILED for {payload['bench']}")
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

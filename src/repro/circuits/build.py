@@ -23,14 +23,29 @@ given the states present in the children, so the whole construction runs in
 time ``O(|T| × |A|)`` and produces a complete structured DNNF of width
 ``|Q|`` and depth ``O(height(T))`` as stated by Lemma 3.7.
 
+Box plans
+---------
+The gate structure of a box depends only on its label and on the *state
+signature* of each child — which states are present and which of those are ⊤.
+With a fixed automaton a large tree hits only a handful of distinct
+signatures, so the construction memoizes, per automaton, a **box plan** for
+every (label, left signature, right signature) triple it encounters: the
+δ-product and all per-state classification work run once per distinct
+signature, and every later box with the same signature is built by a single
+cache lookup plus gate instantiation.  The box records its ∪-wiring
+(``local_input``/``left_input_masks``/``right_input_masks``) as its gates are
+created, which is what lets the index construction (Lemma 6.3) avoid
+rescanning gate inputs.
+
 The two box builders are exposed separately because the incremental
 maintenance of Section 7 (Lemma 7.3) re-invokes them on the trunk of each
-tree hollowing.
+tree hollowing; the plan cache lives on the automaton, so trunk rebuilds hit
+the plans computed during preprocessing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.automata.binary_tva import BinaryTVA
 from repro.circuits.gates import (
@@ -47,6 +62,77 @@ from repro.trees.binary import BinaryNode, BinaryTree
 
 __all__ = ["build_leaf_box", "build_internal_box", "build_assignment_circuit"]
 
+# Input sources of a ∪-gate in an internal-box plan (paired with a slot or
+# ×-gate index): the left child's ∪-gate (right gate was ⊤), the right
+# child's ∪-gate (left gate was ⊤), or a ×-gate on the two child ∪-gates.
+_IN_LEFT = 0
+_IN_RIGHT = 1
+_IN_PROD = 2
+
+
+class _InternalPlan:
+    """Slot-resolved recipe for building every box with a given signature.
+
+    ``entries`` lists, in ``automaton.states`` order, either a sentinel value
+    (⊤/⊥) or the inputs of the state's ∪-gate as (source, index) pairs with
+    the child slots already resolved; ``prod_pairs`` lists the ×-gates to
+    create as (left slot, right slot).  Everything that does not depend on
+    the concrete child boxes is precomputed and *shared* by every box built
+    from the plan: the transposed child wiring ``wire_masks`` (child slot →
+    mask of box slots), the per-slot input masks, the local-input mask and
+    the box's own state signature.
+    """
+
+    __slots__ = (
+        "entries",
+        "prod_pairs",
+        "wire_masks",
+        "wire_rels",
+        "left_input_masks",
+        "right_input_masks",
+        "local_mask",
+        "signature",
+    )
+
+    def __init__(
+        self,
+        entries,
+        prod_pairs,
+        wire_masks,
+        left_input_masks,
+        right_input_masks,
+        local_mask,
+        signature,
+    ):
+        self.entries = entries
+        self.prod_pairs = prod_pairs
+        self.wire_masks = wire_masks
+        #: backend → (left Relation, right Relation), filled lazily by
+        #: repro.enumeration.wiring.wire_relation and shared by every box
+        #: built from this plan (relations are immutable).
+        self.wire_rels = {}
+        self.left_input_masks = left_input_masks
+        self.right_input_masks = right_input_masks
+        self.local_mask = local_mask
+        self.signature = signature
+
+
+class _LeafPlan:
+    """Recipe for building every leaf box with a given label.
+
+    ``var_sets`` lists the distinct non-empty variable sets needing a
+    var-gate; ``entries`` lists, per state, a sentinel (⊤/⊥) or the indices
+    into ``var_sets`` feeding the state's ∪-gate.
+    """
+
+    __slots__ = ("entries", "var_sets", "local_mask", "signature")
+
+    def __init__(self, entries, var_sets, local_mask, signature):
+        self.entries = entries
+        self.var_sets = var_sets
+        self.local_mask = local_mask
+        self.signature = signature
+
 
 def _require_homogenized(automaton: BinaryTVA) -> None:
     if not automaton.is_homogenized():
@@ -56,6 +142,205 @@ def _require_homogenized(automaton: BinaryTVA) -> None:
         )
 
 
+def _plan_cache(automaton: BinaryTVA) -> Dict[str, dict]:
+    """The per-automaton box-plan cache (attached lazily; automata are immutable)."""
+    cache = getattr(automaton, "_box_plan_cache", None)
+    if cache is None:
+        cache = {"leaf": {}, "internal": {}}
+        automaton._box_plan_cache = cache
+    return cache
+
+
+def _leaf_plan(automaton: BinaryTVA, label: object) -> _LeafPlan:
+    """The build recipe for a leaf box with the given label (leaf-independent)."""
+    zero_states = automaton.zero_states
+    one_states = automaton.one_states
+    entries_out: List[Tuple[object, object]] = []
+    signature: List[Tuple[object, bool]] = []
+    var_sets: List[frozenset] = []
+    var_index: Dict[frozenset, int] = {}
+    union_count = 0
+    for state in automaton.states:
+        entries = automaton.initial_by_label_state.get((label, state), [])
+        if state in zero_states:
+            if any(not vs for vs in entries):
+                entries_out.append((state, TOP))
+                signature.append((state, True))
+            else:
+                entries_out.append((state, BOTTOM))
+        elif state in one_states:
+            indices: List[int] = []
+            seen = set()
+            for vs in entries:
+                if vs and vs not in seen:
+                    seen.add(vs)
+                    idx = var_index.get(vs)
+                    if idx is None:
+                        idx = len(var_sets)
+                        var_index[vs] = idx
+                        var_sets.append(vs)
+                    indices.append(idx)
+            if indices:
+                entries_out.append((state, tuple(indices)))
+                signature.append((state, False))
+                union_count += 1
+            else:
+                entries_out.append((state, BOTTOM))
+        else:  # unreachable state (possible only if the automaton is not trimmed)
+            entries_out.append((state, BOTTOM))
+    return _LeafPlan(
+        tuple(entries_out), tuple(var_sets), (1 << union_count) - 1, tuple(signature)
+    )
+
+
+def _signature_of(box: Box) -> Tuple[Tuple[object, bool], ...]:
+    """The state signature of a box: its present (non-⊥) states, flagged for ⊤.
+
+    Normally read from ``box.state_sig`` (stamped by the plan that built the
+    box); this fallback recomputes it for boxes built by other means.  The
+    plan machinery assumes ∪-gate slots follow ``state_gate`` insertion
+    order, so a hand-built box violating that is rejected loudly here rather
+    than silently miswired.
+    """
+    signature = tuple((q, g is TOP) for q, g in box.state_gate.items() if g is not BOTTOM)
+    slot = 0
+    for state, is_top in signature:
+        if is_top:
+            continue
+        if box.state_gate[state].slot != slot:
+            raise CircuitStructureError(
+                "box's ∪-gate slots do not follow state_gate insertion order; "
+                "create each state's gate in the order its state_gate entry is inserted"
+            )
+        slot += 1
+    return signature
+
+
+def _slots_of_signature(sig: Tuple[Tuple[object, bool], ...]) -> Dict[object, int]:
+    """State → ∪-gate slot for a child with the given signature.
+
+    Slots are assigned in ``state_gate`` insertion order (= ``automaton.states``
+    order, which the plans preserve) to the present states that are not ⊤, so
+    the mapping is fully determined by the signature.
+    """
+    slots: Dict[object, int] = {}
+    for state, is_top in sig:
+        if not is_top:
+            slots[state] = len(slots)
+    return slots
+
+
+def _internal_plan(
+    automaton: BinaryTVA,
+    label: object,
+    left_sig: Tuple[Tuple[object, bool], ...],
+    right_sig: Tuple[Tuple[object, bool], ...],
+) -> _InternalPlan:
+    """The build recipe for an internal box, given the children's signatures.
+
+    A signature lists the child's present (non-⊥) states with a flag for ⊤.
+    Because each state owns its own ∪-gate, child states identify child gates
+    uniquely, so deduplication on (source, slot) descriptors reproduces the
+    per-gate deduplication of the direct construction — and the child slot
+    numbers (hence the box's full ∪-wiring) are already determined by the
+    signatures, which is what lets the plan precompute the wiring masks.
+    """
+    zero_states = automaton.zero_states
+    one_states = automaton.one_states
+    left_slots = _slots_of_signature(left_sig)
+    right_slots = _slots_of_signature(right_sig)
+
+    # For every target state, the contributing (q1, top1, q2, top2) quadruples.
+    # Iterating δ_label and filtering by the signatures is cheaper than the
+    # |left_sig| × |right_sig| product: δ_label is usually the smaller set.
+    left_top = dict(left_sig)
+    right_top = dict(right_sig)
+    contributions: Dict[object, List[Tuple[object, bool, object, bool]]] = {}
+    for q1, q2, q in automaton.delta_by_label.get(label, ()):
+        top1 = left_top.get(q1)
+        if top1 is None:
+            continue
+        top2 = right_top.get(q2)
+        if top2 is None:
+            continue
+        contributions.setdefault(q, []).append((q1, top1, q2, top2))
+
+    entries: List[Tuple[object, object]] = []
+    signature: List[Tuple[object, bool]] = []
+    prod_pairs: List[Tuple[int, int]] = []
+    prod_index: Dict[Tuple[int, int], int] = {}
+    left_input_masks: List[int] = []
+    right_input_masks: List[int] = []
+    local_mask = 0
+    left_wire: List[int] = [0] * len(left_slots)
+    right_wire: List[int] = [0] * len(right_slots)
+    for state in automaton.states:
+        contribs = contributions.get(state, ())
+        if state in zero_states:
+            is_top = any(top1 and top2 for _q1, top1, _q2, top2 in contribs)
+            entries.append((state, TOP if is_top else BOTTOM))
+            if is_top:
+                signature.append((state, True))
+            continue
+        if state not in one_states:
+            entries.append((state, BOTTOM))
+            continue
+        inputs: List[Tuple[int, int]] = []
+        seen = set()
+        has_local = False
+        left_mask = 0
+        right_mask = 0
+        union_slot = len(left_input_masks)
+        for q1, top1, q2, top2 in contribs:
+            if top1 and top2:
+                raise CircuitStructureError(
+                    f"1-state {state!r} would capture the empty assignment; "
+                    "the automaton is not homogenized"
+                )
+            if top1:
+                descriptor = (_IN_RIGHT, right_slots[q2])
+            elif top2:
+                descriptor = (_IN_LEFT, left_slots[q1])
+            else:
+                pair = (left_slots[q1], right_slots[q2])
+                prod = prod_index.get(pair)
+                if prod is None:
+                    prod = len(prod_pairs)
+                    prod_index[pair] = prod
+                    prod_pairs.append(pair)
+                descriptor = (_IN_PROD, prod)
+            if descriptor not in seen:
+                seen.add(descriptor)
+                inputs.append(descriptor)
+                source, slot = descriptor
+                if source == _IN_LEFT:
+                    left_mask |= 1 << slot
+                    left_wire[slot] |= 1 << union_slot
+                elif source == _IN_RIGHT:
+                    right_mask |= 1 << slot
+                    right_wire[slot] |= 1 << union_slot
+                else:
+                    has_local = True
+        if inputs:
+            entries.append((state, tuple(inputs)))
+            signature.append((state, False))
+            if has_local:
+                local_mask |= 1 << union_slot
+            left_input_masks.append(left_mask)
+            right_input_masks.append(right_mask)
+        else:
+            entries.append((state, BOTTOM))
+    return _InternalPlan(
+        tuple(entries),
+        tuple(prod_pairs),
+        (tuple(left_wire), tuple(right_wire)),
+        tuple(left_input_masks),
+        tuple(right_input_masks),
+        local_mask,
+        tuple(signature),
+    )
+
+
 def build_leaf_box(label: object, leaf_payload: int, automaton: BinaryTVA) -> Box:
     """Build the box ``B_n`` for a leaf node with the given label.
 
@@ -63,41 +348,34 @@ def build_leaf_box(label: object, leaf_payload: int, automaton: BinaryTVA) -> Bo
     singletons ``⟨Y : n⟩`` (in the full pipeline this is the id of the
     *unranked* tree node the leaf represents).
     """
-    box = Box(label, leaf_payload=leaf_payload)
-    zero_states = automaton.zero_states
-    one_states = automaton.one_states
+    leaf_plans = _plan_cache(automaton)["leaf"]
+    plan = leaf_plans.get(label)
+    if plan is None:
+        plan = _leaf_plan(automaton, label)
+        leaf_plans[label] = plan
 
+    box = Box(label, leaf_payload=leaf_payload)
+    box.state_sig = plan.signature
+    box.local_mask = plan.local_mask
     # Var-gates are shared across states: Svar must be injective within the
     # circuit (Definition 3.1), and sharing is also what makes the
     # single-var-gate outputs of Algorithm 2 duplicate-free.
-    var_gate_by_set: Dict[frozenset, VarGate] = {}
-
-    def var_gate_for(var_set: frozenset) -> VarGate:
-        gate = var_gate_by_set.get(var_set)
-        if gate is None:
-            assignment = frozenset((var, leaf_payload) for var in var_set)
-            gate = box.add_var_gate(assignment)
-            var_gate_by_set[var_set] = gate
-        return gate
-
-    for state in automaton.states:
-        entries = automaton.initial_by_label_state.get((label, state), [])
-        if state in zero_states:
-            box.state_gate[state] = TOP if any(not vs for vs in entries) else BOTTOM
-        elif state in one_states:
-            nonempty = [vs for vs in entries if vs]
-            if not nonempty:
-                box.state_gate[state] = BOTTOM
-            else:
-                inputs = []
-                seen = set()
-                for vs in nonempty:
-                    if vs not in seen:
-                        seen.add(vs)
-                        inputs.append(var_gate_for(vs))
-                box.state_gate[state] = box.add_union_gate(state, inputs)
-        else:  # unreachable state (possible only if the automaton is not trimmed)
-            box.state_gate[state] = BOTTOM
+    var_gates = [
+        VarGate(box, frozenset((var, leaf_payload) for var in var_set))
+        for var_set in plan.var_sets
+    ]
+    box.var_gates = var_gates
+    state_gate = box.state_gate
+    union_gates = box.union_gates
+    for state, value in plan.entries:
+        if value.__class__ is tuple:
+            gate = UnionGate(
+                box, len(union_gates), state, tuple(var_gates[i] for i in value)
+            )
+            union_gates.append(gate)
+            state_gate[state] = gate
+        else:
+            state_gate[state] = value
     return box
 
 
@@ -105,72 +383,51 @@ def build_internal_box(
     label: object, left_box: Box, right_box: Box, automaton: BinaryTVA
 ) -> Box:
     """Build the box ``B_n`` for an internal node from its children's boxes."""
+    left_sig = left_box.state_sig
+    if left_sig is None:
+        left_sig = _signature_of(left_box)
+    right_sig = right_box.state_sig
+    if right_sig is None:
+        right_sig = _signature_of(right_box)
+
+    internal_plans = _plan_cache(automaton)["internal"]
+    key = (label, left_sig, right_sig)
+    plan = internal_plans.get(key)
+    if plan is None:
+        plan = _internal_plan(automaton, label, left_sig, right_sig)
+        internal_plans[key] = plan
+
     box = Box(label, left_child=left_box, right_child=right_box)
-    zero_states = automaton.zero_states
-    one_states = automaton.one_states
-
-    # States actually present (non-⊥) in the children; iterating over the
-    # product of these instead of over all of δ keeps the work proportional
-    # to the transitions that can fire.
-    left_present = [(q, g) for q, g in left_box.state_gate.items() if g is not BOTTOM]
-    right_present = [(q, g) for q, g in right_box.state_gate.items() if g is not BOTTOM]
-
-    # For every target state, the contributions (left gate, right gate).
-    contributions: Dict[object, List[Tuple[object, object]]] = {}
-    delta = automaton.delta_by_children
-    for q1, g1 in left_present:
-        for q2, g2 in right_present:
-            targets = delta.get((label, q1, q2))
-            if not targets:
-                continue
-            for q in targets:
-                contributions.setdefault(q, []).append((g1, g2))
-
+    box.state_sig = plan.signature
+    box.wire_plan = plan
+    box.local_mask = plan.local_mask
+    # The per-slot input masks are immutable once built, so every box from
+    # this plan shares the plan's tuples.
+    box.left_input_masks = plan.left_input_masks
+    box.right_input_masks = plan.right_input_masks
+    state_gate = box.state_gate
+    union_gates = box.union_gates
+    left_unions = left_box.union_gates
+    right_unions = right_box.union_gates
     # ×-gates are shared between target states: the paper defines one gate
     # д^{q1,q2} per transition source pair.
-    prod_gate_cache: Dict[Tuple[int, int], ProdGate] = {}
-
-    def prod_gate_for(g1: UnionGate, g2: UnionGate) -> ProdGate:
-        key = (g1.slot, g2.slot)
-        gate = prod_gate_cache.get(key)
-        if gate is None:
-            gate = box.add_prod_gate(g1, g2)
-            prod_gate_cache[key] = gate
-        return gate
-
-    for state in automaton.states:
-        contribs = contributions.get(state, [])
-        if state in zero_states:
-            is_top = any(g1 is TOP and g2 is TOP for g1, g2 in contribs)
-            box.state_gate[state] = TOP if is_top else BOTTOM
-            continue
-        if state not in one_states:
-            box.state_gate[state] = BOTTOM
-            continue
-        # 1-state: build the ∪-gate inputs.
-        inputs: List[object] = []
-        seen_ids = set()
-        for g1, g2 in contribs:
-            if g1 is BOTTOM or g2 is BOTTOM:
-                continue
-            if g1 is TOP and g2 is TOP:
-                raise CircuitStructureError(
-                    f"1-state {state!r} would capture the empty assignment; "
-                    "the automaton is not homogenized"
-                )
-            if g1 is TOP:
-                candidate: object = g2
-            elif g2 is TOP:
-                candidate = g1
-            else:
-                candidate = prod_gate_for(g1, g2)
-            if id(candidate) not in seen_ids:
-                seen_ids.add(id(candidate))
-                inputs.append(candidate)
-        if inputs:
-            box.state_gate[state] = box.add_union_gate(state, inputs)
+    prods = [
+        ProdGate(box, left_unions[a], right_unions[b]) for a, b in plan.prod_pairs
+    ]
+    box.prod_gates = prods
+    sources = (left_unions, right_unions, prods)
+    for state, value in plan.entries:
+        if value.__class__ is tuple:
+            gate = UnionGate(
+                box,
+                len(union_gates),
+                state,
+                tuple(sources[source][slot] for source, slot in value),
+            )
+            union_gates.append(gate)
+            state_gate[state] = gate
         else:
-            box.state_gate[state] = BOTTOM
+            state_gate[state] = value
     return box
 
 

@@ -127,6 +127,19 @@ class Box:
         or ``BOTTOM``.
     prod_gates / var_gates:
         The ×-gates and var-gates of the box (for statistics and validation).
+    local_mask / left_input_masks / right_input_masks:
+        The box's ∪-wiring, recorded once at construction time (when a
+        ∪-gate is added): a bitmask over slots whose gate has a local
+        (var-/×-gate) input, and per-slot bitmasks of the left/right child
+        slots wired into it.  The index construction (Lemma 6.3) and
+        Algorithm 3 read these instead of rescanning ``gate.inputs`` with
+        ``isinstance``.
+    wire_cache:
+        Per-(side, backend) cache of the single-level wire
+        :class:`~repro.enumeration.relations.Relation` to each child
+        (filled lazily by :func:`repro.enumeration.wiring.wire_relation`).
+        Safe to cache because gates are never rewired after construction —
+        updates rebuild whole boxes (Lemma 7.3).
     index:
         The :class:`repro.enumeration.index.BoxIndex` attached by the
         preprocessing of Section 6 (``None`` until it is built).
@@ -141,6 +154,12 @@ class Box:
         "state_gate",
         "prod_gates",
         "var_gates",
+        "left_input_masks",
+        "right_input_masks",
+        "local_mask",
+        "wire_cache",
+        "wire_plan",
+        "state_sig",
         "index",
     )
 
@@ -159,6 +178,16 @@ class Box:
         self.state_gate: Dict[object, object] = {}
         self.prod_gates: List[ProdGate] = []
         self.var_gates: List[VarGate] = []
+        self.left_input_masks: List[int] = []
+        self.right_input_masks: List[int] = []
+        self.local_mask: int = 0
+        self.wire_cache: Dict[Tuple[str, str], object] = {}
+        #: the box plan that built this box (carries precomputed transposed
+        #: wire masks and shared wire relations); None when built gate-by-gate.
+        self.wire_plan: Optional[object] = None
+        #: state signature stamped by the box plan that built this box
+        #: (see repro.circuits.build); None for hand-built boxes.
+        self.state_sig: Optional[Tuple[Tuple[object, bool], ...]] = None
         self.index = None
 
     # ------------------------------------------------------------------ api
@@ -167,12 +196,39 @@ class Box:
         return self.left_child is None
 
     def add_union_gate(self, state: object, inputs: Iterable[object]) -> UnionGate:
-        """Create a ∪-gate in this box with the given inputs and register it."""
+        """Create a ∪-gate in this box with the given inputs and register it.
+
+        The gate's wiring is classified once, here, into ``local_mask`` and
+        the per-slot child masks; every later consumer (index construction,
+        Algorithm 3) reads those masks instead of re-walking ``inputs``.
+        (Boxes built from a box plan get their gates and masks stamped
+        directly by :mod:`repro.circuits.build` instead.)
+        """
         inputs = tuple(inputs)
         if not inputs:
             raise CircuitStructureError("∪-gates must have at least one input")
-        gate = UnionGate(self, len(self.union_gates), state, inputs)
+        slot = len(self.union_gates)
+        gate = UnionGate(self, slot, state, inputs)
+        has_local = False
+        left_mask = 0
+        right_mask = 0
+        for inp in inputs:
+            if isinstance(inp, (VarGate, ProdGate)):
+                has_local = True
+            elif isinstance(inp, UnionGate):
+                if inp.box is self.left_child:
+                    left_mask |= 1 << inp.slot
+                elif inp.box is self.right_child:
+                    right_mask |= 1 << inp.slot
+                else:
+                    raise CircuitStructureError("∪-gate input from a non-child box")
+            else:
+                raise CircuitStructureError(f"unexpected input gate {inp!r}")
         self.union_gates.append(gate)
+        if has_local:
+            self.local_mask |= 1 << slot
+        self.left_input_masks.append(left_mask)
+        self.right_input_masks.append(right_mask)
         return gate
 
     def add_prod_gate(self, left: UnionGate, right: UnionGate) -> ProdGate:
@@ -223,12 +279,13 @@ def child_wire_pairs(box: Box, side: str) -> FrozenSet[Tuple[int, int]]:
     """
     if box.is_leaf_box():
         return frozenset()
-    child = box.left_child if side == "left" else box.right_child
+    masks = box.left_input_masks if side == "left" else box.right_input_masks
     pairs = set()
-    for gate in box.union_gates:
-        for inp in gate.inputs:
-            if isinstance(inp, UnionGate) and inp.box is child:
-                pairs.add((inp.slot, gate.slot))
+    for box_slot, mask in enumerate(masks):
+        while mask:
+            low = mask & -mask
+            pairs.add((low.bit_length() - 1, box_slot))
+            mask ^= low
     return frozenset(pairs)
 
 

@@ -44,6 +44,48 @@ from repro.trees.unranked import UnrankedNode, UnrankedTree
 __all__ = ["TreeEnumerator", "WordEnumerator"]
 
 
+#: content-keyed cache of compiled (translated + homogenized) queries,
+#: bounded so a server compiling many distinct ad-hoc queries cannot grow
+#: memory without limit (each entry also carries the automaton's box plans).
+_COMPILED_QUERIES: Dict[Tuple, object] = {}
+_COMPILED_QUERIES_LIMIT = 128
+
+
+def _binary_automaton_for(query, translate):
+    """Translate + homogenize a query, memoized on the query's *content*.
+
+    Translation is a pure function of the query, so building several
+    enumerators for equal queries — one query over many documents is the
+    common serving scenario — compiles once and shares the resulting binary
+    automaton, including the box plans the circuit construction attaches to
+    it.  An instance-level attribute short-circuits the content hash for
+    repeated use of the same query object.
+    """
+    cached = getattr(query, "_binary_automaton_cache", None)
+    if cached is not None:
+        return cached
+    if isinstance(query, UnrankedTVA):
+        key: Tuple = ("tva", query.states, query.variables, query.initial, query.delta, query.final)
+    elif isinstance(query, WVA):
+        key = ("wva", query.states, query.variables, query.transitions, query.initial, query.final)
+    else:  # unknown query type: compile without content caching
+        key = None
+    cached = _COMPILED_QUERIES.get(key) if key is not None else None
+    if cached is None:
+        cached = homogenize(translate(query))
+        if key is not None:
+            if len(_COMPILED_QUERIES) >= _COMPILED_QUERIES_LIMIT:
+                # FIFO eviction is enough here: the cache exists for the
+                # one-query-many-documents pattern, not as a tuned LRU.
+                _COMPILED_QUERIES.pop(next(iter(_COMPILED_QUERIES)))
+            _COMPILED_QUERIES[key] = cached
+    try:
+        query._binary_automaton_cache = cached
+    except AttributeError:  # query classes with __slots__: just skip caching
+        pass
+    return cached
+
+
 class TreeEnumerator:
     """Enumerate the answers of an unranked TVA on an unranked tree, under updates."""
 
@@ -58,7 +100,7 @@ class TreeEnumerator:
         self.query = query
         #: reference copy of the tree, kept in sync with the index structures
         self.tree = tree.copy() if copy_tree else tree
-        self.binary_automaton = homogenize(translate_unranked_tva(query))
+        self.binary_automaton = _binary_automaton_for(query, translate_unranked_tva)
         self.term = MaintainedTerm(self.tree)
         self.maintainer = IncrementalCircuitMaintainer(
             self.term, self.binary_automaton, relation_backend=relation_backend
@@ -183,7 +225,7 @@ class WordEnumerator:
             raise InvalidEditError("words must be non-empty")
         start = time.perf_counter()
         self.query = query
-        self.binary_automaton = homogenize(translate_wva(query))
+        self.binary_automaton = _binary_automaton_for(query, translate_wva)
         self.term = MaintainedWordTerm(list(word))
         self.maintainer = IncrementalCircuitMaintainer(
             self.term, self.binary_automaton, relation_backend=relation_backend

@@ -54,7 +54,18 @@ class CircuitEnumerator:
 
     # -------------------------------------------------------------- enumeration
     def _box_enum(self):
-        return indexed_box_enum if self.use_index else naive_box_enum
+        """The box-enumeration procedure, bound to this enumerator's backend.
+
+        Threading ``relation_backend`` into the initial Γ-relation keeps the
+        *entire* enumeration-time composition chain on the requested backend
+        (compose propagates the fastest operand backend, so a default-backend
+        Γ would silently convert the chain).
+        """
+        procedure = indexed_box_enum if self.use_index else naive_box_enum
+        if self.relation_backend is None:
+            return procedure
+        backend = self.relation_backend
+        return lambda gamma: procedure(gamma, backend=backend)
 
     def root_boxed_set(self, final_states: Optional[Sequence[object]] = None) -> Tuple[List[UnionGate], bool]:
         """Return the boxed set of final-state root gates and the empty-answer flag.

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.circuits.gates import Box, ProdGate, UnionGate, VarGate, child_wire_pairs
+from repro.circuits.gates import Box, UnionGate
 from repro.enumeration.index import BoxIndex, fbb_of_slots, fib_of_slots
 from repro.enumeration.relations import Relation
+from repro.enumeration.wiring import wire_relation
 from repro.errors import CircuitStructureError, IndexError_
 
 __all__ = ["naive_box_enum", "indexed_box_enum", "gamma_relation"]
@@ -46,22 +47,18 @@ def gamma_relation(gamma: Sequence[UnionGate], backend: Optional[str] = None) ->
 
 
 def _is_interesting(box: Box, relation: Relation) -> bool:
-    """True iff some ∪-gate of ``box`` related by ``relation`` has a var/×-gate input."""
-    for slot in relation.lower_slots():
-        for inp in box.union_gates[slot].inputs:
-            if isinstance(inp, (VarGate, ProdGate)):
-                return True
-    return False
+    """True iff some ∪-gate of ``box`` related by ``relation`` has a var/×-gate input.
 
-
-def _wire_relation(box: Box, side: str, n_upper: int, backend: Optional[str]) -> Relation:
-    """The single-level relation between a child box of ``box`` and ``box``."""
-    child = box.left_child if side == "left" else box.right_child
-    return Relation(len(child.union_gates), n_upper, child_wire_pairs(box, side), backend=backend)
+    A single word-AND against the box's ``local_mask`` (recorded at
+    construction time) replaces the per-gate ``isinstance`` scan.
+    """
+    return bool(relation.lower_mask() & box.local_mask)
 
 
 # --------------------------------------------------------------------------- naive version
-def naive_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation]]:
+def naive_box_enum(
+    gamma: Sequence[UnionGate], backend: Optional[str] = None
+) -> Iterator[Tuple[Box, Relation]]:
     """Enumerate interesting boxes by walking the circuit downward (Section 5).
 
     Correct but with delay ``O(depth(C) · poly(w))``; used as the reference
@@ -69,7 +66,7 @@ def naive_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation]]
     """
     gamma = list(gamma)
     box = gamma[0].box
-    relation = gamma_relation(gamma)
+    relation = gamma_relation(gamma, backend=backend)
     stack: List[Tuple[Box, Relation]] = [(box, relation)]
     while stack:
         current, rel = stack.pop()
@@ -78,7 +75,7 @@ def naive_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation]]
         if current.is_leaf_box():
             continue
         for side in ("right", "left"):  # pushed right first so left is handled first
-            wire = _wire_relation(current, side, len(current.union_gates), rel.backend)
+            wire = wire_relation(current, side, rel.backend)
             child_rel = wire.compose(rel)
             if child_rel:
                 child = current.left_child if side == "left" else current.right_child
@@ -86,7 +83,9 @@ def naive_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation]]
 
 
 # --------------------------------------------------------------------------- Algorithm 3
-def indexed_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation]]:
+def indexed_box_enum(
+    gamma: Sequence[UnionGate], backend: Optional[str] = None
+) -> Iterator[Tuple[Box, Relation]]:
     """Algorithm 3: enumerate interesting boxes using the index.
 
     The boxes of the circuit must carry their :class:`BoxIndex` (built by
@@ -96,7 +95,7 @@ def indexed_box_enum(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Box, Relation
     the path from the current box down to it.
     """
     gamma = list(gamma)
-    relation = gamma_relation(gamma)
+    relation = gamma_relation(gamma, backend=backend)
     yield from _b_enum(gamma[0].box, relation)
 
 
@@ -118,7 +117,7 @@ def _b_enum(box: Box, relation: Relation) -> Iterator[Tuple[Box, Relation]]:
     # ---- everything below the first interesting box (lines 7-10)
     if not first_interesting.is_leaf_box():
         for side in ("left", "right"):
-            wire = _wire_relation(first_interesting, side, len(first_interesting.union_gates), backend)
+            wire = wire_relation(first_interesting, side, backend)
             child_rel = wire.compose(rel_first)
             if child_rel:
                 child = (
@@ -146,12 +145,12 @@ def _b_enum(box: Box, relation: Relation) -> Iterator[Tuple[Box, Relation]]:
             break
         rel_bidirectional = current_index.relation_to(bidirectional).compose(current_rel)
         # Right subtree of the bidirectional box: enumerate it (line 15).
-        wire_right = _wire_relation(bidirectional, "right", len(bidirectional.union_gates), backend)
+        wire_right = wire_relation(bidirectional, "right", backend)
         rel_right = wire_right.compose(rel_bidirectional)
         if rel_right:
             yield from _b_enum(bidirectional.right_child, rel_right)
         # Descend into the left child and look for the next bidirectional box.
-        wire_left = _wire_relation(bidirectional, "left", len(bidirectional.union_gates), backend)
+        wire_left = wire_relation(bidirectional, "left", backend)
         current_rel = wire_left.compose(rel_bidirectional)
         current_box = bidirectional.left_child
         if not current_rel:

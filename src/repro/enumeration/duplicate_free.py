@@ -78,7 +78,10 @@ def _enumerate_in_box(
     # of Γ positions it can reach.
     provenance_of: Dict[int, Set[int]] = {}
     gate_by_id: Dict[int, object] = {}
+    local_mask = box.local_mask
     for slot, positions in uppers_by_lower.items():
+        if not (local_mask >> slot) & 1:
+            continue
         union_gate = box.union_gates[slot]
         for inp in union_gate.inputs:
             if isinstance(inp, (VarGate, ProdGate)):

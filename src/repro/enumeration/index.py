@@ -9,9 +9,8 @@ For every box ``B`` of the circuit the index stores:
   bidirectional box** ``fbb(Γ)``: the first box whose two subtrees both
   contain gates ∪-reachable from ``Γ``;
 * the ∪-reachability relation ``R(X, B)`` for every *target box* ``X``
-  (every fib/fbb value, the children of ``B``, and the closure of these under
-  least common ancestors), together with the preorder ranks and pairwise lca
-  of the target boxes.
+  (every fib/fbb value and the children of ``B``), together with the
+  preorder ranks of the target boxes.
 
 Everything is computed bottom-up, per box, from the children's index entries
 (equations (3)–(5) of the appendix), which is exactly what makes the index
@@ -23,15 +22,22 @@ Preorder ranks are stored as *path tuples* relative to the box owning the
 index ((0,) for the box itself, (1, …) for targets in the left subtree,
 (2, …) for targets in the right subtree); comparing tuples lexicographically
 compares preorder positions without any global numbering — global numberings
-would be invalidated by updates.
+would be invalidated by updates.  Because a rank is the literal box-tree path
+to the target, the lca queries of Definition 6.1 reduce to rank-prefix
+arithmetic: ``X`` is an ancestor of ``Y`` iff ``rank(X)`` minus its trailing
+0 is a prefix of ``rank(Y)``, and the lca of two targets is the box at their
+ranks' longest common prefix.  The index therefore stores no lca table at
+all — the quadratic fixed-point closure the paper's presentation suggests is
+replaced by O(1)-per-pair arithmetic on material the index already carries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.circuits.gates import AssignmentCircuit, Box, ProdGate, UnionGate, VarGate, child_wire_pairs
-from repro.enumeration.relations import Relation
+from repro.circuits.gates import AssignmentCircuit, Box
+from repro.enumeration.relations import Relation, iter_bits
+from repro.enumeration.wiring import wire_relation
 from repro.errors import CircuitStructureError, IndexError_
 
 __all__ = [
@@ -64,25 +70,24 @@ class TargetInfo:
         self.rank = rank
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"TargetInfo(side={self.side}, rank={self.rank}, rel={len(self.relation.pairs())})"
+        return f"TargetInfo(side={self.side}, rank={self.rank}, rel={len(self.relation)})"
 
 
 class BoxIndex:
     """The per-box part of the index structure ``I(C)`` of Definition 6.1."""
 
-    __slots__ = ("box", "fib", "fib_side", "fbb_pair", "targets", "lca")
+    __slots__ = ("box", "fib", "fbb_pair", "targets", "by_rank")
 
     def __init__(self, box: Box):
         self.box = box
         #: per ∪-gate slot: the first interesting box
         self.fib: List[Box] = []
-        self.fib_side: List[str] = []
-        #: per pair of slots (i ≤ j): the first bidirectional box (or None)
-        self.fbb_pair: Dict[Tuple[int, int], Optional[Box]] = {}
+        #: per pair of slots (i ≤ j): the first bidirectional box (missing = None)
+        self.fbb_pair: Dict[Tuple[int, int], Box] = {}
         #: target box -> TargetInfo (relation, side, rank)
         self.targets: Dict[Box, TargetInfo] = {}
-        #: (target, target) -> least common ancestor (also a target)
-        self.lca: Dict[Tuple[Box, Box], Box] = {}
+        #: rank -> target box (lets lca_of resolve a computed rank to a box)
+        self.by_rank: Dict[Tuple[int, ...], Box] = {}
 
     # ------------------------------------------------------------------ api
     def rank_of(self, box: Box) -> Tuple[int, ...]:
@@ -100,15 +105,51 @@ class BoxIndex:
             raise IndexError_("no stored reachability relation for this target box") from None
 
     def lca_of(self, first: Box, second: Box) -> Box:
-        """Return the least common ancestor of two target boxes."""
+        """Return the least common ancestor of two target boxes.
+
+        Computed from the rank path tuples: the lca sits at the longest
+        common prefix of the two paths.  When that box is itself a target
+        (always the case for the pairs Algorithm 3 queries) it is resolved
+        through ``by_rank``; otherwise the path prefix is walked down the
+        box tree, so the query still answers correctly — though only
+        *targets* carry a stored reachability relation.
+        """
         try:
-            return self.lca[(first, second)]
+            first_rank = self.targets[first].rank
+            second_rank = self.targets[second].rank
         except KeyError:
             raise IndexError_("lca of a non-target pair requested") from None
+        if first_rank == second_rank:
+            return first
+        common = 0
+        for a, b in zip(first_rank, second_rank):
+            if a != b:
+                break
+            common += 1
+        ancestor = self.by_rank.get(first_rank[:common] + (0,))
+        if ancestor is not None:
+            return ancestor
+        # The lca is not a stored target: its path prefix consists of 1/2
+        # steps only (a terminating 0 would have hit by_rank above), so walk
+        # it from the owning box.
+        node = self.box
+        for step in first_rank[:common]:
+            node = node.left_child if step == 1 else node.right_child
+        return node
 
     def is_ancestor(self, ancestor: Box, descendant: Box) -> bool:
-        """Return True if ``ancestor`` is an ancestor of (or equal to) ``descendant``."""
-        return self.lca_of(ancestor, descendant) is ancestor
+        """Return True if ``ancestor`` is an ancestor of (or equal to) ``descendant``.
+
+        A pure rank comparison: the ancestor's path (its rank minus the
+        trailing 0) must be a prefix of the descendant's rank.
+        """
+        try:
+            ancestor_rank = self.targets[ancestor].rank
+            descendant_rank = self.targets[descendant].rank
+        except KeyError:
+            raise IndexError_("ancestor query on a non-target pair") from None
+        prefix = len(ancestor_rank) - 1
+        return ancestor_rank[:prefix] == descendant_rank[:prefix]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"BoxIndex(targets={len(self.targets)}, width={len(self.fib)})"
@@ -119,9 +160,11 @@ def fib_of_slots(index: BoxIndex, slots: Iterable[int]) -> Box:
     """``fib(Γ)`` for a boxed set given by its slots (equation (1))."""
     best: Optional[Box] = None
     best_rank: Optional[Tuple[int, ...]] = None
+    targets = index.targets
+    fib = index.fib
     for slot in slots:
-        candidate = index.fib[slot]
-        rank = index.rank_of(candidate)
+        candidate = fib[slot]
+        rank = targets[candidate].rank
         if best_rank is None or rank < best_rank:
             best, best_rank = candidate, rank
     if best is None:
@@ -139,12 +182,14 @@ def fbb_of_slots(index: BoxIndex, slots: Iterable[int]) -> Optional[Box]:
     slot_list = sorted(set(slots))
     best: Optional[Box] = None
     best_rank: Optional[Tuple[int, ...]] = None
+    fbb_pair = index.fbb_pair
+    targets = index.targets
     for i, a in enumerate(slot_list):
         for b in slot_list[i:]:
-            candidate = index.fbb_pair.get((a, b))
+            candidate = fbb_pair.get((a, b))
             if candidate is None:
                 continue
-            rank = index.rank_of(candidate)
+            rank = targets[candidate].rank
             if best_rank is None or rank < best_rank:
                 best, best_rank = candidate, rank
     return best
@@ -160,73 +205,93 @@ def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxInde
     """
     index = BoxIndex(box)
     n = len(box.union_gates)
+    targets = index.targets
+    by_rank = index.by_rank
+    identity = Relation.identity(n, backend=relation_backend)
+    targets[box] = TargetInfo(box, identity, SIDE_SELF, (0,))
+    by_rank[(0,)] = box
+
+    if box.is_leaf_box():
+        # Fast path: every slot of a leaf box has only var-gate inputs, so the
+        # box is its own first interesting box for every slot, no pair has a
+        # bidirectional box, and the only target is the box itself.
+        index.fib = [box] * n
+        box.index = index
+        return index
+
     left_box = box.left_child
     right_box = box.right_child
-    left_index: Optional[BoxIndex] = None
-    right_index: Optional[BoxIndex] = None
-    if not box.is_leaf_box():
-        left_index = left_box.index
-        right_index = right_box.index
-        if left_index is None or right_index is None:
-            raise IndexError_("children must be indexed before their parent (bottom-up order)")
+    left_index: BoxIndex = left_box.index
+    right_index: BoxIndex = right_box.index
+    if left_index is None or right_index is None:
+        raise IndexError_("children must be indexed before their parent (bottom-up order)")
 
-    # ----------------------------------------------------- input classification
-    local_input: List[bool] = []
-    left_inputs: List[FrozenSet[int]] = []
-    right_inputs: List[FrozenSet[int]] = []
-    for gate in box.union_gates:
-        has_local = False
-        lefts: set = set()
-        rights: set = set()
-        for inp in gate.inputs:
-            if isinstance(inp, (VarGate, ProdGate)):
-                has_local = True
-            elif isinstance(inp, UnionGate):
-                if inp.box is left_box:
-                    lefts.add(inp.slot)
-                elif inp.box is right_box:
-                    rights.add(inp.slot)
-                else:
-                    raise CircuitStructureError("∪-gate input from a non-child box")
+    # Input wiring, recorded once at circuit-construction time
+    # (Box.add_union_gate / the box plans); no isinstance rescan of gate
+    # inputs happens here.
+    local_mask = box.local_mask
+    left_inputs = box.left_input_masks
+    right_inputs = box.right_input_masks
+
+    left_relation = wire_relation(box, SIDE_LEFT, backend=relation_backend)
+    right_relation = wire_relation(box, SIDE_RIGHT, backend=relation_backend)
+    left_targets = left_index.targets
+    right_targets = right_index.targets
+    left_rank = (1,) + left_targets[left_box].rank
+    right_rank = (2,) + right_targets[right_box].rank
+    targets[left_box] = TargetInfo(left_box, left_relation, SIDE_LEFT, left_rank)
+    by_rank[left_rank] = left_box
+    targets[right_box] = TargetInfo(right_box, right_relation, SIDE_RIGHT, right_rank)
+    by_rank[right_rank] = right_box
+
+    fib = index.fib
+    fbb_pair = index.fbb_pair
+
+    if left_box.is_leaf_box() and right_box.is_leaf_box():
+        # Cherry fast path (both children are leaves) — what the generic code
+        # below computes, specialized: a leaf's fib is itself for every slot
+        # and its fbb table is empty, so the only targets are the box and its
+        # two children, every fib value is one of those, and a pair of slots
+        # has a fbb iff it reaches both children (then the fbb is the box).
+        for slot in range(n):
+            if (local_mask >> slot) & 1:
+                fib.append(box)
+            elif left_inputs[slot]:
+                fib.append(left_box)
+            elif right_inputs[slot]:
+                fib.append(right_box)
             else:
-                raise CircuitStructureError(f"unexpected input gate {inp!r}")
-        local_input.append(has_local)
-        left_inputs.append(frozenset(lefts))
-        right_inputs.append(frozenset(rights))
-
-    # -------------------------------------------------------------- base targets
-    index.targets[box] = TargetInfo(box, Relation.identity(n, backend=relation_backend), SIDE_SELF, (0,))
-    child_relation: Dict[str, Relation] = {}
-    if not box.is_leaf_box():
-        for side, child in ((SIDE_LEFT, left_box), (SIDE_RIGHT, right_box)):
-            rel = Relation(
-                len(child.union_gates), n, child_wire_pairs(box, side), backend=relation_backend
-            )
-            child_relation[side] = rel
-            prefix = 1 if side == SIDE_LEFT else 2
-            child_index = left_index if side == SIDE_LEFT else right_index
-            rank = (prefix,) + child_index.targets[child].rank
-            index.targets[child] = TargetInfo(child, rel, side, rank)
+                raise CircuitStructureError("∪-gate with no inputs during index construction")
+        for i in range(n):
+            lefts_i = left_inputs[i]
+            rights_i = right_inputs[i]
+            for j in range(i, n):
+                if (lefts_i | left_inputs[j]) and (rights_i | right_inputs[j]):
+                    fbb_pair[(i, j)] = box
+        box.index = index
+        return index
 
     def ensure_target(target: Box, side: str) -> None:
-        if target in index.targets:
+        if target in targets:
             return
-        if side == SIDE_SELF:
-            raise IndexError_("the box itself must already be a target")
-        child = left_box if side == SIDE_LEFT else right_box
-        child_index = left_index if side == SIDE_LEFT else right_index
-        info = child_index.targets.get(target)
+        if side == SIDE_LEFT:
+            info = left_targets.get(target)
+            wire = left_relation
+            prefix = 1
+        else:
+            info = right_targets.get(target)
+            wire = right_relation
+            prefix = 2
         if info is None:
             raise IndexError_("target box is not indexed in the child entry")
-        relation = info.relation.compose(child_relation[side])
-        prefix = 1 if side == SIDE_LEFT else 2
-        index.targets[target] = TargetInfo(target, relation, side, (prefix,) + info.rank)
+        rank = (prefix,) + info.rank
+        targets[target] = TargetInfo(target, info.relation.compose(wire), side, rank)
+        by_rank[rank] = target
 
     # ------------------------------------------------------------------- fib
     for slot in range(n):
-        if local_input[slot]:
-            index.fib.append(box)
-            index.fib_side.append(SIDE_SELF)
+        if (local_mask >> slot) & 1:
+            fib.append(box)
             continue
         if left_inputs[slot]:
             side = SIDE_LEFT
@@ -238,62 +303,29 @@ def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxInde
             child_slots = right_inputs[slot]
         else:
             raise CircuitStructureError("∪-gate with no inputs during index construction")
-        best = fib_of_slots(child_index, child_slots)
-        index.fib.append(best)
-        index.fib_side.append(side)
+        best = fib_of_slots(child_index, iter_bits(child_slots))
+        fib.append(best)
         ensure_target(best, side)
 
     # ------------------------------------------------------------------- fbb
     for i in range(n):
+        lefts_i = left_inputs[i]
+        rights_i = right_inputs[i]
         for j in range(i, n):
-            lefts = left_inputs[i] | left_inputs[j]
-            rights = right_inputs[i] | right_inputs[j]
+            lefts = lefts_i | left_inputs[j]
+            rights = rights_i | right_inputs[j]
             if lefts and rights:
-                value: Optional[Box] = box
-                side = SIDE_SELF
+                fbb_pair[(i, j)] = box
             elif lefts:
-                value = fbb_of_slots(left_index, lefts)
-                side = SIDE_LEFT
+                value = fbb_of_slots(left_index, iter_bits(lefts))
+                if value is not None:
+                    fbb_pair[(i, j)] = value
+                    ensure_target(value, SIDE_LEFT)
             elif rights:
-                value = fbb_of_slots(right_index, rights)
-                side = SIDE_RIGHT
-            else:
-                value = None
-                side = SIDE_SELF
-            index.fbb_pair[(i, j)] = value
-            if value is not None and value is not box:
-                ensure_target(value, side)
-
-    # ----------------------------------------------------------- lca closure
-    def compute_lca(first: Box, second: Box) -> Tuple[Box, str]:
-        if first is second:
-            return first, index.targets[first].side
-        info_first = index.targets[first]
-        info_second = index.targets[second]
-        if first is box or second is box or info_first.side != info_second.side:
-            return box, SIDE_SELF
-        side = info_first.side
-        child = left_box if side == SIDE_LEFT else right_box
-        child_index = left_index if side == SIDE_LEFT else right_index
-        if first is child or second is child:
-            return child, side
-        return child_index.lca_of(first, second), side
-
-    changed = True
-    while changed:
-        changed = False
-        current = list(index.targets.keys())
-        for first in current:
-            for second in current:
-                key = (first, second)
-                if key in index.lca:
-                    continue
-                ancestor, side = compute_lca(first, second)
-                if ancestor not in index.targets:
-                    ensure_target(ancestor, side)
-                    changed = True
-                index.lca[(first, second)] = ancestor
-                index.lca[(second, first)] = ancestor
+                value = fbb_of_slots(right_index, iter_bits(rights))
+                if value is not None:
+                    fbb_pair[(i, j)] = value
+                    ensure_target(value, SIDE_RIGHT)
 
     box.index = index
     return index

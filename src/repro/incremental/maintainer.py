@@ -105,7 +105,12 @@ class IncrementalCircuitMaintainer:
 
     def enumerator(self) -> CircuitEnumerator:
         """A fresh enumerator over the current circuit (no re-preprocessing)."""
-        return CircuitEnumerator(self.circuit(), use_index=self.use_index, build=False)
+        return CircuitEnumerator(
+            self.circuit(),
+            use_index=self.use_index,
+            relation_backend=self.relation_backend,
+            build=False,
+        )
 
     # ---------------------------------------------------------------- updates
     def apply_report(self, report: UpdateReport) -> int:

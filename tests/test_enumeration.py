@@ -38,7 +38,7 @@ from repro.enumeration.assignment_iter import CircuitEnumerator
 from repro.enumeration.box_enum import indexed_box_enum, naive_box_enum
 from repro.enumeration.duplicate_free import enumerate_boxed_set
 from repro.enumeration.index import build_index, fbb_of_slots, fib_of_slots
-from repro.enumeration.relations import Relation, set_default_backend
+from repro.enumeration.relations import Relation, get_default_backend, set_default_backend
 from repro.enumeration.simple import enumerate_with_duplicates
 from repro.trees.binary import BinaryTree
 
@@ -91,12 +91,13 @@ class TestRelation:
         assert rel2.is_empty()
 
     def test_default_backend_switch(self):
+        original = get_default_backend()
         set_default_backend("matrix")
         try:
             rel = Relation(1, 1, [(0, 0)])
             assert rel.backend == "matrix"
         finally:
-            set_default_backend("pairs")
+            set_default_backend(original)
         with pytest.raises(ValueError):
             set_default_backend("nope")
 
@@ -171,6 +172,44 @@ class TestBoxEnumeration:
                 produced = {id(b) for b, _ in naive_box_enum([gate])}
                 assert id(fib_box) in produced
 
+    def test_lca_of_is_reflexive_and_matches_ancestry(self):
+        _automaton, _tree, circuit = build_circuit(select_pair_ab, 3, tree_size=8)
+        build_index(circuit)
+        for box in circuit.boxes():
+            index = box.index
+            for target in index.targets:
+                assert index.lca_of(target, target) is target
+                assert index.is_ancestor(target, target)
+                assert index.lca_of(box, target) is box
+                assert index.is_ancestor(box, target)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lca_of_answers_all_target_pairs(self, seed):
+        # The lca of two targets need not be a target itself; lca_of must
+        # still return the correct box (checked against true box ancestry).
+        _automaton, _tree, circuit = build_circuit(select_pair_ab, seed, tree_size=12)
+        build_index(circuit)
+        for box in circuit.boxes():
+            index = box.index
+            ancestors = {}  # box -> list of (ancestor, depth) via DFS paths
+            stack = [(box, [box])]
+            while stack:
+                current, path = stack.pop()
+                ancestors[id(current)] = list(path)
+                for child in current.children():
+                    stack.append((child, path + [child]))
+            targets = list(index.targets)
+            for i, first in enumerate(targets):
+                for second in targets[i:]:
+                    expected = None
+                    path_first = ancestors[id(first)]
+                    path_second = set(id(b) for b in ancestors[id(second)])
+                    for node in reversed(path_first):
+                        if id(node) in path_second:
+                            expected = node
+                            break
+                    assert index.lca_of(first, second) is expected
+
     def test_fib_fbb_of_slots_helpers(self):
         _automaton, _tree, circuit = build_circuit(select_pair_ab, 5, tree_size=8)
         build_index(circuit)
@@ -243,7 +282,7 @@ class TestCircuitEnumerator:
         assert len(produced) == len(set(produced))
         assert set(produced) == binary_satisfying_assignments(automaton, tree)
 
-    @pytest.mark.parametrize("backend", ["pairs", "matrix"])
+    @pytest.mark.parametrize("backend", ["pairs", "matrix", "bitset"])
     def test_relation_backends_agree(self, backend):
         automaton, tree, circuit = build_circuit(select_pair_ab, 7, tree_size=9)
         enumerator = CircuitEnumerator(circuit, relation_backend=backend)
