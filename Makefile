@@ -1,6 +1,8 @@
 # Developer entry points.  `make check` is the gate every change must pass:
-# the tier-1 test suite plus a <30 s perf smoke comparing the default bitset
-# relation backend against the reference pairs backend on a small workload.
+# the tier-1 test suite plus a <30 s perf smoke that (a) compares the default
+# bitset relation backend against the reference pairs backend on a small
+# workload and (b) fails if the bitset delay median regresses beyond 2x the
+# committed benchmarks/results/BENCH_delay_constant.json trajectory.
 
 PYTHON ?= python
 PYPATH := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)

@@ -221,6 +221,38 @@ def _attach_seed_baseline(payload, out_dir):
         }
 
 
+#: Slack factor for the delay-regression gate: the quick smoke runs on a
+#: smaller tree than the committed trajectory and on whatever machine is at
+#: hand, so only a regression beyond this factor fails the gate.
+DELAY_REGRESSION_SLACK = 2.0
+
+
+def _delay_regression_gate(payload, out_dir):
+    """Fail the perf smoke if the bitset delay regressed vs the committed file.
+
+    Compares the fresh bitset delay median against the committed
+    ``BENCH_delay_constant.json`` (the recorded trajectory every PR must not
+    regress).  Returns ``True`` when the gate passes (or when there is no
+    committed trajectory to compare against).
+    """
+    path = os.path.join(out_dir, "BENCH_delay_constant.json")
+    if not os.path.exists(path):
+        print("  delay gate: no committed BENCH_delay_constant.json, skipping")
+        return True
+    with open(path, encoding="utf8") as handle:
+        committed = json.load(handle)
+    committed_median = committed["backends"]["bitset"]["median_s"]
+    fresh_median = payload["backends"]["bitset"]["median_s"]
+    limit = committed_median * DELAY_REGRESSION_SLACK
+    ok = fresh_median <= limit
+    print(
+        f"  delay gate: fresh bitset median {fresh_median*1e6:.1f}us vs committed "
+        f"{committed_median*1e6:.1f}us (limit {limit*1e6:.1f}us) -> "
+        f"{'ok' if ok else 'REGRESSION'}"
+    )
+    return ok
+
+
 def _speedup_lines(payload):
     """Human-readable bitset-vs-pairs speedups for one payload."""
     lines = []
@@ -284,10 +316,13 @@ def main(argv=None) -> int:
             print(f"  wrote {os.path.relpath(path)}")
         if args.quick:
             # Perf smoke: the default bitset backend must not be slower than
-            # the reference pairs backend on any headline measurement.
+            # the reference pairs backend on any headline measurement, and the
+            # bitset delay must not regress against the committed trajectory.
             backends = payload["backends"]
             if payload["bench"] == "delay_constant":
                 ok = backends["bitset"]["median_s"] <= backends["pairs"]["median_s"] * 1.5
+                if not _delay_regression_gate(payload, args.out):
+                    ok = False
             else:
                 ok = all(
                     backends["bitset"][size]["median_s"]

@@ -92,6 +92,7 @@ class _InternalPlan:
         "right_input_masks",
         "local_mask",
         "signature",
+        "enum_tables",
     )
 
     def __init__(
@@ -103,6 +104,7 @@ class _InternalPlan:
         right_input_masks,
         local_mask,
         signature,
+        slot_prod_masks,
     ):
         self.entries = entries
         self.prod_pairs = prod_pairs
@@ -115,6 +117,16 @@ class _InternalPlan:
         self.right_input_masks = right_input_masks
         self.local_mask = local_mask
         self.signature = signature
+        #: flattened gate tables for the mask-native enumeration of
+        #: Algorithm 2 (internal boxes have no var-gates); shared by every
+        #: box built from this plan — see Box.enum_tables.
+        self.enum_tables = (
+            (),
+            (),
+            tuple(a for a, _b in prod_pairs),
+            tuple(b for _a, b in prod_pairs),
+            slot_prod_masks,
+        )
 
 
 class _LeafPlan:
@@ -122,16 +134,19 @@ class _LeafPlan:
 
     ``var_sets`` lists the distinct non-empty variable sets needing a
     var-gate; ``entries`` lists, per state, a sentinel (⊤/⊥) or the indices
-    into ``var_sets`` feeding the state's ∪-gate.
+    into ``var_sets`` feeding the state's ∪-gate; ``slot_var_masks`` is the
+    same wiring as a per-∪-slot bitmask over var-gate indices (read by the
+    mask-native enumeration of Algorithm 2).
     """
 
-    __slots__ = ("entries", "var_sets", "local_mask", "signature")
+    __slots__ = ("entries", "var_sets", "local_mask", "signature", "slot_var_masks")
 
-    def __init__(self, entries, var_sets, local_mask, signature):
+    def __init__(self, entries, var_sets, local_mask, signature, slot_var_masks):
         self.entries = entries
         self.var_sets = var_sets
         self.local_mask = local_mask
         self.signature = signature
+        self.slot_var_masks = slot_var_masks
 
 
 def _require_homogenized(automaton: BinaryTVA) -> None:
@@ -159,6 +174,7 @@ def _leaf_plan(automaton: BinaryTVA, label: object) -> _LeafPlan:
     signature: List[Tuple[object, bool]] = []
     var_sets: List[frozenset] = []
     var_index: Dict[frozenset, int] = {}
+    slot_var_masks: List[int] = []
     union_count = 0
     for state in automaton.states:
         entries = automaton.initial_by_label_state.get((label, state), [])
@@ -183,13 +199,18 @@ def _leaf_plan(automaton: BinaryTVA, label: object) -> _LeafPlan:
             if indices:
                 entries_out.append((state, tuple(indices)))
                 signature.append((state, False))
+                slot_var_masks.append(sum(1 << i for i in set(indices)))
                 union_count += 1
             else:
                 entries_out.append((state, BOTTOM))
         else:  # unreachable state (possible only if the automaton is not trimmed)
             entries_out.append((state, BOTTOM))
     return _LeafPlan(
-        tuple(entries_out), tuple(var_sets), (1 << union_count) - 1, tuple(signature)
+        tuple(entries_out),
+        tuple(var_sets),
+        (1 << union_count) - 1,
+        tuple(signature),
+        tuple(slot_var_masks),
     )
 
 
@@ -271,6 +292,7 @@ def _internal_plan(
     prod_index: Dict[Tuple[int, int], int] = {}
     left_input_masks: List[int] = []
     right_input_masks: List[int] = []
+    slot_prod_masks: List[int] = []
     local_mask = 0
     left_wire: List[int] = [0] * len(left_slots)
     right_wire: List[int] = [0] * len(right_slots)
@@ -290,6 +312,7 @@ def _internal_plan(
         has_local = False
         left_mask = 0
         right_mask = 0
+        prod_mask = 0
         union_slot = len(left_input_masks)
         for q1, top1, q2, top2 in contribs:
             if top1 and top2:
@@ -321,6 +344,7 @@ def _internal_plan(
                     right_wire[slot] |= 1 << union_slot
                 else:
                     has_local = True
+                    prod_mask |= 1 << slot
         if inputs:
             entries.append((state, tuple(inputs)))
             signature.append((state, False))
@@ -328,6 +352,7 @@ def _internal_plan(
                 local_mask |= 1 << union_slot
             left_input_masks.append(left_mask)
             right_input_masks.append(right_mask)
+            slot_prod_masks.append(prod_mask)
         else:
             entries.append((state, BOTTOM))
     return _InternalPlan(
@@ -338,6 +363,7 @@ def _internal_plan(
         tuple(right_input_masks),
         local_mask,
         tuple(signature),
+        tuple(slot_prod_masks),
     )
 
 
@@ -365,6 +391,15 @@ def build_leaf_box(label: object, leaf_payload: int, automaton: BinaryTVA) -> Bo
         for var_set in plan.var_sets
     ]
     box.var_gates = var_gates
+    # Flattened gate tables for mask-native enumeration: leaf boxes have no
+    # ×-gates; the per-slot var masks are shared from the plan.
+    box.enum_tables = (
+        tuple(g.assignment for g in var_gates),
+        plan.slot_var_masks,
+        (),
+        (),
+        (),
+    )
     state_gate = box.state_gate
     union_gates = box.union_gates
     for state, value in plan.entries:
@@ -401,6 +436,7 @@ def build_internal_box(
     box.state_sig = plan.signature
     box.wire_plan = plan
     box.local_mask = plan.local_mask
+    box.enum_tables = plan.enum_tables
     # The per-slot input masks are immutable once built, so every box from
     # this plan shares the plan's tuples.
     box.left_input_masks = plan.left_input_masks

@@ -140,6 +140,17 @@ class Box:
         (filled lazily by :func:`repro.enumeration.wiring.wire_relation`).
         Safe to cache because gates are never rewired after construction —
         updates rebuild whole boxes (Lemma 7.3).
+    enum_tables:
+        The flattened per-box gate tables read by the mask-native
+        enumeration of Algorithm 2 (:mod:`repro.enumeration.duplicate_free`):
+        a 5-tuple ``(var_assignments, slot_var_masks, prod_lefts,
+        prod_rights, slot_prod_masks)`` where ``var_assignments[v]`` is the
+        assignment of var-gate ``v``, ``slot_var_masks[s]`` /
+        ``slot_prod_masks[s]`` are bitmasks over var-/×-gate indices feeding
+        ∪-slot ``s``, and ``prod_lefts[j]`` / ``prod_rights[j]`` are the
+        child ∪-slot numbers of ×-gate ``j``.  Stamped at construction time
+        by :mod:`repro.circuits.build`; computed lazily (once per box) by
+        :meth:`enumeration_tables` for hand-built boxes.
     index:
         The :class:`repro.enumeration.index.BoxIndex` attached by the
         preprocessing of Section 6 (``None`` until it is built).
@@ -160,6 +171,7 @@ class Box:
         "wire_cache",
         "wire_plan",
         "state_sig",
+        "enum_tables",
         "index",
     )
 
@@ -188,6 +200,9 @@ class Box:
         #: state signature stamped by the box plan that built this box
         #: (see repro.circuits.build); None for hand-built boxes.
         self.state_sig: Optional[Tuple[Tuple[object, bool], ...]] = None
+        #: flattened gate tables for mask-native enumeration (see class docs);
+        #: None until stamped by the builder or computed by enumeration_tables.
+        self.enum_tables: Optional[Tuple] = None
         self.index = None
 
     # ------------------------------------------------------------------ api
@@ -207,6 +222,15 @@ class Box:
         inputs = tuple(inputs)
         if not inputs:
             raise CircuitStructureError("∪-gates must have at least one input")
+        if self.state_sig is not None or self.wire_plan is not None:
+            # Plan-built boxes share their plan's stamped tuples (input masks,
+            # enum_tables, state_sig); mutating one would either crash on the
+            # shared tuples or silently stale the stamped tables — updates
+            # rebuild whole boxes instead (Lemma 7.3).
+            raise CircuitStructureError(
+                "cannot add gates to a plan-built box; rebuild the box instead"
+            )
+        self.enum_tables = None  # invalidate lazily computed tables, if any
         slot = len(self.union_gates)
         gate = UnionGate(self, slot, state, inputs)
         has_local = False
@@ -262,6 +286,57 @@ class Box:
     def width(self) -> int:
         """Return the number of ∪-gates of this box (the local width)."""
         return len(self.union_gates)
+
+    def enumeration_tables(self) -> Tuple:
+        """Return the flattened gate tables used by mask-native enumeration.
+
+        ``(var_assignments, slot_var_masks, prod_lefts, prod_rights,
+        slot_prod_masks)`` — see the class docstring.  Boxes built by the box
+        plans of :mod:`repro.circuits.build` get the tables stamped at
+        construction time; this fallback walks ``gate.inputs`` exactly once
+        per hand-built box, so enumeration itself never rescans inputs or
+        dispatches on gate types.
+        """
+        tables = self.enum_tables
+        if tables is not None:
+            return tables
+        var_index: Dict[int, int] = {}
+        prod_index: Dict[int, int] = {}
+        var_assignments: List[Assignment] = []
+        prod_lefts: List[int] = []
+        prod_rights: List[int] = []
+        slot_var_masks: List[int] = []
+        slot_prod_masks: List[int] = []
+        for gate in self.union_gates:
+            var_mask = 0
+            prod_mask = 0
+            for inp in gate.inputs:
+                if isinstance(inp, VarGate):
+                    idx = var_index.get(id(inp))
+                    if idx is None:
+                        idx = len(var_assignments)
+                        var_index[id(inp)] = idx
+                        var_assignments.append(inp.assignment)
+                    var_mask |= 1 << idx
+                elif isinstance(inp, ProdGate):
+                    idx = prod_index.get(id(inp))
+                    if idx is None:
+                        idx = len(prod_lefts)
+                        prod_index[id(inp)] = idx
+                        prod_lefts.append(inp.left.slot)
+                        prod_rights.append(inp.right.slot)
+                    prod_mask |= 1 << idx
+            slot_var_masks.append(var_mask)
+            slot_prod_masks.append(prod_mask)
+        tables = (
+            tuple(var_assignments),
+            tuple(slot_var_masks),
+            tuple(prod_lefts),
+            tuple(prod_rights),
+            tuple(slot_prod_masks),
+        )
+        self.enum_tables = tables
+        return tables
 
     def __repr__(self) -> str:  # pragma: no cover
         kind = "leaf" if self.is_leaf_box() else "internal"

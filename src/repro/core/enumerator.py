@@ -19,6 +19,19 @@ Theorem 8.5), used for document spanners: the query is a word variable
 automaton (for instance compiled from a regex with capture variables by
 :mod:`repro.spanners`), answers bind variables to word positions, and the
 supported updates are character insertion, deletion and replacement.
+
+Materialization boundary
+------------------------
+On the default ``bitset`` backend the enumeration below these classes is
+mask-native end to end (:mod:`repro.enumeration.duplicate_free`): answers
+travel as nested tuples of var-gate assignments and provenance as Γ-position
+bitmasks.  The public :class:`~repro.assignments.Assignment` objects are
+materialized exactly once per answer at the
+:meth:`~repro.enumeration.assignment_iter.CircuitEnumerator.assignments`
+boundary the classes here consume, and provenance *sets* of ∪-gates are only
+ever built when a caller asks for them through
+:func:`repro.enumeration.duplicate_free.enumerate_boxed_set` — nothing in the
+``assignments()`` / ``count()`` / ``delay_probe()`` paths allocates them.
 """
 
 from __future__ import annotations

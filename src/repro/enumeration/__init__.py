@@ -2,7 +2,7 @@
 
 from repro.enumeration.relations import Relation, set_default_backend, get_default_backend
 from repro.enumeration.simple import enumerate_with_duplicates
-from repro.enumeration.duplicate_free import enumerate_boxed_set
+from repro.enumeration.duplicate_free import enumerate_boxed_masks, enumerate_boxed_set
 from repro.enumeration.index import BoxIndex, build_index, build_box_index
 from repro.enumeration.box_enum import indexed_box_enum, naive_box_enum
 from repro.enumeration.assignment_iter import CircuitEnumerator
@@ -13,6 +13,7 @@ __all__ = [
     "get_default_backend",
     "enumerate_with_duplicates",
     "enumerate_boxed_set",
+    "enumerate_boxed_masks",
     "BoxIndex",
     "build_index",
     "build_box_index",

@@ -25,8 +25,9 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 from repro.assignments import EMPTY_ASSIGNMENT, Assignment
 from repro.circuits.gates import BOTTOM, TOP, AssignmentCircuit, Box, UnionGate
 from repro.enumeration.box_enum import indexed_box_enum, naive_box_enum
-from repro.enumeration.duplicate_free import enumerate_boxed_set
+from repro.enumeration.duplicate_free import enumerate_boxed_masks, enumerate_boxed_set
 from repro.enumeration.index import build_index
+from repro.enumeration.relations import get_default_backend
 
 __all__ = ["CircuitEnumerator"]
 
@@ -67,6 +68,20 @@ class CircuitEnumerator:
         backend = self.relation_backend
         return lambda gamma: procedure(gamma, backend=backend)
 
+    def _use_mask_path(self) -> bool:
+        """True when enumeration should run the mask-native fast path.
+
+        The mask path *is* the bitset composition chain (word-parallel
+        Γ-position masks), so it is taken exactly when the indexed procedure
+        would run on the ``bitset`` backend; ``pairs``/``matrix`` requests
+        keep the generic relation-based chain so the backend ablation
+        (experiment E10) still measures what it claims to.
+        """
+        if not self.use_index:
+            return False
+        backend = self.relation_backend or get_default_backend()
+        return backend == "bitset"
+
     def root_boxed_set(self, final_states: Optional[Sequence[object]] = None) -> Tuple[List[UnionGate], bool]:
         """Return the boxed set of final-state root gates and the empty-answer flag.
 
@@ -96,12 +111,24 @@ class CircuitEnumerator:
         gates, empty_answer = self.root_boxed_set(final_states)
         if empty_answer:
             yield EMPTY_ASSIGNMENT
-        if gates:
+        if not gates:
+            return
+        if self._use_mask_path():
+            # Mask-native fast path: Assignment objects are materialized at
+            # this boundary; the position-mask provenance is dropped unread
+            # (never converted to a gate set).
+            for assignment, _mask in enumerate_boxed_masks(gates):
+                yield assignment
+        else:
             for assignment, _provenance in enumerate_boxed_set(gates, self._box_enum()):
                 yield assignment
 
     def assignments_of_gate(self, gate: UnionGate) -> Iterator[Assignment]:
         """Enumerate ``S(gate)`` for an arbitrary ∪-gate of the circuit."""
+        if self._use_mask_path():
+            for assignment, _mask in enumerate_boxed_masks([gate]):
+                yield assignment
+            return
         for assignment, _provenance in enumerate_boxed_set([gate], self._box_enum()):
             yield assignment
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.circuits.gates import Box, UnionGate
-from repro.enumeration.index import BoxIndex, fbb_of_slots, fib_of_slots
+from repro.enumeration.index import BoxIndex, fbb_of_mask, fib_of_mask
 from repro.enumeration.relations import Relation
 from repro.enumeration.wiring import wire_relation
 from repro.errors import CircuitStructureError, IndexError_
@@ -93,65 +93,68 @@ def indexed_box_enum(
     the one sketched in Figure 1 of the paper: first the subtree of the first
     interesting box, then the right subtrees of the bidirectional boxes on
     the path from the current box down to it.
+
+    The recursion of the paper's presentation is run on an explicit stack of
+    ``(kind, box, relation)`` steps — a *descend* step is the body of B-Enum,
+    a *walk* step is one iteration of the bidirectional-box walk — so that a
+    single ``next()`` performs a bounded number of width-dependent
+    operations, with no generator chain proportional to the circuit depth.
     """
     gamma = list(gamma)
     relation = gamma_relation(gamma, backend=backend)
-    yield from _b_enum(gamma[0].box, relation)
-
-
-def _b_enum(box: Box, relation: Relation) -> Iterator[Tuple[Box, Relation]]:
-    index: BoxIndex = box.index
-    if index is None:
+    box = gamma[0].box
+    if box.index is None:
         raise IndexError_("indexed_box_enum requires the index to be built (build_index)")
-    n_gamma = relation.n_upper
-    backend = relation.backend
-    slots = relation.lower_slots()
-    if not slots:
-        return
+    #: stack items: (is_walk, box, relation); pushed in reverse of the
+    #: paper's order so that popping reproduces it.
+    stack: List[Tuple[bool, Box, Relation]] = [(False, box, relation)]
+    while stack:
+        is_walk, box, relation = stack.pop()
+        index: BoxIndex = box.index
+        if index is None:
+            raise IndexError_("indexed_box_enum requires the index to be built (build_index)")
+        slot_mask = relation.lower_mask()
+        if not slot_mask:
+            continue
+        backend = relation.backend
 
-    # ---- first interesting box (lines 4-6)
-    first_interesting = fib_of_slots(index, slots)
-    rel_first = index.relation_to(first_interesting).compose(relation)
-    yield (first_interesting, rel_first)
+        if is_walk:
+            # One iteration of the walk over the bidirectional boxes on the
+            # path from ``box`` down to its first interesting box (lines 11-16).
+            bidirectional = fbb_of_mask(index, slot_mask)
+            if bidirectional is None:
+                continue
+            local_first = fib_of_mask(index, slot_mask)
+            if bidirectional is local_first:
+                continue
+            if not index.is_ancestor(bidirectional, local_first):
+                continue
+            rel_bidirectional = index.relation_to(bidirectional).compose(relation)
+            rel_right = wire_relation(bidirectional, "right", backend).compose(rel_bidirectional)
+            rel_left = wire_relation(bidirectional, "left", backend).compose(rel_bidirectional)
+            # Continue the walk from the left child; enumerate the right
+            # subtree first (popped before the walk continuation).
+            if rel_left:
+                stack.append((True, bidirectional.left_child, rel_left))
+            if rel_right:
+                stack.append((False, bidirectional.right_child, rel_right))
+            continue
 
-    # ---- everything below the first interesting box (lines 7-10)
-    if not first_interesting.is_leaf_box():
-        for side in ("left", "right"):
-            wire = wire_relation(first_interesting, side, backend)
-            child_rel = wire.compose(rel_first)
-            if child_rel:
-                child = (
-                    first_interesting.left_child if side == "left" else first_interesting.right_child
-                )
-                yield from _b_enum(child, child_rel)
-
-    # ---- walk the bidirectional boxes on the path to the first interesting box
-    current_box = box
-    current_rel = relation
-    while True:
-        current_index: BoxIndex = current_box.index
-        current_slots = current_rel.lower_slots()
-        if not current_slots:
-            break
-        bidirectional = fbb_of_slots(current_index, current_slots)
-        if bidirectional is None:
-            break
-        # The first interesting box of the current subtree is still the global
-        # first interesting box as long as we are on the path above it.
-        local_first = fib_of_slots(current_index, current_slots)
-        if bidirectional is local_first:
-            break
-        if not current_index.is_ancestor(bidirectional, local_first):
-            break
-        rel_bidirectional = current_index.relation_to(bidirectional).compose(current_rel)
-        # Right subtree of the bidirectional box: enumerate it (line 15).
-        wire_right = wire_relation(bidirectional, "right", backend)
-        rel_right = wire_right.compose(rel_bidirectional)
-        if rel_right:
-            yield from _b_enum(bidirectional.right_child, rel_right)
-        # Descend into the left child and look for the next bidirectional box.
-        wire_left = wire_relation(bidirectional, "left", backend)
-        current_rel = wire_left.compose(rel_bidirectional)
-        current_box = bidirectional.left_child
-        if not current_rel:
-            break
+        # ---- first interesting box (lines 4-6)
+        first_interesting = fib_of_mask(index, slot_mask)
+        if first_interesting is box:
+            rel_first = relation
+        else:
+            rel_first = index.relation_to(first_interesting).compose(relation)
+        # after the subtree of the first interesting box, walk the
+        # bidirectional boxes from ``box`` (popped last)
+        stack.append((True, box, relation))
+        # ---- everything below the first interesting box (lines 7-10)
+        if not first_interesting.is_leaf_box():
+            rel_r = wire_relation(first_interesting, "right", backend).compose(rel_first)
+            rel_l = wire_relation(first_interesting, "left", backend).compose(rel_first)
+            if rel_r:
+                stack.append((False, first_interesting.right_child, rel_r))
+            if rel_l:
+                stack.append((False, first_interesting.left_child, rel_l))
+        yield (first_interesting, rel_first)

@@ -13,24 +13,77 @@ variables of ``S``), so enumerating box-wise — one interesting box at a time,
 via ``box-enum`` — partitions the assignments, and inside one box the v-tree
 splits each assignment uniquely into a left and a right part.
 
+Mask-based provenance (the fast constant-delay path)
+----------------------------------------------------
+Two implementations coexist:
+
+* The **mask-native path** (:func:`enumerate_boxed_masks`, the default when
+  the ``bitset`` relation backend is in effect and the index is built)
+  represents everything position-wise as Python-int bitmasks, mirroring the
+  bitset relation backend:
+
+  - a boxed set ``Γ`` is a list ``g`` of per-slot masks with bit ``p`` set on
+    ``g[slot]`` iff position ``p`` of ``Γ`` reaches that ∪-slot — i.e. the
+    ∪-reachability relation itself, so ``uppers_by_lower`` is a list read,
+    not a dict build;
+  - the provenance of a var-/×-gate is one machine word (a mask over Γ
+    positions), accumulated with ``|=`` from the per-slot masks through the
+    per-box gate tables stamped at construction time
+    (:attr:`repro.circuits.gates.Box.enum_tables`) — no ``isinstance``, no
+    walk of ``union_gate.inputs``, no ``frozenset`` of gates;
+  - the ×-gate left/right matching is word-parallel: a left (right) part's
+    provenance mask is translated to a mask over live ×-gates by OR-ing the
+    precomputed per-position gate masks, and the final provenance is the OR
+    of the matched gates' position masks.
+
+  The whole algorithm — box enumeration (Algorithm 3) included — runs on an
+  **explicit stack of frames**, one frame per active sub-boxed-set, so a
+  single ``next()`` performs a bounded number of width-dependent word
+  operations instead of resuming a generator chain proportional to the
+  recursion depth.  Assignments are carried as nested 2-tuples of var-gate
+  assignments and only materialized (one ``frozenset`` union) when an answer
+  leaves the iterator; ``Prov`` stays a position mask until the public
+  boundary converts it back to a set of ∪-gates.
+
+  Delay accounting: with ``w`` the circuit width, the per-interesting-box
+  work is ``O(w²)`` word operations (the fbb pair scan dominates; relation
+  composition is ``O(w·⌈w/64⌉)`` words), and the per-answer provenance
+  bookkeeping is ``O(k)`` word-ORs for an answer combining ``k`` ×-gate
+  levels — compared to the ``O(w³)`` set joins and ``O(k·w)`` set unions of
+  the frozenset representation.  The overall delay is ``O(|S|·(Δ + w²))``
+  with ``Δ`` the box-enumeration delay of Algorithm 3.
+
+* The **generic path** keeps the paper-shaped recursive formulation over
+  :class:`~repro.enumeration.relations.Relation` objects and frozenset
+  provenance.  It accepts any ``box_enum`` procedure (including
+  :func:`~repro.enumeration.box_enum.naive_box_enum`) and any relation
+  backend, and serves as the reference the mask-native path is tested
+  against (``tests/test_fuzz_differential.py`` pins the equivalence).
+
 The ``box_enum`` argument selects the box-enumeration procedure: the naive
 walk of Section 5 or the index-accelerated Algorithm 3; the delay of the
-overall enumeration is ``O(|S| · (Δ + w³))`` where ``Δ`` is the delay of the
-chosen box enumeration.
+overall enumeration is ``O(|S| · (Δ + w³))`` on the generic path where ``Δ``
+is the delay of the chosen box enumeration.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.assignments import Assignment
 from repro.circuits.gates import Box, ProdGate, UnionGate, VarGate
 from repro.enumeration.box_enum import indexed_box_enum
-from repro.enumeration.relations import Relation
+from repro.enumeration.index import fbb_of_mask, fib_of_mask
+from repro.enumeration.relations import Relation, get_default_backend, iter_bits
+from repro.enumeration.wiring import wire_relation
+from repro.errors import CircuitStructureError, IndexError_
 
-__all__ = ["enumerate_boxed_set"]
+__all__ = ["enumerate_boxed_set", "enumerate_boxed_masks"]
 
 BoxEnumFn = Callable[[Sequence[UnionGate]], Iterator[Tuple[Box, Relation]]]
+
+# Frame roles: whose consumer a frame's answers feed.
+_ROOT, _LEFT, _RIGHT = 0, 1, 2
 
 
 def enumerate_boxed_set(
@@ -53,15 +106,406 @@ def enumerate_boxed_set(
     (assignment, provenance):
         Each assignment of ``S(Γ)`` exactly once, together with the subset of
         ``Γ`` capturing it.
+
+    When called with the default (indexed) box enumeration, an already-built
+    index and the ``bitset`` default backend, this dispatches to the
+    mask-native fast path and converts its position masks back to gate sets
+    at this boundary; otherwise the generic relation-based path runs.
     """
     gamma = list(gamma)
     if not gamma:
+        return
+    if (
+        box_enum is indexed_box_enum
+        and gamma[0].box.index is not None
+        and get_default_backend() == "bitset"
+    ):
+        for assignment, prov_mask in enumerate_boxed_masks(gamma):
+            yield assignment, frozenset(gamma[p] for p in iter_bits(prov_mask))
         return
 
     for interesting_box, relation in box_enum(gamma):
         yield from _enumerate_in_box(gamma, interesting_box, relation, box_enum)
 
 
+# =========================================================================== mask-native path
+class _Frame:
+    """One active sub-boxed-set of the explicit-stack enumeration.
+
+    A frame owns the box-enumeration step stack of its boxed set and, while
+    an interesting box is being processed, the mask-typed per-gate state of
+    Algorithm 2: var-/×-gate provenance masks and the ×-gate grouping tables
+    used for word-parallel left/right matching.
+    """
+
+    __slots__ = (
+        "role",
+        "parent",
+        "steps",
+        "emitting",
+        "box",
+        "var_prov",
+        "var_assignments",
+        "var_pos",
+        "prod_prov",
+        "prod_lefts",
+        "prod_rights",
+        "pbl",
+        "pbr",
+        "right_slots",
+        "n_right",
+        "right_box",
+        "match_mask",
+        "left_part",
+        "left_frame",
+        "right_frame",
+    )
+
+    def __init__(self, role: int, parent: Optional["_Frame"], steps: List[Tuple]):
+        self.role = role
+        self.parent = parent
+        self.steps = steps
+        self.emitting = False
+        self.box = None
+        self.var_prov = ()
+        self.var_assignments = ()
+        self.var_pos = 0
+        self.prod_prov = None
+        self.prod_lefts = ()
+        self.prod_rights = ()
+        self.pbl = None
+        self.pbr = None
+        self.right_slots = None
+        self.n_right = 0
+        self.right_box = None
+        self.match_mask = 0
+        self.left_part = None
+        #: cached child frames, reused across interesting boxes / left parts
+        #: (a child frame is always fully exhausted — popped with an empty
+        #: step stack — before its slot is reused, so no state can leak).
+        self.left_frame = None
+        self.right_frame = None
+
+
+def _compose_masks(stored: Sequence[int], g: Sequence[int]) -> List[int]:
+    """``stored ∘ g``: per-lower-slot OR of the Γ-position masks of the mids."""
+    out = []
+    append = out.append
+    for row in stored:
+        acc = 0
+        while row:
+            low = row & -row
+            acc |= g[low.bit_length() - 1]
+            row ^= low
+        append(acc)
+    return out
+
+
+def _compose_masks_lm(stored: Sequence[int], g: Sequence[int]) -> Tuple[List[int], int]:
+    """Like :func:`_compose_masks`, also returning the result's lower mask.
+
+    Fusing the lower-mask projection into the composition pass saves a
+    separate emptiness scan and a per-step π₁ recomputation on the hot path.
+    """
+    out = []
+    append = out.append
+    lower_mask = 0
+    bit = 1
+    for row in stored:
+        acc = 0
+        while row:
+            low = row & -row
+            acc |= g[low.bit_length() - 1]
+            row ^= low
+        append(acc)
+        if acc:
+            lower_mask |= bit
+        bit <<= 1
+    return out, lower_mask
+
+
+def _wire_masks(box: Box, left: bool) -> Sequence[int]:
+    """Transposed ∪-wire masks (child slot → mask of box slots) for one side."""
+    plan = box.wire_plan
+    if plan is not None:
+        masks = plan.wire_masks
+        return masks[0] if left else masks[1]
+    return wire_relation(box, "left" if left else "right", "bitset").masks_view()
+
+
+def _materialize(part) -> Assignment:
+    """Union the var-gate assignments of a nested 2-tuple part tree."""
+    if type(part) is not tuple:
+        return part
+    leaves = []
+    stack = [part]
+    while stack:
+        p = stack.pop()
+        if type(p) is tuple:
+            stack.append(p[0])
+            stack.append(p[1])
+        else:
+            leaves.append(p)
+    return leaves[0].union(*leaves[1:])
+
+
+def enumerate_boxed_masks(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Assignment, int]]:
+    """Mask-native Algorithm 2: yield ``(assignment, provenance mask)`` pairs.
+
+    The provenance mask has bit ``p`` set iff ``gamma[p]`` captures the
+    assignment.  Requires the index of Section 6 to be built on the circuit
+    (:func:`repro.enumeration.index.build_index`); the composition chain runs
+    on raw per-slot masks regardless of the backend the stored relations use.
+    """
+    gamma = list(gamma)
+    if not gamma:
+        return
+    box = gamma[0].box
+    for gate in gamma:
+        if gate.box is not box:
+            raise CircuitStructureError("a boxed set must contain gates of a single box")
+    if box.index is None:
+        raise IndexError_("mask-native enumeration requires the index to be built (build_index)")
+    gmasks = [0] * len(box.union_gates)
+    for position, gate in enumerate(gamma):
+        gmasks[gate.slot] |= 1 << position
+    root_lower = 0
+    bit = 1
+    for row in gmasks:
+        if row:
+            root_lower |= bit
+        bit <<= 1
+
+    stack = [_Frame(_ROOT, None, [(False, box, gmasks, root_lower)])]
+    while stack:
+        fr = stack[-1]
+
+        # ------------------------------------------- emit answers of the current box
+        if fr.emitting:
+            part = None
+            prov = 0
+            vp = fr.var_prov
+            i = fr.var_pos
+            n = len(vp)
+            while i < n:
+                mask = vp[i]
+                if mask:
+                    part = fr.var_assignments[i]
+                    prov = mask
+                    fr.var_pos = i + 1
+                    break
+                i += 1
+            if part is None:
+                # var answers done: set up the ×-gate recursion (lines 8-16)
+                fr.emitting = False
+                pp = fr.prod_prov
+                if pp is None or not any(pp):
+                    continue
+                cur_box = fr.box
+                left_box = cur_box.left_child
+                right_box = cur_box.right_child
+                prod_lefts = fr.prod_lefts
+                prod_rights = fr.prod_rights
+                lpos = [-1] * len(left_box.union_gates)
+                lmasks = [0] * len(left_box.union_gates)
+                left_lower = 0
+                pbl: List[int] = []
+                rpos = [-1] * len(right_box.union_gates)
+                right_slots: List[int] = []
+                pbr: List[int] = []
+                for j in range(len(pp)):
+                    if not pp[j]:
+                        continue
+                    jbit = 1 << j
+                    s = prod_lefts[j]
+                    p = lpos[s]
+                    if p < 0:
+                        lpos[s] = len(pbl)
+                        lmasks[s] = 1 << len(pbl)
+                        left_lower |= 1 << s
+                        pbl.append(jbit)
+                    else:
+                        pbl[p] |= jbit
+                    r = prod_rights[j]
+                    p = rpos[r]
+                    if p < 0:
+                        rpos[r] = len(pbr)
+                        right_slots.append(r)
+                        pbr.append(jbit)
+                    else:
+                        pbr[p] |= jbit
+                fr.pbl = pbl
+                fr.pbr = pbr
+                fr.right_slots = right_slots
+                fr.n_right = len(right_box.union_gates)
+                fr.right_box = right_box
+                child = fr.left_frame
+                if child is None:
+                    child = _Frame(_LEFT, fr, [(False, left_box, lmasks, left_lower)])
+                    fr.left_frame = child
+                else:
+                    child.steps.append((False, left_box, lmasks, left_lower))
+                stack.append(child)
+                continue
+        else:
+            # --------------------------------------------- advance the box enumeration
+            steps = fr.steps
+            if not steps:
+                stack.pop()
+                continue
+            is_walk, cur_box, g, lower_mask = steps.pop()
+            index = cur_box.index
+
+            if is_walk:
+                # one iteration of the bidirectional-box walk (Algorithm 3)
+                if not index.fbb_ranks:
+                    continue
+                best = fbb_of_mask(index, lower_mask)
+                if best is None:
+                    continue
+                first = fib_of_mask(index, lower_mask)
+                if best is first:
+                    continue
+                best_rank = index.targets[best].rank
+                prefix = len(best_rank) - 1
+                if best_rank[:prefix] != index.targets[first].rank[:prefix]:
+                    continue
+                rel_bid = _compose_masks(index.targets[best].relation.masks_view(), g)
+                plan = best.wire_plan
+                if plan is not None:
+                    wire_left, wire_right = plan.wire_masks
+                else:
+                    wire_left = _wire_masks(best, True)
+                    wire_right = _wire_masks(best, False)
+                rel_left, lm_left = _compose_masks_lm(wire_left, rel_bid)
+                rel_right, lm_right = _compose_masks_lm(wire_right, rel_bid)
+                if lm_left:
+                    steps.append((True, best.left_child, rel_left, lm_left))
+                if lm_right:
+                    steps.append((False, best.right_child, rel_right, lm_right))
+                continue
+
+            # descend to the first interesting box (Algorithm 3, lines 4-10)
+            first = fib_of_mask(index, lower_mask)
+            if first is cur_box:
+                rel_first = g
+                rf_lower = lower_mask
+            else:
+                rel_first, rf_lower = _compose_masks_lm(
+                    index.targets[first].relation.masks_view(), g
+                )
+            if index.fbb_ranks:
+                steps.append((True, cur_box, g, lower_mask))
+            if first.left_child is not None:
+                plan = first.wire_plan
+                if plan is not None:
+                    wire_left, wire_right = plan.wire_masks
+                else:
+                    wire_left = _wire_masks(first, True)
+                    wire_right = _wire_masks(first, False)
+                rel_l, lm_l = _compose_masks_lm(wire_left, rel_first)
+                rel_r, lm_r = _compose_masks_lm(wire_right, rel_first)
+                if lm_r:
+                    steps.append((False, first.right_child, rel_r, lm_r))
+                if lm_l:
+                    steps.append((False, first.left_child, rel_l, lm_l))
+
+            # ---- interesting box found: accumulate gate provenance masks (lines 5-7)
+            tables = first.enum_tables
+            if tables is None:
+                tables = first.enumeration_tables()
+            var_assignments, slot_var_masks, prod_lefts, prod_rights, slot_prod_masks = tables
+            n_vars = len(var_assignments)
+            n_prods = len(prod_lefts)
+            var_prov = [0] * n_vars
+            prod_prov = [0] * n_prods if n_prods else None
+            lm = first.local_mask & rf_lower
+            while lm:
+                low = lm & -lm
+                s = low.bit_length() - 1
+                lm ^= low
+                pm = rel_first[s]
+                if n_vars:
+                    vm = slot_var_masks[s]
+                    while vm:
+                        lowv = vm & -vm
+                        var_prov[lowv.bit_length() - 1] |= pm
+                        vm ^= lowv
+                if n_prods:
+                    qm = slot_prod_masks[s]
+                    while qm:
+                        lowq = qm & -qm
+                        prod_prov[lowq.bit_length() - 1] |= pm
+                        qm ^= lowq
+            fr.box = first
+            fr.var_prov = var_prov
+            fr.var_assignments = var_assignments
+            fr.var_pos = 0
+            fr.prod_prov = prod_prov
+            fr.prod_lefts = prod_lefts
+            fr.prod_rights = prod_rights
+            fr.emitting = True
+            continue
+
+        # ----------------------------------------------------- propagate one answer
+        while True:
+            role = fr.role
+            if role == _ROOT:
+                yield (part if type(part) is not tuple else _materialize(part)), prov
+                break
+            parent = fr.parent
+            if role == _LEFT:
+                # translate the left provenance to the matching ×-gates
+                matched = 0
+                pbl = parent.pbl
+                pp = prov
+                while pp:
+                    low = pp & -pp
+                    matched |= pbl[low.bit_length() - 1]
+                    pp ^= low
+                if not matched:
+                    break
+                parent.match_mask = matched
+                parent.left_part = part
+                rmasks = [0] * parent.n_right
+                right_lower = 0
+                right_slots = parent.right_slots
+                for p, prods_p in enumerate(parent.pbr):
+                    if prods_p & matched:
+                        s = right_slots[p]
+                        rmasks[s] = 1 << p
+                        right_lower |= 1 << s
+                child = parent.right_frame
+                if child is None:
+                    child = _Frame(_RIGHT, parent, [(False, parent.right_box, rmasks, right_lower)])
+                    parent.right_frame = child
+                else:
+                    child.steps.append((False, parent.right_box, rmasks, right_lower))
+                stack.append(child)
+                break
+            # role == _RIGHT: combine with the stored left part (line 16)
+            final = 0
+            pbr = parent.pbr
+            pp = prov
+            while pp:
+                low = pp & -pp
+                final |= pbr[low.bit_length() - 1]
+                pp ^= low
+            final &= parent.match_mask
+            if not final:
+                break
+            positions = 0
+            prod_prov = parent.prod_prov
+            while final:
+                low = final & -final
+                positions |= prod_prov[low.bit_length() - 1]
+                final ^= low
+            part = (parent.left_part, part)
+            prov = positions
+            fr = parent
+
+
+# =========================================================================== generic path
 def _enumerate_in_box(
     gamma: List[UnionGate],
     box: Box,
@@ -70,7 +514,9 @@ def _enumerate_in_box(
 ) -> Iterator[Tuple[Assignment, FrozenSet[UnionGate]]]:
     """Handle one interesting box ``B'`` with its relation ``R(B', Γ)``.
 
-    This is the body of the outer loop of Algorithm 2 (lines 4-16).
+    This is the body of the outer loop of Algorithm 2 (lines 4-16) in its
+    paper-shaped, relation/frozenset-based formulation (the reference the
+    mask-native path is tested against).
     """
     uppers_by_lower = relation.uppers_by_lower()
 
@@ -111,7 +557,7 @@ def _enumerate_in_box(
             seen_left.add(id(gate.left))
             gamma_left.append(gate.left)
 
-    for left_assignment, left_provenance in enumerate_boxed_set(gamma_left, box_enum):
+    for left_assignment, left_provenance in _enumerate_generic(gamma_left, box_enum):
         left_ids = {id(g) for g in left_provenance}
         matching = [gate for gate in prod_gates if id(gate.left) in left_ids]
         if not matching:
@@ -122,10 +568,20 @@ def _enumerate_in_box(
             if id(gate.right) not in seen_right:
                 seen_right.add(id(gate.right))
                 gamma_right.append(gate.right)
-        for right_assignment, right_provenance in enumerate_boxed_set(gamma_right, box_enum):
+        for right_assignment, right_provenance in _enumerate_generic(gamma_right, box_enum):
             right_ids = {id(g) for g in right_provenance}
             final_gates = [gate for gate in matching if id(gate.right) in right_ids]
             positions: Set[int] = set()
             for gate in final_gates:
                 positions |= provenance_of[id(gate)]
             yield (left_assignment | right_assignment, provenance_gates(positions))
+
+
+def _enumerate_generic(
+    gamma: List[UnionGate], box_enum: BoxEnumFn
+) -> Iterator[Tuple[Assignment, FrozenSet[UnionGate]]]:
+    """The recursive generic path (no fast-path dispatch on recursion)."""
+    if not gamma:
+        return
+    for interesting_box, relation in box_enum(gamma):
+        yield from _enumerate_in_box(gamma, interesting_box, relation, box_enum)

@@ -47,6 +47,8 @@ __all__ = [
     "build_index",
     "fib_of_slots",
     "fbb_of_slots",
+    "fib_of_mask",
+    "fbb_of_mask",
 ]
 
 SIDE_SELF = "self"
@@ -76,7 +78,7 @@ class TargetInfo:
 class BoxIndex:
     """The per-box part of the index structure ``I(C)`` of Definition 6.1."""
 
-    __slots__ = ("box", "fib", "fbb_pair", "targets", "by_rank")
+    __slots__ = ("box", "fib", "fbb_pair", "targets", "by_rank", "fib_ranks", "fbb_ranks")
 
     def __init__(self, box: Box):
         self.box = box
@@ -88,6 +90,11 @@ class BoxIndex:
         self.targets: Dict[Box, TargetInfo] = {}
         #: rank -> target box (lets lca_of resolve a computed rank to a box)
         self.by_rank: Dict[Tuple[int, ...], Box] = {}
+        #: per ∪-gate slot: rank of fib[slot] (parallel to fib; avoids a
+        #: targets lookup per slot on the enumeration hot path)
+        self.fib_ranks: List[Tuple[int, ...]] = []
+        #: (i, j) -> (rank, box) for fbb_pair (precomputed rank for min-scans)
+        self.fbb_ranks: Dict[Tuple[int, int], Tuple[Tuple[int, ...], Box]] = {}
 
     # ------------------------------------------------------------------ api
     def rank_of(self, box: Box) -> Tuple[int, ...]:
@@ -156,6 +163,56 @@ class BoxIndex:
 
 
 # --------------------------------------------------------------------------- set-level helpers
+def fib_of_mask(index: BoxIndex, slot_mask: int) -> Box:
+    """``fib(Γ)`` for a boxed set given as a bitmask over slots (equation (1)).
+
+    Mask-native twin of :func:`fib_of_slots`: iterates the set bits and
+    compares the precomputed ``fib_ranks``, with no set/sort allocation.
+    """
+    best: Optional[Box] = None
+    best_rank: Optional[Tuple[int, ...]] = None
+    fib = index.fib
+    fib_ranks = index.fib_ranks
+    while slot_mask:
+        low = slot_mask & -slot_mask
+        slot = low.bit_length() - 1
+        slot_mask ^= low
+        rank = fib_ranks[slot]
+        if best_rank is None or rank < best_rank:
+            best, best_rank = fib[slot], rank
+    if best is None:
+        raise IndexError_("fib of an empty boxed set requested")
+    return best
+
+
+def fbb_of_mask(index: BoxIndex, slot_mask: int) -> Optional[Box]:
+    """``fbb(Γ)`` for a boxed set given as a bitmask over slots.
+
+    Mask-native twin of :func:`fbb_of_slots`: scans the (i ≤ j) bit pairs of
+    the mask against the precomputed ``fbb_ranks`` table.
+    """
+    best: Optional[Box] = None
+    best_rank: Optional[Tuple[int, ...]] = None
+    fbb_ranks = index.fbb_ranks
+    outer = slot_mask
+    while outer:
+        low_i = outer & -outer
+        i = low_i.bit_length() - 1
+        inner = outer  # pairs (i, j) with j >= i, including the singleton (i, i)
+        outer ^= low_i
+        while inner:
+            low_j = inner & -inner
+            j = low_j.bit_length() - 1
+            inner ^= low_j
+            entry = fbb_ranks.get((i, j))
+            if entry is None:
+                continue
+            rank, candidate = entry
+            if best_rank is None or rank < best_rank:
+                best, best_rank = candidate, rank
+    return best
+
+
 def fib_of_slots(index: BoxIndex, slots: Iterable[int]) -> Box:
     """``fib(Γ)`` for a boxed set given by its slots (equation (1))."""
     best: Optional[Box] = None
@@ -196,6 +253,13 @@ def fbb_of_slots(index: BoxIndex, slots: Iterable[int]) -> Optional[Box]:
 
 
 # --------------------------------------------------------------------------- construction
+def _finalize_ranks(index: BoxIndex) -> None:
+    """Precompute the rank tables read by the mask-native lookups."""
+    targets = index.targets
+    index.fib_ranks = [targets[b].rank for b in index.fib]
+    index.fbb_ranks = {key: (targets[b].rank, b) for key, b in index.fbb_pair.items()}
+
+
 def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxIndex:
     """Build the index entry of a single box from its children's entries.
 
@@ -216,6 +280,7 @@ def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxInde
         # box is its own first interesting box for every slot, no pair has a
         # bidirectional box, and the only target is the box itself.
         index.fib = [box] * n
+        _finalize_ranks(index)
         box.index = index
         return index
 
@@ -268,6 +333,7 @@ def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxInde
             for j in range(i, n):
                 if (lefts_i | left_inputs[j]) and (rights_i | right_inputs[j]):
                     fbb_pair[(i, j)] = box
+        _finalize_ranks(index)
         box.index = index
         return index
 
@@ -327,6 +393,7 @@ def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxInde
                     fbb_pair[(i, j)] = value
                     ensure_target(value, SIDE_RIGHT)
 
+    _finalize_ranks(index)
     box.index = index
     return index
 

@@ -237,6 +237,19 @@ class Relation:
         """Return the relation as per-lower-slot bitmasks of upper slots."""
         return list(self._masks_ref())
 
+    def masks_view(self) -> List[int]:
+        """Return the per-lower-slot bitmask list *without copying*.
+
+        The returned list is the relation's internal cache and MUST be
+        treated as read-only — relations are immutable and aggressively
+        shared (interned identities, plan-level wire relations, stored index
+        relations).  This is the accessor the mask-native enumeration of
+        Algorithm 2 uses to thread Γ-position masks through compositions with
+        zero per-call allocation; it works for every backend (``pairs`` and
+        ``matrix`` relations convert once and cache the mask form).
+        """
+        return self._masks_ref()
+
     def is_empty(self) -> bool:
         """Return ``True`` if the relation contains no pair."""
         if self._masks is not None:

@@ -23,9 +23,13 @@ from repro.enumeration.relations import Relation, get_default_backend
 __all__ = ["wire_relation"]
 
 #: content-interned wire relations (fallback path): keyed by
-#: (n_lower, n_upper, masks, backend).  Bounded by the number of distinct
-#: wiring patterns, which is tiny compared to the number of boxes.
+#: (n_lower, n_upper, masks, backend).  Within one circuit the number of
+#: distinct wiring patterns is tiny compared to the number of boxes, but a
+#: long-lived process building many distinct circuits would accumulate
+#: entries forever, so the cache is capped (FIFO, like _COMPILED_QUERIES);
+#: an evicted entry only costs a re-intern on the next miss.
 _INTERNED: Dict[Tuple, Relation] = {}
+_INTERNED_LIMIT = 1024
 
 
 def wire_relation(box: Box, side: str, backend: Optional[str] = None) -> Relation:
@@ -62,6 +66,8 @@ def wire_relation(box: Box, side: str, backend: Optional[str] = None) -> Relatio
     relation = _INTERNED.get(intern_key)
     if relation is None:
         relation = Relation.from_masks(len(masks), len(box.union_gates), masks, backend=backend)
+        if len(_INTERNED) >= _INTERNED_LIMIT:
+            _INTERNED.pop(next(iter(_INTERNED)))
         _INTERNED[intern_key] = relation
     box.wire_cache[key] = relation
     return relation

@@ -1,6 +1,27 @@
-"""pytest configuration: make the tests package importable as plain modules."""
+"""pytest configuration: module imports and cross-test isolation.
+
+The tests package is made importable as plain modules, and the module-level
+default relation backend is snapshotted around every test: several suites
+exercise ``set_default_backend`` (and the enumeration fast path dispatches on
+the default), so a test that fails — or simply forgets to restore — must not
+leak a non-default backend into later tests.
+"""
 
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.enumeration.relations import get_default_backend, set_default_backend  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_relation_backend():
+    """Snapshot/restore the process-global default relation backend."""
+    original = get_default_backend()
+    try:
+        yield
+    finally:
+        set_default_backend(original)

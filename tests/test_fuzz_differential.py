@@ -1,0 +1,153 @@
+"""Randomized differential test harness (seeded, no external services).
+
+Every structural rewrite of the enumeration hot path — most recently the
+mask-native provenance representation of Algorithm 2 — is pinned here against
+two independent sources of truth:
+
+* the brute-force assignment-set oracle of :mod:`repro.automata.brute_force`,
+  which mirrors Definition 3.3 and shares no code with the enumeration
+  machinery, and
+* the agreement of the three relation backends (``pairs``, ``matrix``,
+  ``bitset``) with each other, before and after every edit of a random edit
+  sequence (the ``bitset`` backend takes the mask-native fast path, the other
+  two the generic relation-based path, so this is also a fast-vs-reference
+  differential).
+
+Case accounting: ``TestEndToEndDifferential`` runs ``N_SCENARIOS`` random
+(tree, query, edit-sequence) scenarios with ``N_EDITS`` edits each, checking
+all three backends at every checkpoint — ``N_SCENARIOS × (N_EDITS + 1) × 3``
+randomized backend-checkpoint cases (288 with the defaults, ≥ 200 required).
+``TestCircuitLevelDifferential`` adds circuit-level cases comparing the
+mask-native iterator against the generic path, provenance included.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import random_binary_tva, random_binary_tree, random_unranked_tva
+from repro.automata.brute_force import (
+    binary_satisfying_assignments,
+    unranked_satisfying_assignments,
+)
+from repro.automata.homogenize import homogenize
+from repro.circuits.build import build_assignment_circuit
+from repro.core.enumerator import TreeEnumerator
+from repro.enumeration.box_enum import naive_box_enum
+from repro.enumeration.duplicate_free import (
+    _enumerate_generic,
+    enumerate_boxed_masks,
+    enumerate_boxed_set,
+)
+from repro.enumeration.index import build_index
+from repro.enumeration.relations import iter_bits
+from repro.trees.edits import random_edit_sequence
+from repro.trees.generators import random_tree
+
+BACKENDS = ("pairs", "matrix", "bitset")
+LABELS = ("a", "b", "c")
+
+N_SCENARIOS = 24
+N_EDITS = 3
+
+
+def _scenario(case: int):
+    """A reproducible random (tree, query, edits) triple for one case seed."""
+    rng = random.Random(7000 + case)
+    n_vars = rng.choice((1, 1, 2))
+    query = random_unranked_tva(
+        rng.randrange(10_000),
+        n_states=rng.choice((2, 3)),
+        variables=("x", "y")[:n_vars],
+        initial_density=rng.uniform(0.3, 0.7),
+        delta_density=rng.uniform(0.2, 0.5),
+    )
+    tree = random_tree(rng.randint(4, 10), LABELS, seed=rng.randrange(10_000))
+    edits = random_edit_sequence(tree, LABELS, N_EDITS, seed=rng.randrange(10_000))
+    return tree, query, edits
+
+
+class TestEndToEndDifferential:
+    @pytest.mark.parametrize("case", range(N_SCENARIOS))
+    def test_backends_match_oracle_under_edits(self, case):
+        tree, query, edits = _scenario(case)
+        reference = tree.copy()
+        enumerators = {
+            backend: TreeEnumerator(tree, query, relation_backend=backend)
+            for backend in BACKENDS
+        }
+
+        def check(stage):
+            expected = unranked_satisfying_assignments(query, reference)
+            for backend, enumerator in enumerators.items():
+                produced = list(enumerator.assignments())
+                assert len(produced) == len(set(produced)), (
+                    f"case {case}, {stage}: duplicate answers on {backend}"
+                )
+                assert set(produced) == expected, (
+                    f"case {case}, {stage}: {backend} disagrees with the oracle"
+                )
+
+        check("initial")
+        for step, edit in enumerate(edits):
+            edit.apply_to_tree(reference)
+            for enumerator in enumerators.values():
+                enumerator.apply(edit)
+            check(f"after edit {step} ({edit.describe()})")
+
+
+class TestCircuitLevelDifferential:
+    """Mask-native Algorithm 2 vs the generic path, provenance included."""
+
+    @pytest.mark.parametrize("case", range(15))
+    def test_mask_path_matches_generic_with_provenance(self, case):
+        rng = random.Random(9000 + case)
+        automaton = homogenize(
+            random_binary_tva(
+                rng.randrange(10_000),
+                n_states=rng.choice((2, 3)),
+                variables=("x", "y")[: rng.choice((1, 1, 2))],
+            )
+        )
+        # Trees are kept small: the generic reference path is enumerated with
+        # the *naive* box enumeration for every box of the circuit, and the
+        # captured sets grow exponentially with the number of leaves.
+        tree = random_binary_tree(rng.randrange(10_000), rng.randint(3, 6))
+        circuit = build_assignment_circuit(tree, automaton)
+        build_index(circuit)
+        oracle = binary_satisfying_assignments(automaton, tree)
+        for box in circuit.boxes():
+            if not box.union_gates:
+                continue
+            gamma = list(box.union_gates)
+            generic = {
+                (assignment, frozenset(id(g) for g in provenance))
+                for assignment, provenance in _enumerate_generic(gamma, naive_box_enum)
+            }
+            fast = {
+                (assignment, frozenset(id(gamma[p]) for p in iter_bits(mask)))
+                for assignment, mask in enumerate_boxed_masks(gamma)
+            }
+            assert fast == generic
+            public = {
+                (assignment, frozenset(id(g) for g in provenance))
+                for assignment, provenance in enumerate_boxed_set(gamma)
+            }
+            assert public == generic
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_root_enumeration_matches_dp_oracle(self, case):
+        rng = random.Random(9900 + case)
+        automaton = homogenize(
+            random_binary_tva(rng.randrange(10_000), n_states=3, variables=("x",))
+        )
+        tree = random_binary_tree(rng.randrange(10_000), rng.randint(4, 10))
+        circuit = build_assignment_circuit(tree, automaton)
+        build_index(circuit)
+        from repro.enumeration.assignment_iter import CircuitEnumerator
+
+        produced = list(CircuitEnumerator(circuit, build=False).assignments())
+        assert len(produced) == len(set(produced))
+        assert set(produced) == binary_satisfying_assignments(automaton, tree)
