@@ -13,7 +13,7 @@ test:
 	$(PYPATH) $(PYTHON) -m pytest -x -q
 
 bench-smoke:
-	$(PYPATH) $(PYTHON) benchmarks/run_all.py --quick --compare
+	$(PYPATH) $(PYTHON) benchmarks/run_all.py --quick --compare --smoke-out benchmarks/results/smoke
 
 # Full benchmark harness: rewrites benchmarks/results/BENCH_*.json so the
 # committed trajectories can be compared across PRs.

@@ -29,7 +29,12 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.bench.workloads import mixed_workload, query_for_name, tree_for_experiment
+from repro.bench.workloads import (
+    mixed_workload,
+    query_for_name,
+    serving_traffic,
+    tree_for_experiment,
+)
 from repro.core.enumerator import TreeEnumerator
 
 BACKENDS = ("pairs", "matrix", "bitset")
@@ -190,6 +195,191 @@ def bench_delay(size: int, max_answers: int):
     }
 
 
+#: the standing queries of the serving workload (one compiled query each,
+#: shared by all the documents it serves): two lightweight queries, where
+#: serving cost is dominated by the per-document build and the catalog is
+#: roughly neutral, and one heavyweight nondeterministic query (hundreds of
+#: states after translation), where compilation dominates and the catalog
+#: must pay off clearly — the smoke gate checks the heavyweight one.
+SERVING_QUERIES = ("select-a", "descendant", "nondet-6")
+HEAVY_SERVING_QUERY = "nondet-6"
+
+
+def bench_serving(
+    n_docs: int,
+    size: int,
+    rounds: int,
+    page_size: int,
+    edits_per_batch: int = 2,
+    pages_per_round: int = 3,
+):
+    """The serving workload: N documents × standing queries × edit/page traffic.
+
+    Measures the serving-specific quantities:
+
+    * **cold start vs catalog start** — per standing query, what a fresh
+      process pays without the catalog (``compile_s``: translate +
+      homogenize, then ``cold_first_build_s``: the first document build,
+      which also compiles the box plans) against what it pays with it
+      (``load_s``: median catalog load, then ``warm_first_build_s``: the
+      first build with the loaded plans installed).  Both phases are timed
+      separately so the speedups compare like with like;
+    * **per-document build** — attaching one more document to an
+      already-loaded query (the only preprocessing a serving process pays);
+    * **traffic medians** — per-edit-batch and per-page times over a
+      read-heavy interleaved schedule (each round of
+      ``repro.bench.workloads.serving_traffic``: one edit batch on one
+      document, several page fetches on another), plus how many cursors
+      resumed across edit batches vs were invalidated (a cursor resumes when
+      the batch's trunks are disjoint from the regions it still has to read).
+    """
+    import shutil
+    import tempfile
+
+    from repro.serving import DocumentStore, QueryCatalog
+
+    catalog_dir = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    try:
+        from repro.core.enumerator import compiled_automaton_for
+
+        catalog = QueryCatalog(catalog_dir)
+        compile_s = {}
+        cold_first_build_s = {}
+        persist_s = {}
+        load_s = {}
+        warm_first_build_s = {}
+        warmup_tree = tree_for_experiment(size, "random", seed=SEED)
+        for query_name in SERVING_QUERIES:
+            # -- cold start: translate + homogenize, then a first document
+            #    build that also compiles the box plans
+            _clear_query_caches()
+            query = query_for_name(query_name)
+            with _gc_paused():
+                start = time.perf_counter()
+                automaton = compiled_automaton_for(query)
+                compile_s[query_name] = time.perf_counter() - start
+            with _gc_paused():
+                start = time.perf_counter()
+                TreeEnumerator(warmup_tree, query)
+                cold_first_build_s[query_name] = time.perf_counter() - start
+            with _gc_paused():
+                start = time.perf_counter()
+                catalog.save(query, automaton=automaton)
+                persist_s[query_name] = time.perf_counter() - start
+            # -- catalog start: load the persisted compiled query (median of
+            #    several), then a first build with the loaded plans installed
+            load_times = []
+            loaded = None
+            for _ in range(7):
+                with _gc_paused():
+                    loaded = catalog.load(catalog.digest_of(query), use_cache=False)
+                    load_times.append(loaded.load_seconds)
+            load_s[query_name] = statistics.median(load_times)
+            _clear_query_caches()
+            fresh_query = query_for_name(query_name)
+            loaded.attach(fresh_query)
+            with _gc_paused():
+                start = time.perf_counter()
+                TreeEnumerator(warmup_tree, fresh_query)
+                warm_first_build_s[query_name] = time.perf_counter() - start
+
+        # -- build N documents against the loaded automata (fresh-process shape)
+        _clear_query_caches()
+        store = DocumentStore(catalog=catalog)
+        build_times = []
+        docs = []
+        for i in range(n_docs):
+            tree = tree_for_experiment(size, "random", seed=SEED + i)
+            query = query_for_name(SERVING_QUERIES[i % len(SERVING_QUERIES)])
+            with _gc_paused():
+                start = time.perf_counter()
+                docs.append(store.add_tree(tree, query))
+                build_times.append(time.perf_counter() - start)
+
+        # -- interleaved edit/page traffic with one cursor per document
+        cursors = {doc.doc_id: doc.open_cursor(page_size=page_size) for doc in docs}
+        opened = len(cursors)
+        resumed_across_edits = 0
+        invalidated = 0
+        edit_times = []
+        page_times = []
+        doc_edits = {
+            doc.doc_id: mixed_workload(
+                doc.enumerator.tree, rounds * edits_per_batch, seed=SEED + 17 + doc.doc_id
+            )
+            for doc in docs
+        }
+        edit_pos = {doc.doc_id: 0 for doc in docs}
+        for kind, doc_index in serving_traffic(n_docs, rounds, seed=SEED + 5):
+            doc = docs[doc_index]
+            if kind == "edit":
+                pos = edit_pos[doc.doc_id]
+                batch = doc_edits[doc.doc_id][pos : pos + edits_per_batch]
+                edit_pos[doc.doc_id] = pos + edits_per_batch
+                if not batch:
+                    continue
+                with _gc_paused():
+                    start = time.perf_counter()
+                    report = doc.apply_edits(batch)
+                    edit_times.append(time.perf_counter() - start)
+                resumed_across_edits += report.cursors_resumed
+                invalidated += report.cursors_invalidated
+            else:
+                for _ in range(pages_per_round):
+                    cursor = cursors[doc.doc_id]
+                    if not cursor.is_active():
+                        cursor = doc.open_cursor(page_size=page_size)
+                        cursors[doc.doc_id] = cursor
+                        opened += 1
+                    with _gc_paused():
+                        start = time.perf_counter()
+                        page = cursor.fetch()
+                        page_times.append(time.perf_counter() - start)
+                    if page.exhausted:
+                        cursor = doc.open_cursor(page_size=page_size)
+                        cursors[doc.doc_id] = cursor
+                        opened += 1
+    finally:
+        shutil.rmtree(catalog_dir, ignore_errors=True)
+
+    cold_start_s = {q: compile_s[q] + cold_first_build_s[q] for q in SERVING_QUERIES}
+    catalog_start_s = {q: load_s[q] + warm_first_build_s[q] for q in SERVING_QUERIES}
+    return {
+        "bench": "serving_multidoc",
+        "workload": {
+            "queries": list(SERVING_QUERIES),
+            "shape": "random",
+            "seed": SEED,
+            "n_docs": n_docs,
+            "doc_size": size,
+            "rounds": rounds,
+            "page_size": page_size,
+            "edits_per_batch": edits_per_batch,
+            "pages_per_round": pages_per_round,
+        },
+        "compile_s": compile_s,
+        "cold_first_build_s": cold_first_build_s,
+        "persist_s": persist_s,
+        "load_s": load_s,
+        "warm_first_build_s": warm_first_build_s,
+        "cold_start_s": cold_start_s,
+        "catalog_start_s": catalog_start_s,
+        "catalog_start_speedup": {
+            q: cold_start_s[q] / catalog_start_s[q] if catalog_start_s[q] else float("inf")
+            for q in SERVING_QUERIES
+        },
+        "heavy_query": HEAVY_SERVING_QUERY,
+        "doc_build_median_s": statistics.median(build_times),
+        "edit_batch_median_s": statistics.median(edit_times) if edit_times else None,
+        "page_fetch_median_s": statistics.median(page_times) if page_times else None,
+        "cursors": {
+            "opened": opened,
+            "resumed_across_edit_batches": resumed_across_edits,
+            "invalidated_by_edit_batches": invalidated,
+        },
+    }
+
+
 def _attach_seed_baseline(payload, out_dir):
     """Merge the recorded seed baseline (pairs backend, pre-bitset code) in.
 
@@ -198,7 +388,11 @@ def _attach_seed_baseline(payload, out_dir):
     document its speedup against the seed configuration.
     """
     path = os.path.join(out_dir, "SEED_BASELINE.json")
-    if not os.path.exists(path):
+    if not os.path.exists(path) or payload["bench"] not in (
+        "preprocessing_linear",
+        "update_logarithmic",
+        "delay_constant",
+    ):
         return
     with open(path, encoding="utf8") as handle:
         baseline = json.load(handle)
@@ -256,6 +450,27 @@ def _delay_regression_gate(payload, out_dir):
 def _speedup_lines(payload):
     """Human-readable bitset-vs-pairs speedups for one payload."""
     lines = []
+    if payload["bench"] == "serving_multidoc":
+        cursors = payload["cursors"]
+        for query_name in payload["workload"]["queries"]:
+            lines.append(
+                f"  {query_name}: cold start (compile {payload['compile_s'][query_name]*1e3:.1f}ms"
+                f" + first build {payload['cold_first_build_s'][query_name]*1e3:.1f}ms) -> "
+                f"catalog start (load {payload['load_s'][query_name]*1e3:.2f}ms"
+                f" + first build {payload['warm_first_build_s'][query_name]*1e3:.1f}ms)  "
+                f"({payload['catalog_start_speedup'][query_name]:.1f}x)"
+            )
+        lines.append(
+            f"  per-doc build {payload['doc_build_median_s']*1e3:.2f}ms, "
+            f"edit batch {payload['edit_batch_median_s']*1e3:.2f}ms, "
+            f"page fetch {payload['page_fetch_median_s']*1e3:.2f}ms"
+        )
+        lines.append(
+            f"  cursors: {cursors['opened']} opened, "
+            f"{cursors['resumed_across_edit_batches']} resumed across edit batches, "
+            f"{cursors['invalidated_by_edit_batches']} invalidated"
+        )
+        return lines
     pairs = payload["backends"]["pairs"]
     bitset = payload["backends"]["bitset"]
     if payload["bench"] == "delay_constant":
@@ -277,23 +492,43 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="small sweep (<30 s), for make check")
     parser.add_argument("--compare", action="store_true", help="print speedups only, write nothing")
     parser.add_argument("--out", default=RESULTS_DIR, help="output directory for BENCH_*.json")
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="run a single benchmark by name (preprocessing_linear, "
+        "update_logarithmic, delay_constant, serving_multidoc) — useful to "
+        "refresh one committed trajectory without touching the others",
+    )
+    parser.add_argument(
+        "--smoke-out",
+        default=None,
+        help="also write the computed payloads (any mode, including --quick) "
+        "to this directory — CI uploads them as build artifacts",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
-        payloads = [
-            bench_preprocessing((256, 1024), reps=3),
-            bench_update((1024,), n_updates=20),
-            bench_delay(512, max_answers=150),
+        recipes = [
+            ("preprocessing_linear", lambda: bench_preprocessing((256, 1024), reps=3)),
+            ("update_logarithmic", lambda: bench_update((1024,), n_updates=20)),
+            ("delay_constant", lambda: bench_delay(512, max_answers=150)),
+            ("serving_multidoc", lambda: bench_serving(4, 256, rounds=10, page_size=20)),
         ]
     else:
-        payloads = [
-            bench_preprocessing((256, 512, 1024, 2048, 4096), reps=5),
-            bench_update((256, 1024, 4096, 8192), n_updates=40),
-            bench_delay(1024, max_answers=300),
+        recipes = [
+            ("preprocessing_linear", lambda: bench_preprocessing((256, 512, 1024, 2048, 4096), reps=5)),
+            ("update_logarithmic", lambda: bench_update((256, 1024, 4096, 8192), n_updates=40)),
+            ("delay_constant", lambda: bench_delay(1024, max_answers=300)),
+            ("serving_multidoc", lambda: bench_serving(8, 1024, rounds=40, page_size=50)),
         ]
+    if args.only is not None:
+        recipes = [(name, make) for name, make in recipes if name == args.only]
+        if not recipes:
+            parser.error(f"unknown benchmark {args.only!r}")
 
     failed = False
-    for payload in payloads:
+    for _name, make in recipes:
+        payload = make()
         _attach_seed_baseline(payload, args.out)
         print(f"[{payload['bench']}]")
         for line in _speedup_lines(payload):
@@ -304,6 +539,11 @@ def main(argv=None) -> int:
             print(f"  vs seed pairs: {rendered}")
         elif isinstance(speedups, float):
             print(f"  vs seed pairs: {speedups:.2f}x")
+        if args.smoke_out:
+            os.makedirs(args.smoke_out, exist_ok=True)
+            smoke_path = os.path.join(args.smoke_out, f"BENCH_{payload['bench']}.json")
+            with open(smoke_path, "w", encoding="utf8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
         if args.quick:
             # Quick sweeps are a smoke test, not a trajectory: never overwrite
             # the committed full-sweep BENCH files with 2-size/3-rep numbers.
@@ -315,20 +555,34 @@ def main(argv=None) -> int:
                 json.dump(payload, handle, indent=2, sort_keys=True)
             print(f"  wrote {os.path.relpath(path)}")
         if args.quick:
-            # Perf smoke: the default bitset backend must not be slower than
-            # the reference pairs backend on any headline measurement, and the
-            # bitset delay must not regress against the committed trajectory.
-            backends = payload["backends"]
-            if payload["bench"] == "delay_constant":
-                ok = backends["bitset"]["median_s"] <= backends["pairs"]["median_s"] * 1.5
-                if not _delay_regression_gate(payload, args.out):
-                    ok = False
+            if payload["bench"] == "serving_multidoc":
+                # Serving smoke: on the heavyweight standing query (where
+                # compilation dominates) a catalog start must clearly beat a
+                # cold start.  Lightweight queries are dominated by the
+                # per-document build either way and are recorded, not gated.
+                heavy = payload["heavy_query"]
+                ok = payload["catalog_start_speedup"][heavy] > 1.2
+                if not ok:
+                    print(
+                        f"  catalog start not paying off on {heavy} "
+                        f"({payload['catalog_start_speedup'][heavy]:.2f}x <= 1.2x)"
+                    )
             else:
-                ok = all(
-                    backends["bitset"][size]["median_s"]
-                    <= backends["pairs"][size]["median_s"] * 1.5
-                    for size in backends["pairs"]
-                )
+                # Perf smoke: the default bitset backend must not be slower
+                # than the reference pairs backend on any headline
+                # measurement, and the bitset delay must not regress against
+                # the committed trajectory.
+                backends = payload["backends"]
+                if payload["bench"] == "delay_constant":
+                    ok = backends["bitset"]["median_s"] <= backends["pairs"]["median_s"] * 1.5
+                    if not _delay_regression_gate(payload, args.out):
+                        ok = False
+                else:
+                    ok = all(
+                        backends["bitset"][size]["median_s"]
+                        <= backends["pairs"][size]["median_s"] * 1.5
+                        for size in backends["pairs"]
+                    )
             if not ok:
                 print(f"  PERF SMOKE FAILED for {payload['bench']}")
                 failed = True

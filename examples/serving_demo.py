@@ -1,0 +1,132 @@
+"""Serving demo: compile once, persist, reload in a fresh process, serve pages.
+
+This example walks the full :mod:`repro.serving` workflow:
+
+1. an "offline" step compiles a standing query, warms its box plans on one
+   document, and persists the compiled form in a :class:`QueryCatalog`;
+2. a **subprocess** — a genuinely fresh Python process — loads the compiled
+   query from the catalog (no translate / homogenize / plan compilation) and
+   verifies it enumerates the same answers;
+3. a :class:`DocumentStore` then serves several documents under the standing
+   query with paged cursors while edits arrive: cursors keep resuming across
+   edits that don't touch what they still have to read, and report a precise
+   invalidation when an edit does.
+
+Run with:  PYTHONPATH=src python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import repro
+from repro.automata.queries import select_labeled
+from repro.core.enumerator import TreeEnumerator
+from repro.serving import DocumentStore, QueryCatalog
+from repro.trees.edits import Relabel
+from repro.trees.generators import random_tree
+from repro.errors import CursorInvalidatedError
+
+LABELS = ("a", "b", "c", "d")
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+CHILD_SOURCE = """
+import sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.serving import QueryCatalog
+from repro.forest_algebra.maintenance import MaintainedTerm
+from repro.incremental.maintainer import IncrementalCircuitMaintainer
+from repro.trees.generators import random_tree
+
+catalog = QueryCatalog(sys.argv[2])
+loaded = catalog.load(sys.argv[3])
+tree = random_tree(400, ("a", "b", "c", "d"), 1)
+start = time.perf_counter()
+maintainer = IncrementalCircuitMaintainer(MaintainedTerm(tree), loaded.automaton)
+build_seconds = time.perf_counter() - start
+count = sum(1 for _ in maintainer.enumerator().assignments())
+print(f"{loaded.load_seconds:.6f} {build_seconds:.6f} {loaded.plans_installed} {count}")
+"""
+
+
+def main() -> None:
+    query = select_labeled("a", LABELS)
+
+    with tempfile.TemporaryDirectory(prefix="repro-catalog-") as catalog_dir:
+        # ---- offline: compile once, warm plans on one document, persist
+        catalog = QueryCatalog(catalog_dir)
+        start = time.perf_counter()
+        warm = TreeEnumerator(random_tree(400, LABELS, 1), query)
+        cold_start_seconds = time.perf_counter() - start
+        entry = catalog.save(query, automaton=warm.binary_automaton)
+        expected_count = warm.count()
+        print(f"compiled + persisted query {entry.digest[:12]}… "
+              f"(cold start: compile + first build {cold_start_seconds * 1000:.1f} ms, "
+              f"answers on doc #0: {expected_count})")
+
+        # ---- fresh process: load instead of compiling
+        result = subprocess.run(
+            [sys.executable, "-c", CHILD_SOURCE, SRC_DIR, catalog_dir, entry.digest],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        load_seconds, build_seconds, plans_installed, child_count = result.stdout.split()
+        catalog_start = float(load_seconds) + float(build_seconds)
+        print(f"fresh process: catalog load {float(load_seconds) * 1000:.2f} ms + first build "
+              f"{float(build_seconds) * 1000:.1f} ms ({plans_installed} box plans installed) — "
+              f"{cold_start_seconds / catalog_start:.1f}x faster than the cold start")
+        assert int(child_count) == expected_count, "subprocess answers diverged!"
+        print(f"fresh process enumerated the same {child_count} answers\n")
+
+        # ---- serve several documents under the standing query, with edits
+        store = DocumentStore(catalog=catalog)
+        docs = [store.add_tree(random_tree(300, LABELS, seed), query) for seed in (1, 2, 3)]
+        doc = docs[0]
+        print(f"serving {len(store)} documents; doc {doc.doc_id} has {doc.count()} answers")
+
+        cursor = doc.open_cursor(page_size=10)
+        page = cursor.fetch()
+        print(f"page 1: {len(page.answers)} answers (offset {page.offset})")
+
+        # an edit in a region the cursor has already consumed → it resumes
+        target = next(
+            node
+            for node in doc.enumerator.tree.nodes()
+            if not node.is_root()
+            and not store.would_invalidate(doc.doc_id, cursor, node.node_id)
+        )
+        report = doc.apply_edits([Relabel(target.node_id, target.label)])
+        print(f"edit batch at epoch {report.epoch} (node #{target.node_id}): "
+              f"{report.cursors_resumed} cursor(s) resumed")
+        page = cursor.fetch()
+        print(f"page 2 after unrelated edit: {len(page.answers)} answers "
+              f"(offset {page.offset}, duplicate-free continuation)")
+
+        # an edit hitting the cursor's remaining trunk → precise invalidation
+        hit = next(
+            node
+            for node in doc.enumerator.tree.nodes()
+            if not node.is_root()
+            and store.would_invalidate(doc.doc_id, cursor, node.node_id)
+        )
+        doc.apply_edits([Relabel(hit.node_id, "a")])
+        try:
+            cursor.fetch()
+        except CursorInvalidatedError as exc:
+            print(f"cursor invalidated as reported: {exc.report.describe()}")
+
+        # reopen against the updated document
+        fresh = doc.open_cursor(page_size=1000)
+        print(f"reopened cursor at epoch {doc.epoch}: "
+              f"{len(fresh.fetch().answers)} answers on the updated document")
+        print("\nstore stats:", json.dumps(store.stats(), indent=2))
+
+
+if __name__ == "__main__":
+    main()

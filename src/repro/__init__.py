@@ -14,7 +14,10 @@ The most convenient entry points are:
 * :class:`repro.core.enumerator.WordEnumerator` — the same for word variable
   automata / document spanners on words (Theorem 8.5);
 * :mod:`repro.spanners` — compile regexes with capture variables into word
-  variable automata.
+  variable automata;
+* :mod:`repro.serving` — the serving layer: persistent compiled queries
+  (:class:`~repro.serving.QueryCatalog`), many documents per standing query
+  (:class:`~repro.serving.DocumentStore`) and edit-stable paginated cursors.
 """
 
 from repro.assignments import (
@@ -45,6 +48,10 @@ def __getattr__(name):
         from repro.core import enumerator
 
         return getattr(enumerator, name)
+    if name in {"QueryCatalog", "DocumentStore"}:
+        from repro import serving
+
+        return getattr(serving, name)
     if name == "queries":
         from repro.automata import queries
 

@@ -1,0 +1,245 @@
+"""Stable (de)serialization of automata and their content digests.
+
+The serving layer (:mod:`repro.serving`) persists *compiled* queries — the
+homogenized :class:`~repro.automata.binary_tva.BinaryTVA` of Lemma 7.4 +
+Lemma 2.1 together with its memoized box plans — so that a fresh process can
+skip translation, homogenization and plan compilation entirely.  This module
+provides the automaton half of that: JSON-compatible payloads that are
+
+* **canonical** — the same automaton content always renders to the same
+  payload (frozensets are sorted by a canonical key, relations are sorted),
+  independently of per-process hash randomization, so content digests are
+  stable across processes and machines;
+* **closed over the value universe the pipeline produces** — states, labels
+  and variables are built from ``None``, booleans, ints, floats, strings,
+  tuples and frozensets (translation builds tuple states, homogenization
+  pairs them with flags); anything else is rejected loudly rather than
+  serialized approximately.
+
+Tuples and frozensets are encoded as tagged JSON lists (``["t", [...]]`` /
+``["s", [...]]``); primitives pass through unchanged.  Floats are tagged
+(``["f", "repr"]``) so JSON round-trips cannot silently merge ``1`` and
+``1.0``.
+
+Payloads **intern** values: each distinct state/label/variable/variable-set
+is encoded once into a canonically sorted ``values`` table, and the relation
+rows reference table indexes.  Homogenized translated automata have hundreds
+of tuple states appearing in thousands of transitions (and the box plans
+reference them again per signature), so interning shrinks the files and the
+load time by an order of magnitude while keeping the bytes canonical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Tuple
+
+from repro.automata.binary_tva import BinaryTVA
+from repro.automata.unranked_tva import UnrankedTVA
+from repro.automata.wva import WVA
+from repro.errors import InvalidAutomatonError
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "canonical_json",
+    "canonical_key",
+    "ValueTable",
+    "decode_values",
+    "binary_tva_to_payload",
+    "binary_tva_from_payload",
+    "query_payload",
+    "query_digest",
+]
+
+
+# --------------------------------------------------------------------------- value codec
+def encode_value(value: object) -> object:
+    """Encode a state/label/variable value as a JSON-compatible structure."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ["f", repr(value)]
+    if isinstance(value, tuple):
+        return ["t", [encode_value(item) for item in value]]
+    if isinstance(value, frozenset):
+        encoded = [encode_value(item) for item in value]
+        encoded.sort(key=canonical_key)
+        return ["s", encoded]
+    raise InvalidAutomatonError(
+        f"cannot serialize value {value!r} of type {type(value).__name__}; "
+        "states, labels and variables must be built from None, bool, int, "
+        "float, str, tuple and frozenset"
+    )
+
+
+def decode_value(payload: object) -> object:
+    """Invert :func:`encode_value`."""
+    if isinstance(payload, list):
+        tag, data = payload
+        if tag == "t":
+            return tuple(decode_value(item) for item in data)
+        if tag == "s":
+            return frozenset(decode_value(item) for item in data)
+        if tag == "f":
+            return float(data)
+        raise InvalidAutomatonError(f"unknown value tag {tag!r} in automaton payload")
+    return payload
+
+
+def canonical_key(encoded: object) -> str:
+    """A total order on encoded values (used to sort heterogeneous sets)."""
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json(payload: object) -> str:
+    """Render a payload as canonical JSON text (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sorted_values(values) -> List[object]:
+    encoded = [encode_value(v) for v in values]
+    encoded.sort(key=canonical_key)
+    return encoded
+
+
+def _sorted_rows(rows) -> List[object]:
+    rows = list(rows)
+    rows.sort(key=canonical_key)
+    return rows
+
+
+class ValueTable:
+    """An interning table of encoded values (deterministic index assignment).
+
+    Seed it with canonically sorted value collections (``seed``), then
+    resolve values to small integer indexes with ``ref``.  The table is
+    rendered as the ``values`` list of a payload; as long as the seeding
+    order and the reference order are deterministic, so are the payload
+    bytes.
+    """
+
+    def __init__(self):
+        self.encoded: List[object] = []
+        self._index: Dict[object, int] = {}
+
+    def seed(self, values) -> None:
+        """Intern a collection of values in canonical (sorted) order."""
+        pairs = sorted(
+            ((encode_value(v), v) for v in values), key=lambda p: canonical_key(p[0])
+        )
+        for encoded, value in pairs:
+            if value not in self._index:
+                self._index[value] = len(self.encoded)
+                self.encoded.append(encoded)
+
+    def ref(self, value) -> int:
+        index = self._index.get(value)
+        if index is None:
+            index = len(self.encoded)
+            self._index[value] = index
+            self.encoded.append(encode_value(value))
+        return index
+
+
+def decode_values(encoded: List[object]) -> List[object]:
+    """Decode a payload ``values`` table back into Python values."""
+    return [decode_value(item) for item in encoded]
+
+
+# --------------------------------------------------------------------------- BinaryTVA
+def binary_tva_to_payload(automaton: BinaryTVA) -> Dict:
+    """Render a :class:`BinaryTVA` as a canonical JSON-compatible payload.
+
+    States, labels, variables and variable sets are interned in the
+    ``values`` table; the ``initial``/``delta``/``final`` rows are index
+    tuples sorted as plain integer lists.
+    """
+    table = ValueTable()
+    table.seed(automaton.states)
+    table.seed(automaton.variables)
+    table.seed({label for label, _vs, _q in automaton.initial}
+               | {label for label, _q1, _q2, _q in automaton.delta})
+    table.seed({var_set for _l, var_set, _q in automaton.initial})
+    return {
+        "values": table.encoded,
+        "states": sorted(table.ref(q) for q in automaton.states),
+        "variables": sorted(table.ref(v) for v in automaton.variables),
+        "initial": sorted(
+            [table.ref(label), table.ref(var_set), table.ref(state)]
+            for label, var_set, state in automaton.initial
+        ),
+        "delta": sorted(
+            [table.ref(l), table.ref(q1), table.ref(q2), table.ref(q)]
+            for l, q1, q2, q in automaton.delta
+        ),
+        "final": sorted(table.ref(q) for q in automaton.final),
+        "name": automaton.name,
+    }
+
+
+def binary_tva_from_payload(payload: Dict) -> BinaryTVA:
+    """Rebuild a :class:`BinaryTVA` from :func:`binary_tva_to_payload` output."""
+    values = decode_values(payload["values"])
+    return BinaryTVA(
+        states=[values[i] for i in payload["states"]],
+        variables=[values[i] for i in payload["variables"]],
+        initial=[(values[l], values[vs], values[q]) for l, vs, q in payload["initial"]],
+        delta=[
+            (values[l], values[q1], values[q2], values[q])
+            for l, q1, q2, q in payload["delta"]
+        ],
+        final=[values[i] for i in payload["final"]],
+        name=payload.get("name", ""),
+    )
+
+
+# --------------------------------------------------------------------------- query content
+def query_payload(query: object) -> Dict:
+    """The canonical content payload of a *source* query (before compilation).
+
+    Supports the two query classes the public enumerators accept: stepwise
+    :class:`UnrankedTVA` (tree documents, Theorem 8.1) and :class:`WVA`
+    (word documents / document spanners, Theorem 8.5).  Two queries with
+    equal content — regardless of construction order or process — produce
+    identical payloads, which is what lets :func:`query_digest` key persisted
+    compiled queries by content rather than by object instance.
+    """
+    if isinstance(query, UnrankedTVA):
+        return {
+            "kind": "tree",
+            "states": _sorted_values(query.states),
+            "variables": _sorted_values(query.variables),
+            "initial": _sorted_rows(
+                [encode_value(l), encode_value(vs), encode_value(q)]
+                for l, vs, q in query.initial
+            ),
+            "delta": _sorted_rows(
+                [encode_value(q), encode_value(qc), encode_value(qn)]
+                for q, qc, qn in query.delta
+            ),
+            "final": _sorted_values(query.final),
+        }
+    if isinstance(query, WVA):
+        return {
+            "kind": "word",
+            "states": _sorted_values(query.states),
+            "variables": _sorted_values(query.variables),
+            "transitions": _sorted_rows(
+                [encode_value(q), encode_value(letter), encode_value(vs), encode_value(qn)]
+                for q, letter, vs, qn in query.transitions
+            ),
+            "initial": _sorted_values(query.initial),
+            "final": _sorted_values(query.final),
+        }
+    raise InvalidAutomatonError(
+        f"cannot compute a content payload for {type(query).__name__}; "
+        "expected an UnrankedTVA or a WVA"
+    )
+
+
+def query_digest(query: object) -> str:
+    """A hex content digest of a query (stable across processes and machines)."""
+    text = canonical_json(query_payload(query))
+    return hashlib.sha256(text.encode("utf8")).hexdigest()

@@ -26,6 +26,7 @@ __all__ = [
     "mixed_workload",
     "spanner_document",
     "nondeterministic_family",
+    "serving_traffic",
 ]
 
 
@@ -51,6 +52,11 @@ def query_for_name(name: str, labels: Sequence[str] = DEFAULT_LABELS) -> Unranke
         return select_label_set("a", labels)
     if name == "boolean":
         return boolean_contains_label("a", labels)
+    if name.startswith("nondet-"):
+        # e.g. "nondet-6": the nondeterministic witness-path family Φ_k —
+        # hundreds of states once translated+homogenized, the query class
+        # where persistent compiled queries pay off most.
+        return nondeterministic_family(int(name.split("-", 1)[1]), labels)
     raise ValueError(f"unknown benchmark query {name!r}")
 
 
@@ -70,6 +76,28 @@ def spanner_document(length: int, seed: int = 0, alphabet: Sequence[str] = ("a",
     """A synthetic document for the word/spanner experiments."""
     rng = random.Random(seed)
     return [rng.choice(list(alphabet)) for _ in range(length)]
+
+
+def serving_traffic(
+    n_docs: int,
+    rounds: int,
+    seed: int = 0,
+) -> List[Tuple[str, int]]:
+    """An interleaved edit/page traffic schedule for the serving benchmark.
+
+    A replayable sequence of ``("edit", doc)`` and ``("page", doc)`` events
+    over ``n_docs`` documents: each round touches one document with an edit
+    batch and pages answers from another — the standing-query serving pattern
+    (many documents, one compiled query, reads racing writes).
+    """
+    rng = random.Random(seed)
+    events: List[Tuple[str, int]] = []
+    for _ in range(rounds):
+        edit_doc = rng.randrange(n_docs)
+        page_doc = rng.randrange(n_docs)
+        events.append(("edit", edit_doc))
+        events.append(("page", page_doc))
+    return events
 
 
 def nondeterministic_family(k: int, labels: Sequence[str] = DEFAULT_LABELS) -> UnrankedTVA:

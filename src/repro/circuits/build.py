@@ -60,7 +60,13 @@ from repro.circuits.gates import (
 from repro.errors import CircuitStructureError, NotHomogenizedError
 from repro.trees.binary import BinaryNode, BinaryTree
 
-__all__ = ["build_leaf_box", "build_internal_box", "build_assignment_circuit"]
+__all__ = [
+    "build_leaf_box",
+    "build_internal_box",
+    "build_assignment_circuit",
+    "export_box_plans",
+    "install_box_plans",
+]
 
 # Input sources of a ∪-gate in an internal-box plan (paired with a slot or
 # ×-gate index): the left child's ∪-gate (right gate was ⊤), the right
@@ -365,6 +371,159 @@ def _internal_plan(
         tuple(signature),
         tuple(slot_prod_masks),
     )
+
+
+# --------------------------------------------------------------------------- plan persistence
+# Box plans are pure content: entries, masks and signatures fully determine
+# the gates a box build instantiates, and nothing in a plan references a
+# concrete box or relation instance (the lazily filled ``wire_rels`` cache is
+# dropped on export and refilled on demand).  That makes the whole per-
+# automaton plan cache exportable as a JSON-compatible payload keyed by
+# content — the circuits half of the persistent compiled queries served by
+# :mod:`repro.serving` (the automata half is
+# :mod:`repro.automata.serialize`).  A fresh process that installs a plan
+# payload builds its first document entirely from cache hits, skipping the
+# δ-product and classification work of every (label, signature) pair the
+# exporting process had already seen.
+
+def _encode_plan_value(value: object) -> object:
+    """Encode one ``entries`` value: ⊤/⊥ sentinel or an input tuple."""
+    if value is TOP:
+        return "T"
+    if value is BOTTOM:
+        return "B"
+    return ["u", [list(item) if isinstance(item, tuple) else item for item in value]]
+
+
+def _decode_plan_value(payload: object, pair_inputs: bool) -> object:
+    if payload == "T":
+        return TOP
+    if payload == "B":
+        return BOTTOM
+    data = payload[1]
+    if pair_inputs:
+        return tuple((source, slot) for source, slot in data)
+    return tuple(data)
+
+
+def export_box_plans(automaton: BinaryTVA) -> Dict:
+    """Export the automaton's memoized box plans as a JSON-compatible payload.
+
+    States, labels and variable sets are interned in the payload's
+    ``values`` table (states first, in canonical order, so the table —
+    hence the whole payload — is deterministic for a given plan set);
+    entries and signatures reference table indexes.  Entry order inside
+    each plan is preserved exactly (∪-gate slots follow it).
+    """
+    from repro.automata.serialize import ValueTable
+
+    cache = _plan_cache(automaton)
+    table = ValueTable()
+    table.seed(automaton.states)
+    table.seed({label for label in cache["leaf"]}
+               | {label for label, _ls, _rs in cache["internal"]})
+    table.seed({vs for plan in cache["leaf"].values() for vs in plan.var_sets})
+
+    def sig_payload(signature):
+        return [[table.ref(state), bool(is_top)] for state, is_top in signature]
+
+    leaf_payload = []
+    for label, plan in cache["leaf"].items():
+        leaf_payload.append(
+            [
+                table.ref(label),
+                {
+                    "entries": [
+                        [table.ref(state), _encode_plan_value(value)]
+                        for state, value in plan.entries
+                    ],
+                    "var_sets": [table.ref(vs) for vs in plan.var_sets],
+                    "local_mask": plan.local_mask,
+                    "signature": sig_payload(plan.signature),
+                    "slot_var_masks": list(plan.slot_var_masks),
+                },
+            ]
+        )
+    leaf_payload.sort(key=lambda item: item[0])
+
+    internal_payload = []
+    for (label, left_sig, right_sig), plan in cache["internal"].items():
+        internal_payload.append(
+            [
+                [table.ref(label), sig_payload(left_sig), sig_payload(right_sig)],
+                {
+                    "entries": [
+                        [table.ref(state), _encode_plan_value(value)]
+                        for state, value in plan.entries
+                    ],
+                    "prod_pairs": [list(pair) for pair in plan.prod_pairs],
+                    "wire_masks": [list(plan.wire_masks[0]), list(plan.wire_masks[1])],
+                    "left_input_masks": list(plan.left_input_masks),
+                    "right_input_masks": list(plan.right_input_masks),
+                    "local_mask": plan.local_mask,
+                    "signature": sig_payload(plan.signature),
+                    "slot_prod_masks": list(plan.enum_tables[4]),
+                },
+            ]
+        )
+    internal_payload.sort(key=lambda item: item[0])
+    return {"values": table.encoded, "leaf": leaf_payload, "internal": internal_payload}
+
+
+def install_box_plans(automaton: BinaryTVA, payload: Dict) -> int:
+    """Install an exported plan payload into the automaton's plan cache.
+
+    Existing entries (from plans already compiled in this process) are kept;
+    installed plans fill the remaining keys.  Returns the number of plans
+    installed.  Safe to call on a freshly deserialized automaton — the plan
+    cache is created on demand.
+    """
+    from repro.automata.serialize import decode_values
+
+    if not payload:
+        return 0
+    values = decode_values(payload.get("values", []))
+
+    def decode_sig(sig):
+        return tuple((values[i], bool(is_top)) for i, is_top in sig)
+
+    cache = _plan_cache(automaton)
+    installed = 0
+    for label_index, data in payload.get("leaf", ()):
+        label = values[label_index]
+        if label in cache["leaf"]:
+            continue
+        cache["leaf"][label] = _LeafPlan(
+            tuple(
+                (values[state], _decode_plan_value(value, pair_inputs=False))
+                for state, value in data["entries"]
+            ),
+            tuple(values[i] for i in data["var_sets"]),
+            data["local_mask"],
+            decode_sig(data["signature"]),
+            tuple(data["slot_var_masks"]),
+        )
+        installed += 1
+    for key_payload, data in payload.get("internal", ()):
+        label_index, left_sig, right_sig = key_payload
+        key = (values[label_index], decode_sig(left_sig), decode_sig(right_sig))
+        if key in cache["internal"]:
+            continue
+        cache["internal"][key] = _InternalPlan(
+            tuple(
+                (values[state], _decode_plan_value(value, pair_inputs=True))
+                for state, value in data["entries"]
+            ),
+            tuple(tuple(pair) for pair in data["prod_pairs"]),
+            (tuple(data["wire_masks"][0]), tuple(data["wire_masks"][1])),
+            tuple(data["left_input_masks"]),
+            tuple(data["right_input_masks"]),
+            data["local_mask"],
+            decode_sig(data["signature"]),
+            tuple(data["slot_prod_masks"]),
+        )
+        installed += 1
+    return installed
 
 
 def build_leaf_box(label: object, leaf_payload: int, automaton: BinaryTVA) -> Box:

@@ -54,7 +54,13 @@ from repro.incremental.maintainer import IncrementalCircuitMaintainer
 from repro.trees.edits import Delete, EditOperation, Insert, InsertRight, Relabel
 from repro.trees.unranked import UnrankedNode, UnrankedTree
 
-__all__ = ["TreeEnumerator", "WordEnumerator"]
+__all__ = [
+    "TreeEnumerator",
+    "WordEnumerator",
+    "query_content_key",
+    "compiled_automaton_for",
+    "seed_compiled_query",
+]
 
 
 #: content-keyed cache of compiled (translated + homogenized) queries,
@@ -62,6 +68,21 @@ __all__ = ["TreeEnumerator", "WordEnumerator"]
 #: memory without limit (each entry also carries the automaton's box plans).
 _COMPILED_QUERIES: Dict[Tuple, object] = {}
 _COMPILED_QUERIES_LIMIT = 128
+
+
+def query_content_key(query) -> Optional[Tuple]:
+    """The in-process content key of a query (``None`` for unknown types).
+
+    Two queries with equal content share one compiled automaton through this
+    key; :mod:`repro.serving` uses the stable cross-process digest of
+    :func:`repro.automata.serialize.query_digest` for the same purpose on
+    disk.
+    """
+    if isinstance(query, UnrankedTVA):
+        return ("tva", query.states, query.variables, query.initial, query.delta, query.final)
+    if isinstance(query, WVA):
+        return ("wva", query.states, query.variables, query.transitions, query.initial, query.final)
+    return None
 
 
 def _binary_automaton_for(query, translate):
@@ -77,12 +98,7 @@ def _binary_automaton_for(query, translate):
     cached = getattr(query, "_binary_automaton_cache", None)
     if cached is not None:
         return cached
-    if isinstance(query, UnrankedTVA):
-        key: Tuple = ("tva", query.states, query.variables, query.initial, query.delta, query.final)
-    elif isinstance(query, WVA):
-        key = ("wva", query.states, query.variables, query.transitions, query.initial, query.final)
-    else:  # unknown query type: compile without content caching
-        key = None
+    key = query_content_key(query)
     cached = _COMPILED_QUERIES.get(key) if key is not None else None
     if cached is None:
         cached = homogenize(translate(query))
@@ -97,6 +113,44 @@ def _binary_automaton_for(query, translate):
     except AttributeError:  # query classes with __slots__: just skip caching
         pass
     return cached
+
+
+def compiled_automaton_for(query):
+    """The compiled (translated + homogenized) binary automaton of a query.
+
+    Dispatches on the query type — :class:`UnrankedTVA` (Lemma 7.4) or
+    :class:`WVA` (Theorem 8.5) — and shares the in-process content-keyed
+    cache the enumerators use, so serving code and enumerators built for the
+    same query content get the *same* automaton object (and hence share its
+    box plans).
+    """
+    if isinstance(query, UnrankedTVA):
+        return _binary_automaton_for(query, translate_unranked_tva)
+    if isinstance(query, WVA):
+        return _binary_automaton_for(query, translate_wva)
+    raise TypeError(
+        f"cannot compile {type(query).__name__}; expected an UnrankedTVA or a WVA"
+    )
+
+
+def seed_compiled_query(query, automaton) -> None:
+    """Install an externally obtained compiled automaton for a query.
+
+    Used by :class:`repro.serving.QueryCatalog` after loading a persisted
+    compiled query: the automaton is attached to the query object and entered
+    into the content-keyed cache, so every later
+    :class:`TreeEnumerator`/:class:`WordEnumerator` for this query content
+    skips translate + homogenize + plan compilation entirely.
+    """
+    key = query_content_key(query)
+    if key is not None:
+        if key not in _COMPILED_QUERIES and len(_COMPILED_QUERIES) >= _COMPILED_QUERIES_LIMIT:
+            _COMPILED_QUERIES.pop(next(iter(_COMPILED_QUERIES)))
+        _COMPILED_QUERIES[key] = automaton
+    try:
+        query._binary_automaton_cache = automaton
+    except AttributeError:
+        pass
 
 
 class TreeEnumerator:

@@ -27,9 +27,31 @@ from repro.circuits.gates import BOTTOM, TOP, AssignmentCircuit, Box, UnionGate
 from repro.enumeration.box_enum import indexed_box_enum, naive_box_enum
 from repro.enumeration.duplicate_free import enumerate_boxed_masks, enumerate_boxed_set
 from repro.enumeration.index import build_index
-from repro.enumeration.relations import get_default_backend
+from repro.enumeration.relations import get_default_backend, validate_backend
 
-__all__ = ["CircuitEnumerator"]
+__all__ = ["CircuitEnumerator", "root_boxed_set"]
+
+
+def root_boxed_set(root_box: Box, final_states) -> Tuple[List[UnionGate], bool]:
+    """The boxed set of final-state root gates and the empty-answer flag.
+
+    The boxed set contains the gates ``γ(root, q)`` that are ∪-gates for
+    final states ``q``; the flag is ``True`` when some final state's root
+    gate is ⊤, i.e. when the empty assignment is an answer.  Shared by
+    :class:`CircuitEnumerator` and the serving layer's cursors so the two
+    can never diverge on empty-answer/dedup semantics.
+    """
+    gates: List[UnionGate] = []
+    empty_answer = False
+    seen = set()
+    for state in final_states:
+        gate = root_box.state_gate.get(state, BOTTOM)
+        if gate is TOP:
+            empty_answer = True
+        elif gate is not BOTTOM and id(gate) not in seen:
+            seen.add(id(gate))
+            gates.append(gate)
+    return gates, empty_answer
 
 
 class CircuitEnumerator:
@@ -44,6 +66,8 @@ class CircuitEnumerator:
     ):
         self.circuit = circuit
         self.use_index = use_index
+        if relation_backend is not None:
+            validate_backend(relation_backend)
         self.relation_backend = relation_backend
         if use_index and build:
             self.preprocess()
@@ -90,17 +114,7 @@ class CircuitEnumerator:
         gate is ⊤, i.e. when the empty assignment is an answer.
         """
         states = self.circuit.automaton.final if final_states is None else final_states
-        gates: List[UnionGate] = []
-        empty_answer = False
-        seen = set()
-        for state in states:
-            gate = self.circuit.root_box.state_gate.get(state, BOTTOM)
-            if gate is TOP:
-                empty_answer = True
-            elif gate is not BOTTOM and id(gate) not in seen:
-                seen.add(id(gate))
-                gates.append(gate)
-        return gates, empty_answer
+        return root_boxed_set(self.circuit.root_box, states)
 
     def assignments(self, final_states: Optional[Sequence[object]] = None) -> Iterator[Assignment]:
         """Enumerate the satisfying assignments, without duplicates.

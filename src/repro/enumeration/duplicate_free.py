@@ -78,7 +78,7 @@ from repro.enumeration.relations import Relation, get_default_backend, iter_bits
 from repro.enumeration.wiring import wire_relation
 from repro.errors import CircuitStructureError, IndexError_
 
-__all__ = ["enumerate_boxed_set", "enumerate_boxed_masks"]
+__all__ = ["enumerate_boxed_set", "enumerate_boxed_masks", "MaskStackEnumeration"]
 
 BoxEnumFn = Callable[[Sequence[UnionGate]], Iterator[Tuple[Box, Relation]]]
 
@@ -256,253 +256,317 @@ def enumerate_boxed_masks(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Assignme
     assignment.  Requires the index of Section 6 to be built on the circuit
     (:func:`repro.enumeration.index.build_index`); the composition chain runs
     on raw per-slot masks regardless of the backend the stored relations use.
+
+    Returns a :class:`MaskStackEnumeration` — a plain iterator whose frame
+    stack is checkpointable: pausing between ``next()`` calls freezes the
+    whole enumeration state, and :meth:`MaskStackEnumeration.referenced_boxes`
+    reports exactly the boxes the remaining enumeration can still read (what
+    the serving layer's edit-stable cursors are built on).
     """
-    gamma = list(gamma)
-    if not gamma:
-        return
-    box = gamma[0].box
-    for gate in gamma:
-        if gate.box is not box:
-            raise CircuitStructureError("a boxed set must contain gates of a single box")
-    if box.index is None:
-        raise IndexError_("mask-native enumeration requires the index to be built (build_index)")
-    gmasks = [0] * len(box.union_gates)
-    for position, gate in enumerate(gamma):
-        gmasks[gate.slot] |= 1 << position
-    root_lower = 0
-    bit = 1
-    for row in gmasks:
-        if row:
-            root_lower |= bit
-        bit <<= 1
+    return MaskStackEnumeration(gamma)
 
-    stack = [_Frame(_ROOT, None, [(False, box, gmasks, root_lower)])]
-    while stack:
-        fr = stack[-1]
 
-        # ------------------------------------------- emit answers of the current box
-        if fr.emitting:
-            part = None
-            prov = 0
-            vp = fr.var_prov
-            i = fr.var_pos
-            n = len(vp)
-            while i < n:
-                mask = vp[i]
-                if mask:
-                    part = fr.var_assignments[i]
-                    prov = mask
-                    fr.var_pos = i + 1
-                    break
-                i += 1
-            if part is None:
-                # var answers done: set up the ×-gate recursion (lines 8-16)
-                fr.emitting = False
-                pp = fr.prod_prov
-                if pp is None or not any(pp):
-                    continue
-                cur_box = fr.box
-                left_box = cur_box.left_child
-                right_box = cur_box.right_child
-                prod_lefts = fr.prod_lefts
-                prod_rights = fr.prod_rights
-                lpos = [-1] * len(left_box.union_gates)
-                lmasks = [0] * len(left_box.union_gates)
-                left_lower = 0
-                pbl: List[int] = []
-                rpos = [-1] * len(right_box.union_gates)
-                right_slots: List[int] = []
-                pbr: List[int] = []
-                for j in range(len(pp)):
-                    if not pp[j]:
+class MaskStackEnumeration:
+    """The explicit-stack mask-native Algorithm 2 as a checkpointable iterator.
+
+    Equivalent to the generator formulation (``next()`` yields the same
+    ``(assignment, provenance mask)`` stream in the same order), but the
+    state lives in an inspectable attribute (``_stack`` of :class:`_Frame`)
+    instead of suspended generator frames.  That buys two things the serving
+    layer needs:
+
+    * **checkpointing** — between two ``next()`` calls the enumeration is a
+      passive value; a cursor can hold it across requests (and across edits
+      of *other* regions of the document) and resume where it left off;
+    * **dependency reporting** — :meth:`referenced_boxes` lists the boxes the
+      frozen frames still reference.  Because the dirty sets of Lemma 7.3 are
+      upward closed (a rebuilt box's ancestors are all rebuilt), a box absent
+      from an edit's trunk roots an entirely untouched subtree, so the
+      remaining stream is unchanged iff no referenced box was rebuilt — the
+      exact test behind cursor resume-or-invalidate decisions.
+    """
+
+    __slots__ = ("_stack",)
+
+    def __init__(self, gamma: Sequence[UnionGate]):
+        gamma = list(gamma)
+        if not gamma:
+            self._stack: List[_Frame] = []
+            return
+        box = gamma[0].box
+        for gate in gamma:
+            if gate.box is not box:
+                raise CircuitStructureError("a boxed set must contain gates of a single box")
+        if box.index is None:
+            raise IndexError_(
+                "mask-native enumeration requires the index to be built (build_index)"
+            )
+        gmasks = [0] * len(box.union_gates)
+        for position, gate in enumerate(gamma):
+            gmasks[gate.slot] |= 1 << position
+        root_lower = 0
+        bit = 1
+        for row in gmasks:
+            if row:
+                root_lower |= bit
+            bit <<= 1
+        self._stack = [_Frame(_ROOT, None, [(False, box, gmasks, root_lower)])]
+
+    def __iter__(self) -> "MaskStackEnumeration":
+        return self
+
+    def referenced_boxes(self) -> List[Box]:
+        """The boxes the remaining enumeration can still read.
+
+        Collected from the live frames: the interesting box being emitted,
+        the pending right-child box of an in-flight ×-gate combination, and
+        the boxes of every pending box-enumeration step.  Everything the
+        remaining stream will ever touch lies in the subtrees of these boxes,
+        so (dirty sets being upward closed) identity-comparing this list
+        against an edit's replaced trunk decides resumability exactly.
+        """
+        boxes: List[Box] = []
+        seen = set()
+        for fr in self._stack:
+            for candidate in (fr.box, fr.right_box):
+                if candidate is not None and id(candidate) not in seen:
+                    seen.add(id(candidate))
+                    boxes.append(candidate)
+            for step in fr.steps:
+                candidate = step[1]
+                if id(candidate) not in seen:
+                    seen.add(id(candidate))
+                    boxes.append(candidate)
+        return boxes
+
+    def __next__(self) -> Tuple[Assignment, int]:
+        stack = self._stack
+        while stack:
+            fr = stack[-1]
+
+            # ------------------------------------------- emit answers of the current box
+            if fr.emitting:
+                part = None
+                prov = 0
+                vp = fr.var_prov
+                i = fr.var_pos
+                n = len(vp)
+                while i < n:
+                    mask = vp[i]
+                    if mask:
+                        part = fr.var_assignments[i]
+                        prov = mask
+                        fr.var_pos = i + 1
+                        break
+                    i += 1
+                if part is None:
+                    # var answers done: set up the ×-gate recursion (lines 8-16)
+                    fr.emitting = False
+                    pp = fr.prod_prov
+                    if pp is None or not any(pp):
                         continue
-                    jbit = 1 << j
-                    s = prod_lefts[j]
-                    p = lpos[s]
-                    if p < 0:
-                        lpos[s] = len(pbl)
-                        lmasks[s] = 1 << len(pbl)
-                        left_lower |= 1 << s
-                        pbl.append(jbit)
+                    cur_box = fr.box
+                    left_box = cur_box.left_child
+                    right_box = cur_box.right_child
+                    prod_lefts = fr.prod_lefts
+                    prod_rights = fr.prod_rights
+                    lpos = [-1] * len(left_box.union_gates)
+                    lmasks = [0] * len(left_box.union_gates)
+                    left_lower = 0
+                    pbl: List[int] = []
+                    rpos = [-1] * len(right_box.union_gates)
+                    right_slots: List[int] = []
+                    pbr: List[int] = []
+                    for j in range(len(pp)):
+                        if not pp[j]:
+                            continue
+                        jbit = 1 << j
+                        s = prod_lefts[j]
+                        p = lpos[s]
+                        if p < 0:
+                            lpos[s] = len(pbl)
+                            lmasks[s] = 1 << len(pbl)
+                            left_lower |= 1 << s
+                            pbl.append(jbit)
+                        else:
+                            pbl[p] |= jbit
+                        r = prod_rights[j]
+                        p = rpos[r]
+                        if p < 0:
+                            rpos[r] = len(pbr)
+                            right_slots.append(r)
+                            pbr.append(jbit)
+                        else:
+                            pbr[p] |= jbit
+                    fr.pbl = pbl
+                    fr.pbr = pbr
+                    fr.right_slots = right_slots
+                    fr.n_right = len(right_box.union_gates)
+                    fr.right_box = right_box
+                    child = fr.left_frame
+                    if child is None:
+                        child = _Frame(_LEFT, fr, [(False, left_box, lmasks, left_lower)])
+                        fr.left_frame = child
                     else:
-                        pbl[p] |= jbit
-                    r = prod_rights[j]
-                    p = rpos[r]
-                    if p < 0:
-                        rpos[r] = len(pbr)
-                        right_slots.append(r)
-                        pbr.append(jbit)
-                    else:
-                        pbr[p] |= jbit
-                fr.pbl = pbl
-                fr.pbr = pbr
-                fr.right_slots = right_slots
-                fr.n_right = len(right_box.union_gates)
-                fr.right_box = right_box
-                child = fr.left_frame
-                if child is None:
-                    child = _Frame(_LEFT, fr, [(False, left_box, lmasks, left_lower)])
-                    fr.left_frame = child
-                else:
-                    child.steps.append((False, left_box, lmasks, left_lower))
-                stack.append(child)
-                continue
-        else:
-            # --------------------------------------------- advance the box enumeration
-            steps = fr.steps
-            if not steps:
-                stack.pop()
-                continue
-            is_walk, cur_box, g, lower_mask = steps.pop()
-            index = cur_box.index
-
-            if is_walk:
-                # one iteration of the bidirectional-box walk (Algorithm 3)
-                if not index.fbb_ranks:
+                        child.steps.append((False, left_box, lmasks, left_lower))
+                    stack.append(child)
                     continue
-                best = fbb_of_mask(index, lower_mask)
-                if best is None:
-                    continue
-                first = fib_of_mask(index, lower_mask)
-                if best is first:
-                    continue
-                best_rank = index.targets[best].rank
-                prefix = len(best_rank) - 1
-                if best_rank[:prefix] != index.targets[first].rank[:prefix]:
-                    continue
-                rel_bid = _compose_masks(index.targets[best].relation.masks_view(), g)
-                plan = best.wire_plan
-                if plan is not None:
-                    wire_left, wire_right = plan.wire_masks
-                else:
-                    wire_left = _wire_masks(best, True)
-                    wire_right = _wire_masks(best, False)
-                rel_left, lm_left = _compose_masks_lm(wire_left, rel_bid)
-                rel_right, lm_right = _compose_masks_lm(wire_right, rel_bid)
-                if lm_left:
-                    steps.append((True, best.left_child, rel_left, lm_left))
-                if lm_right:
-                    steps.append((False, best.right_child, rel_right, lm_right))
-                continue
-
-            # descend to the first interesting box (Algorithm 3, lines 4-10)
-            first = fib_of_mask(index, lower_mask)
-            if first is cur_box:
-                rel_first = g
-                rf_lower = lower_mask
             else:
-                rel_first, rf_lower = _compose_masks_lm(
-                    index.targets[first].relation.masks_view(), g
-                )
-            if index.fbb_ranks:
-                steps.append((True, cur_box, g, lower_mask))
-            if first.left_child is not None:
-                plan = first.wire_plan
-                if plan is not None:
-                    wire_left, wire_right = plan.wire_masks
+                # --------------------------------------------- advance the box enumeration
+                steps = fr.steps
+                if not steps:
+                    stack.pop()
+                    continue
+                is_walk, cur_box, g, lower_mask = steps.pop()
+                index = cur_box.index
+
+                if is_walk:
+                    # one iteration of the bidirectional-box walk (Algorithm 3)
+                    if not index.fbb_ranks:
+                        continue
+                    best = fbb_of_mask(index, lower_mask)
+                    if best is None:
+                        continue
+                    first = fib_of_mask(index, lower_mask)
+                    if best is first:
+                        continue
+                    best_rank = index.targets[best].rank
+                    prefix = len(best_rank) - 1
+                    if best_rank[:prefix] != index.targets[first].rank[:prefix]:
+                        continue
+                    rel_bid = _compose_masks(index.targets[best].relation.masks_view(), g)
+                    plan = best.wire_plan
+                    if plan is not None:
+                        wire_left, wire_right = plan.wire_masks
+                    else:
+                        wire_left = _wire_masks(best, True)
+                        wire_right = _wire_masks(best, False)
+                    rel_left, lm_left = _compose_masks_lm(wire_left, rel_bid)
+                    rel_right, lm_right = _compose_masks_lm(wire_right, rel_bid)
+                    if lm_left:
+                        steps.append((True, best.left_child, rel_left, lm_left))
+                    if lm_right:
+                        steps.append((False, best.right_child, rel_right, lm_right))
+                    continue
+
+                # descend to the first interesting box (Algorithm 3, lines 4-10)
+                first = fib_of_mask(index, lower_mask)
+                if first is cur_box:
+                    rel_first = g
+                    rf_lower = lower_mask
                 else:
-                    wire_left = _wire_masks(first, True)
-                    wire_right = _wire_masks(first, False)
-                rel_l, lm_l = _compose_masks_lm(wire_left, rel_first)
-                rel_r, lm_r = _compose_masks_lm(wire_right, rel_first)
-                if lm_r:
-                    steps.append((False, first.right_child, rel_r, lm_r))
-                if lm_l:
-                    steps.append((False, first.left_child, rel_l, lm_l))
+                    rel_first, rf_lower = _compose_masks_lm(
+                        index.targets[first].relation.masks_view(), g
+                    )
+                if index.fbb_ranks:
+                    steps.append((True, cur_box, g, lower_mask))
+                if first.left_child is not None:
+                    plan = first.wire_plan
+                    if plan is not None:
+                        wire_left, wire_right = plan.wire_masks
+                    else:
+                        wire_left = _wire_masks(first, True)
+                        wire_right = _wire_masks(first, False)
+                    rel_l, lm_l = _compose_masks_lm(wire_left, rel_first)
+                    rel_r, lm_r = _compose_masks_lm(wire_right, rel_first)
+                    if lm_r:
+                        steps.append((False, first.right_child, rel_r, lm_r))
+                    if lm_l:
+                        steps.append((False, first.left_child, rel_l, lm_l))
 
-            # ---- interesting box found: accumulate gate provenance masks (lines 5-7)
-            tables = first.enum_tables
-            if tables is None:
-                tables = first.enumeration_tables()
-            var_assignments, slot_var_masks, prod_lefts, prod_rights, slot_prod_masks = tables
-            n_vars = len(var_assignments)
-            n_prods = len(prod_lefts)
-            var_prov = [0] * n_vars
-            prod_prov = [0] * n_prods if n_prods else None
-            lm = first.local_mask & rf_lower
-            while lm:
-                low = lm & -lm
-                s = low.bit_length() - 1
-                lm ^= low
-                pm = rel_first[s]
-                if n_vars:
-                    vm = slot_var_masks[s]
-                    while vm:
-                        lowv = vm & -vm
-                        var_prov[lowv.bit_length() - 1] |= pm
-                        vm ^= lowv
-                if n_prods:
-                    qm = slot_prod_masks[s]
-                    while qm:
-                        lowq = qm & -qm
-                        prod_prov[lowq.bit_length() - 1] |= pm
-                        qm ^= lowq
-            fr.box = first
-            fr.var_prov = var_prov
-            fr.var_assignments = var_assignments
-            fr.var_pos = 0
-            fr.prod_prov = prod_prov
-            fr.prod_lefts = prod_lefts
-            fr.prod_rights = prod_rights
-            fr.emitting = True
-            continue
+                # ---- interesting box found: accumulate gate provenance masks (lines 5-7)
+                tables = first.enum_tables
+                if tables is None:
+                    tables = first.enumeration_tables()
+                var_assignments, slot_var_masks, prod_lefts, prod_rights, slot_prod_masks = tables
+                n_vars = len(var_assignments)
+                n_prods = len(prod_lefts)
+                var_prov = [0] * n_vars
+                prod_prov = [0] * n_prods if n_prods else None
+                lm = first.local_mask & rf_lower
+                while lm:
+                    low = lm & -lm
+                    s = low.bit_length() - 1
+                    lm ^= low
+                    pm = rel_first[s]
+                    if n_vars:
+                        vm = slot_var_masks[s]
+                        while vm:
+                            lowv = vm & -vm
+                            var_prov[lowv.bit_length() - 1] |= pm
+                            vm ^= lowv
+                    if n_prods:
+                        qm = slot_prod_masks[s]
+                        while qm:
+                            lowq = qm & -qm
+                            prod_prov[lowq.bit_length() - 1] |= pm
+                            qm ^= lowq
+                fr.box = first
+                fr.var_prov = var_prov
+                fr.var_assignments = var_assignments
+                fr.var_pos = 0
+                fr.prod_prov = prod_prov
+                fr.prod_lefts = prod_lefts
+                fr.prod_rights = prod_rights
+                fr.emitting = True
+                continue
 
-        # ----------------------------------------------------- propagate one answer
-        while True:
-            role = fr.role
-            if role == _ROOT:
-                yield (part if type(part) is not tuple else _materialize(part)), prov
-                break
-            parent = fr.parent
-            if role == _LEFT:
-                # translate the left provenance to the matching ×-gates
-                matched = 0
-                pbl = parent.pbl
+            # ----------------------------------------------------- propagate one answer
+            while True:
+                role = fr.role
+                if role == _ROOT:
+                    return (part if type(part) is not tuple else _materialize(part)), prov
+                parent = fr.parent
+                if role == _LEFT:
+                    # translate the left provenance to the matching ×-gates
+                    matched = 0
+                    pbl = parent.pbl
+                    pp = prov
+                    while pp:
+                        low = pp & -pp
+                        matched |= pbl[low.bit_length() - 1]
+                        pp ^= low
+                    if not matched:
+                        break
+                    parent.match_mask = matched
+                    parent.left_part = part
+                    rmasks = [0] * parent.n_right
+                    right_lower = 0
+                    right_slots = parent.right_slots
+                    for p, prods_p in enumerate(parent.pbr):
+                        if prods_p & matched:
+                            s = right_slots[p]
+                            rmasks[s] = 1 << p
+                            right_lower |= 1 << s
+                    child = parent.right_frame
+                    if child is None:
+                        child = _Frame(_RIGHT, parent, [(False, parent.right_box, rmasks, right_lower)])
+                        parent.right_frame = child
+                    else:
+                        child.steps.append((False, parent.right_box, rmasks, right_lower))
+                    stack.append(child)
+                    break
+                # role == _RIGHT: combine with the stored left part (line 16)
+                final = 0
+                pbr = parent.pbr
                 pp = prov
                 while pp:
                     low = pp & -pp
-                    matched |= pbl[low.bit_length() - 1]
+                    final |= pbr[low.bit_length() - 1]
                     pp ^= low
-                if not matched:
+                final &= parent.match_mask
+                if not final:
                     break
-                parent.match_mask = matched
-                parent.left_part = part
-                rmasks = [0] * parent.n_right
-                right_lower = 0
-                right_slots = parent.right_slots
-                for p, prods_p in enumerate(parent.pbr):
-                    if prods_p & matched:
-                        s = right_slots[p]
-                        rmasks[s] = 1 << p
-                        right_lower |= 1 << s
-                child = parent.right_frame
-                if child is None:
-                    child = _Frame(_RIGHT, parent, [(False, parent.right_box, rmasks, right_lower)])
-                    parent.right_frame = child
-                else:
-                    child.steps.append((False, parent.right_box, rmasks, right_lower))
-                stack.append(child)
-                break
-            # role == _RIGHT: combine with the stored left part (line 16)
-            final = 0
-            pbr = parent.pbr
-            pp = prov
-            while pp:
-                low = pp & -pp
-                final |= pbr[low.bit_length() - 1]
-                pp ^= low
-            final &= parent.match_mask
-            if not final:
-                break
-            positions = 0
-            prod_prov = parent.prod_prov
-            while final:
-                low = final & -final
-                positions |= prod_prov[low.bit_length() - 1]
-                final ^= low
-            part = (parent.left_part, part)
-            prov = positions
-            fr = parent
+                positions = 0
+                prod_prov = parent.prod_prov
+                while final:
+                    low = final & -final
+                    positions |= prod_prov[low.bit_length() - 1]
+                    final ^= low
+                part = (parent.left_part, part)
+                prov = positions
+                fr = parent
+        raise StopIteration
 
 
 # =========================================================================== generic path

@@ -47,23 +47,49 @@ __all__ = [
     "Relation",
     "set_default_backend",
     "get_default_backend",
+    "validate_backend",
+    "VALID_BACKENDS",
     "iter_bits",
     "mask_of",
 ]
 
 _DEFAULT_BACKEND = "bitset"
 _VALID_BACKENDS = ("pairs", "matrix", "bitset")
+#: the selectable composition backends, in documentation order
+VALID_BACKENDS = _VALID_BACKENDS
 
 #: interned identity relations, keyed by (n, backend) — see Relation.identity.
 _IDENTITY_CACHE: Dict[Tuple[int, str], "Relation"] = {}
 
 
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` unchanged if valid, else raise a helpful ``ValueError``.
+
+    The error lists the valid backends and, on a near-miss (``"bitsets"``,
+    ``"matrx"``, ...), suggests the one probably meant.  Called everywhere a
+    backend name enters the library (``relation_backend=`` keyword arguments,
+    :func:`set_default_backend`, :class:`Relation` construction) so typos fail
+    fast with the same message instead of deep inside a build.
+    """
+    if backend in _VALID_BACKENDS:
+        return backend
+    message = (
+        f"unknown relation backend {backend!r}; valid backends are "
+        + ", ".join(repr(b) for b in _VALID_BACKENDS)
+    )
+    if isinstance(backend, str):
+        import difflib
+
+        close = difflib.get_close_matches(backend, _VALID_BACKENDS, n=1, cutoff=0.6)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+    raise ValueError(message)
+
+
 def set_default_backend(backend: str) -> None:
     """Set the default composition backend (``"pairs"``, ``"matrix"`` or ``"bitset"``)."""
     global _DEFAULT_BACKEND
-    if backend not in _VALID_BACKENDS:
-        raise ValueError(f"unknown relation backend {backend!r}; expected one of {_VALID_BACKENDS}")
-    _DEFAULT_BACKEND = backend
+    _DEFAULT_BACKEND = validate_backend(backend)
 
 
 def get_default_backend() -> str:
@@ -109,9 +135,7 @@ class Relation:
     ):
         self.n_lower = n_lower
         self.n_upper = n_upper
-        self.backend = backend if backend is not None else _DEFAULT_BACKEND
-        if self.backend not in _VALID_BACKENDS:
-            raise ValueError(f"unknown relation backend {self.backend!r}")
+        self.backend = validate_backend(backend) if backend is not None else _DEFAULT_BACKEND
         self._pairs: Optional[FrozenSet[Tuple[int, int]]] = None
         self._matrix: Optional[np.ndarray] = None
         self._masks: Optional[List[int]] = None

@@ -20,6 +20,9 @@ __all__ = [
     "RegexSyntaxError",
     "StaleIteratorError",
     "UnsupportedUpdateError",
+    "ServingError",
+    "CatalogError",
+    "CursorInvalidatedError",
 ]
 
 
@@ -76,3 +79,26 @@ class UnsupportedUpdateError(ReproError):
     """The requested update is outside the edit language of Definition 7.1
     supported by a given enumerator (e.g. structural updates on the
     relabeling-only baseline)."""
+
+
+class ServingError(ReproError):
+    """A request to the serving layer (:mod:`repro.serving`) is invalid
+    (unknown document id, closed cursor, unsupported edit spec, ...)."""
+
+
+class CatalogError(ServingError):
+    """A persisted compiled query could not be stored or loaded (missing
+    entry, unknown format version, content digest mismatch, ...)."""
+
+
+class CursorInvalidatedError(ServingError):
+    """A paginated cursor was advanced after an edit rebuilt part of the
+    circuit its remaining enumeration still depends on.  Carries the
+    :class:`repro.serving.cursor.CursorInvalidation` report as ``.report``
+    (which edit batch invalidated the cursor, at which epoch, and how many
+    answers had been delivered); reopen a cursor to paginate the updated
+    document."""
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

@@ -26,6 +26,7 @@ from repro.circuits.build import build_internal_box, build_leaf_box
 from repro.circuits.gates import AssignmentCircuit, Box
 from repro.enumeration.assignment_iter import CircuitEnumerator
 from repro.enumeration.index import build_box_index
+from repro.enumeration.relations import validate_backend
 from repro.errors import CircuitStructureError
 from repro.forest_algebra.maintenance import MaintainedTerm, UpdateReport
 from repro.forest_algebra.terms import TermNode
@@ -86,9 +87,14 @@ class IncrementalCircuitMaintainer:
     ):
         self.term = term
         self.automaton = automaton
+        if relation_backend is not None:
+            validate_backend(relation_backend)  # fail fast, before the build
         self.relation_backend = relation_backend
         self.use_index = use_index
         self.version = 0
+        #: the boxes replaced by the most recent apply_report call (the old
+        #: trunk); read by the serving layer to invalidate cursors precisely.
+        self.last_replaced_boxes: List[Box] = []
         build_circuit_over_term(
             term.root, automaton, with_index=use_index, relation_backend=relation_backend
         )
@@ -117,14 +123,23 @@ class IncrementalCircuitMaintainer:
         """Rebuild the boxes and index entries of the trunk of an update.
 
         Returns the number of boxes rebuilt (the trunk size), the quantity
-        Lemma 7.3 bounds by ``O(log |T|)`` per update.
+        Lemma 7.3 bounds by ``O(log |T|)`` per update.  The boxes the trunk
+        *replaced* are collected in :attr:`last_replaced_boxes` (new term
+        nodes contribute nothing): the serving layer compares them against
+        the boxes a paused cursor still references to decide, per cursor,
+        between resuming and invalidating.
         """
         rebuilt = 0
+        replaced: List[Box] = []
         for node in report.dirty_bottom_up:
+            old_box = node.box
+            if old_box is not None:
+                replaced.append(old_box)
             node.box = _build_box_for_node(node, self.automaton)
             if self.use_index:
                 build_box_index(node.box, relation_backend=self.relation_backend)
             rebuilt += 1
+        self.last_replaced_boxes = replaced
         self.version += 1
         return rebuilt
 

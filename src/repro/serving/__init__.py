@@ -1,0 +1,54 @@
+"""repro.serving — multi-document enumeration service over standing queries.
+
+The serving layer packages the paper's pipeline for the workload its
+complexity results describe: **standing queries over evolving documents**.
+It adds three things the one-shot enumerators do not have:
+
+* :class:`~repro.serving.catalog.QueryCatalog` — persistent compiled queries.
+  The homogenized binary TVA (Lemma 7.4 + Lemma 2.1) and its memoized box
+  plans (Lemma 3.7) are serialized to content-addressed JSON files; a fresh
+  process loads them instead of compiling, so only the per-document build of
+  Lemma 7.3 remains at serving time.
+* :class:`~repro.serving.store.DocumentStore` — many maintained documents
+  (trees, Theorem 8.1, and words/spanners, Theorem 8.5) sharing one compiled
+  automaton per distinct query content, with batched edit application through
+  the incremental maintainer (logarithmic trunk rebuilds, Lemma 7.3) and
+  per-document epochs.
+* :class:`~repro.serving.cursor.Cursor` — edit-stable paginated enumeration.
+  Built on the checkpointable frame stack of the mask-native Algorithm 2
+  (Theorem 5.3 duplicate-freeness, Theorem 6.5 delay), a cursor resumes
+  across edits that did not rebuild any box its remaining enumeration
+  references, and reports a precise
+  :class:`~repro.serving.cursor.CursorInvalidation` when an edit hit its
+  trunk — never a silent restart, never a duplicated page.
+
+Quickstart::
+
+    from repro.serving import DocumentStore, QueryCatalog
+
+    catalog = QueryCatalog("catalog-dir")
+    catalog.save(query)                    # compile once, persist
+
+    store = DocumentStore(catalog=catalog) # fresh process: loads, no compile
+    doc = store.add_tree(tree, query)
+    cursor = doc.open_cursor(page_size=100)
+    page = cursor.fetch()                  # duplicate-free pages
+    doc.apply_edits([Relabel(node_id, "b")])
+    cursor.fetch()                         # resumes — or CursorInvalidatedError
+"""
+
+from repro.serving.catalog import QueryCatalog
+from repro.serving.codec import CompiledQuery
+from repro.serving.cursor import Cursor, CursorInvalidation, CursorPage
+from repro.serving.store import BatchUpdateReport, DocumentStore, ServedDocument
+
+__all__ = [
+    "QueryCatalog",
+    "CompiledQuery",
+    "Cursor",
+    "CursorInvalidation",
+    "CursorPage",
+    "BatchUpdateReport",
+    "DocumentStore",
+    "ServedDocument",
+]

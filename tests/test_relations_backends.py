@@ -226,3 +226,33 @@ class TestEndToEndBackendEquivalence:
             }
             rels = {info.rank: info.relation.pairs() for info in box.index.targets.values()}
             assert ref_rels == rels
+
+
+class TestBackendValidation:
+    """Typos in backend names must fail fast with a helpful message."""
+
+    def test_set_default_backend_lists_backends_and_suggests(self):
+        with pytest.raises(ValueError) as excinfo:
+            set_default_backend("bitsets")
+        message = str(excinfo.value)
+        for name in ("'pairs'", "'matrix'", "'bitset'"):
+            assert name in message
+        assert "did you mean 'bitset'?" in message
+
+    def test_relation_constructor_validates(self):
+        with pytest.raises(ValueError, match="did you mean 'matrix'"):
+            Relation(2, 2, backend="matrx")
+
+    def test_enumerator_keyword_fails_fast(self):
+        from repro.core.enumerator import TreeEnumerator
+        from repro.automata.queries import select_labeled
+        from repro.trees.unranked import UnrankedTree
+
+        tree = UnrankedTree.from_nested(("a", ["b"]))
+        with pytest.raises(ValueError, match="valid backends are"):
+            TreeEnumerator(tree, select_labeled("a", ("a", "b")), relation_backend="biset")
+
+    def test_valid_backends_accepted(self):
+        for backend in ("pairs", "matrix", "bitset"):
+            set_default_backend(backend)
+            assert get_default_backend() == backend

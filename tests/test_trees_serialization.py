@@ -1,0 +1,93 @@
+"""Round-trip tests for :mod:`repro.trees.serialization`.
+
+Randomized structural round-trips for all three formats (s-expressions,
+JSON-style dicts, XML-ish markup) over the benchmark tree generators, plus
+the format-specific contracts: dict output carries node ids, XML rejects
+non-XML-name labels, and the parsers reject malformed input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidTreeError
+from repro.trees.generators import tree_of_shape
+from repro.trees.serialization import (
+    from_dict,
+    from_sexpr,
+    from_xml,
+    to_dict,
+    to_sexpr,
+    to_xml,
+)
+from repro.trees.unranked import UnrankedTree
+
+LABELS = ("a", "b", "c", "d")
+SHAPES = ("random", "path", "star", "caterpillar", "binary")
+SIZES = (1, 2, 17, 64, 150)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_sexpr_roundtrip(shape, size, seed):
+    tree = tree_of_shape(shape, size, LABELS, seed)
+    back = from_sexpr(to_sexpr(tree))
+    assert back.to_nested() == tree.to_nested()
+    assert back.size() == tree.size()
+    # a second round trip is the identity on the textual form
+    assert to_sexpr(back) == to_sexpr(tree)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_dict_roundtrip(shape, size, seed):
+    tree = tree_of_shape(shape, size, LABELS, seed)
+    payload = to_dict(tree)
+    back = from_dict(payload)
+    assert back.to_nested() == tree.to_nested()
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_xml_roundtrip(shape, size, seed):
+    tree = tree_of_shape(shape, size, LABELS, seed)
+    back = from_xml(to_xml(tree))
+    assert back.to_nested() == tree.to_nested()
+
+
+def test_dict_payload_snapshots_node_ids():
+    tree = UnrankedTree.from_nested(("a", ["b", ("c", ["d"])]))
+    payload = to_dict(tree)
+    ids = set()
+
+    def walk(item):
+        ids.add(item["id"])
+        for child in item["children"]:
+            walk(child)
+
+    walk(payload)
+    assert ids == set(tree.node_ids())
+
+
+def test_xml_rejects_bad_labels():
+    tree = UnrankedTree.from_nested(("not a name", ["b"]))
+    with pytest.raises(InvalidTreeError, match="not a valid XML name"):
+        to_xml(tree)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "(", "(a", "(a))", "((a))", "(a (b)) junk", "()"],
+)
+def test_sexpr_rejects_malformed(bad):
+    with pytest.raises(InvalidTreeError):
+        from_sexpr(bad)
+
+
+@pytest.mark.parametrize("bad", ["", "<a>", "<a></b>", "</a>", "<a><b></a></b>"])
+def test_xml_rejects_malformed(bad):
+    with pytest.raises(InvalidTreeError):
+        from_xml(bad)
