@@ -7,10 +7,25 @@
 PYTHON ?= python
 PYPATH := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check test bench-smoke bench
+.PHONY: check test test-engine-strict lint bench-smoke bench
 
 test:
 	$(PYPATH) $(PYTHON) -m pytest -x -q
+
+# The engine test module runs a second time with DeprecationWarning promoted
+# to an error: new code cannot silently call the deprecated shims
+# (TreeEnumerator / WordEnumerator / DocumentStore).
+test-engine-strict:
+	$(PYPATH) $(PYTHON) -m pytest tests/test_engine.py -q -W error::DeprecationWarning
+
+# Lint (requires ruff; CI installs it — locally skipped when absent, but a
+# real ruff failure propagates).
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench-smoke:
 	$(PYPATH) $(PYTHON) benchmarks/run_all.py --quick --compare --smoke-out benchmarks/results/smoke
@@ -20,5 +35,5 @@ bench-smoke:
 bench:
 	$(PYPATH) $(PYTHON) benchmarks/run_all.py
 
-check: test bench-smoke
-	@echo "check OK: tier-1 tests + perf smoke passed"
+check: test test-engine-strict bench-smoke
+	@echo "check OK: tier-1 tests + strict engine tests + perf smoke passed"

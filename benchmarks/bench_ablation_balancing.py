@@ -20,7 +20,7 @@ import pytest
 
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import query_for_name, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.forest_algebra.encoder import encode_tree
 from repro.forest_algebra.terms import DecodedNode, apply, concat, context_leaf, tree_leaf
 
@@ -52,7 +52,7 @@ def naive_unbalanced_term(tree):
 def test_balanced_update_benchmark(benchmark, bench_seed):
     """pytest-benchmark entry: one relabel on a balanced 2048-node path tree."""
     tree = tree_for_experiment(2048, "path", seed=bench_seed)
-    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    enumerator = TreeRuntime(tree, query_for_name("select-a"))
     deep_node = tree.node_ids()[-1]
     state = {"i": 0}
 
@@ -69,7 +69,7 @@ def _balancing_ablation_report(bench_seed):
         tree = tree_for_experiment(size, "path", seed=bench_seed)
         balanced = encode_tree(tree)
         unbalanced = naive_unbalanced_term(tree)
-        enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+        enumerator = TreeRuntime(tree, query_for_name("select-a"))
         deep_node = tree.node_ids()[-1]
         stats = enumerator.relabel(deep_node, "a")
         rows.append(

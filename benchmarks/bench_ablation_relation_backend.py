@@ -20,7 +20,7 @@ import pytest
 from repro.bench.measure import summarize
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import query_for_name, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 
 BACKENDS = ("pairs", "matrix", "bitset")
 SIZE = 1024
@@ -30,7 +30,7 @@ def build(backend: str, seed: int):
     tree = tree_for_experiment(SIZE, "random", seed=seed)
     query = query_for_name("descendant")
     start = time.perf_counter()
-    enumerator = TreeEnumerator(tree, query, relation_backend=backend)
+    enumerator = TreeRuntime(tree, query, relation_backend=backend)
     preprocessing = time.perf_counter() - start
     return enumerator, preprocessing
 

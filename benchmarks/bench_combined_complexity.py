@@ -18,7 +18,7 @@ from repro.automata.translate import translate_unranked_tva
 from repro.bench.measure import summarize
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import nondeterministic_family, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 
 DEPTHS = (1, 2, 3, 4)
 TREE_SIZE = 400
@@ -58,7 +58,7 @@ def test_combined_complexity_benchmark(benchmark, bench_seed):
     """pytest-benchmark entry: preprocessing with the depth-3 nondeterministic query."""
     tree = tree_for_experiment(TREE_SIZE, "random", seed=bench_seed)
     query = nondeterministic_family(3)
-    benchmark(lambda: TreeEnumerator(tree, query))
+    benchmark(lambda: TreeRuntime(tree, query))
 
 
 def _combined_complexity_report(bench_seed):
@@ -69,7 +69,7 @@ def _combined_complexity_report(bench_seed):
         query = nondeterministic_family(depth)
         translated = translate_unranked_tva(query)
         start = time.perf_counter()
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         seconds = time.perf_counter() - start
         preprocessing.append(seconds)
         delays = summarize(enumerator.delay_probe(max_answers=100))

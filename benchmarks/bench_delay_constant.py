@@ -13,7 +13,7 @@ import pytest
 from repro.bench.measure import summarize
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import query_for_name, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 
 SIZES = (256, 1024, 4096)
 MAX_ANSWERS = 200
@@ -21,14 +21,14 @@ MAX_ANSWERS = 200
 
 def delays_for(size: int, query_name: str, seed: int):
     tree = tree_for_experiment(size, "random", seed=seed)
-    enumerator = TreeEnumerator(tree, query_for_name(query_name))
+    enumerator = TreeRuntime(tree, query_for_name(query_name))
     return summarize(enumerator.delay_probe(max_answers=MAX_ANSWERS))
 
 
 def test_delay_benchmark(benchmark, bench_seed):
     """pytest-benchmark entry: enumerate 100 answers on a 4096-node tree."""
     tree = tree_for_experiment(4096, "random", seed=bench_seed)
-    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    enumerator = TreeRuntime(tree, query_for_name("select-a"))
     benchmark(lambda: enumerator.first(100))
 
 

@@ -22,7 +22,7 @@ from repro.automata.homogenize import homogenize
 from repro.automata.translate import translate_unranked_tva
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import query_for_name, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.circuits.gates import UnionGate
 from repro.enumeration.box_enum import indexed_box_enum, naive_box_enum
 
@@ -44,7 +44,7 @@ def time_per_box(fn, gamma) -> float:
 def test_box_traversal_benchmark(benchmark, bench_seed):
     """pytest-benchmark entry: a full indexed box enumeration on a 4096-node tree."""
     tree = tree_for_experiment(4096, "random", seed=bench_seed)
-    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    enumerator = TreeRuntime(tree, query_for_name("select-a"))
     gamma = gamma_of(enumerator)
     benchmark(lambda: sum(1 for _ in indexed_box_enum(gamma)))
 
@@ -53,7 +53,7 @@ def _figure1_report(bench_seed):
     rows = []
     for size in SIZES:
         tree = tree_for_experiment(size, "random", seed=bench_seed)
-        enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+        enumerator = TreeRuntime(tree, query_for_name("select-a"))
         gamma = gamma_of(enumerator)
         if not gamma:
             continue

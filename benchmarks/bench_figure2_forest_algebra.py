@@ -17,7 +17,7 @@ import pytest
 from repro.automata.brute_force import unranked_satisfying_assignments
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import mixed_workload, query_for_name, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.forest_algebra.encoder import encode_tree
 from repro.forest_algebra.maintenance import MaintainedTerm
 
@@ -71,7 +71,7 @@ def _figure2_report(bench_seed):
     # Faithfulness of the translation (Lemma 7.4) on a small instance.
     tree = tree_for_experiment(20, "random", seed=bench_seed)
     query = query_for_name("marked-ancestor")
-    enumerator = TreeEnumerator(tree, query)
+    enumerator = TreeRuntime(tree, query)
     assert set(enumerator.assignments()) == unranked_satisfying_assignments(query, tree)
 
 def test_figure2_report(benchmark, bench_seed):

@@ -13,7 +13,7 @@ import pytest
 
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import query_for_name, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 
 SIZES = (256, 512, 1024, 2048, 4096)
 
@@ -22,7 +22,7 @@ def build(size: int, seed: int) -> float:
     tree = tree_for_experiment(size, "random", seed=seed)
     query = query_for_name("select-a")
     start = time.perf_counter()
-    TreeEnumerator(tree, query)
+    TreeRuntime(tree, query)
     return time.perf_counter() - start
 
 
@@ -30,7 +30,7 @@ def test_preprocessing_benchmark(benchmark, bench_seed):
     """pytest-benchmark entry: preprocessing of a 1024-node tree."""
     tree = tree_for_experiment(1024, "random", seed=bench_seed)
     query = query_for_name("select-a")
-    benchmark(lambda: TreeEnumerator(tree, query))
+    benchmark(lambda: TreeRuntime(tree, query))
 
 
 def _preprocessing_linear_report(bench_seed):

@@ -16,7 +16,7 @@ import pytest
 from repro.bench.measure import measure_updates
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import mixed_workload, query_for_name, tree_for_experiment
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 
 SIZES = (256, 1024, 4096, 8192)
 N_UPDATES = 40
@@ -24,7 +24,7 @@ N_UPDATES = 40
 
 def run(size: int, seed: int):
     tree = tree_for_experiment(size, "random", seed=seed)
-    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    enumerator = TreeRuntime(tree, query_for_name("select-a"))
     edits = mixed_workload(tree, N_UPDATES, seed=seed + 1)
     trunks = []
     times = []
@@ -41,7 +41,7 @@ def run(size: int, seed: int):
 def test_update_benchmark(benchmark, bench_seed):
     """pytest-benchmark entry: one relabeling update on an 8192-node tree."""
     tree = tree_for_experiment(8192, "random", seed=bench_seed)
-    enumerator = TreeEnumerator(tree, query_for_name("select-a"))
+    enumerator = TreeRuntime(tree, query_for_name("select-a"))
     node_ids = tree.node_ids()
     state = {"i": 0}
 

@@ -16,6 +16,7 @@ import pytest
 from repro.bench.measure import summarize
 from repro.bench.reporting import record_experiment
 from repro.bench.workloads import spanner_document
+from repro.core.enumerator import WordRuntime
 from repro.spanners.spanner import Spanner
 
 LENGTHS = (256, 1024, 4096)
@@ -27,7 +28,7 @@ def build(length: int, seed: int):
     document = spanner_document(length, seed=seed, alphabet=ALPHABET)
     spanner = Spanner(PATTERN, ALPHABET)
     start = time.perf_counter()
-    enumerator = spanner.enumerator(document)
+    enumerator = WordRuntime(list(document), spanner.wva)
     preprocessing = time.perf_counter() - start
     return enumerator, preprocessing
 

@@ -35,7 +35,7 @@ from repro.bench.workloads import (
     serving_traffic,
     tree_for_experiment,
 )
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 
 BACKENDS = ("pairs", "matrix", "bitset")
 
@@ -60,9 +60,9 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"
 SEED = 20190612
 
 
-def _fresh_enumerator(size: int, query_name: str, backend: str) -> TreeEnumerator:
+def _fresh_enumerator(size: int, query_name: str, backend: str) -> TreeRuntime:
     tree = tree_for_experiment(size, "random", seed=SEED)
-    return TreeEnumerator(tree, query_for_name(query_name), relation_backend=backend)
+    return TreeRuntime(tree, query_for_name(query_name), relation_backend=backend)
 
 
 def _clear_query_caches() -> None:
@@ -98,12 +98,12 @@ def bench_preprocessing(sizes, reps: int):
                 _clear_query_caches()
                 with _gc_paused():
                     start = time.perf_counter()
-                    TreeEnumerator(tree, query, relation_backend=backend)
+                    TreeRuntime(tree, query, relation_backend=backend)
                     cold[backend][size].append(time.perf_counter() - start)
                 query = query_for_name("select-a")
                 with _gc_paused():
                     start = time.perf_counter()
-                    TreeEnumerator(tree, query, relation_backend=backend)
+                    TreeRuntime(tree, query, relation_backend=backend)
                     warm[backend][size].append(time.perf_counter() - start)
     results = {
         backend: {
@@ -136,7 +136,7 @@ def bench_update(sizes, n_updates: int, passes: int = 2):
         for backend in BACKENDS:
             for size in sizes:
                 tree = tree_for_experiment(size, "random", seed=SEED)
-                enumerator = TreeEnumerator(
+                enumerator = TreeRuntime(
                     tree, query_for_name("select-a"), relation_backend=backend
                 )
                 edits = mixed_workload(tree, n_updates, seed=SEED + 1)
@@ -174,8 +174,31 @@ def bench_update(sizes, n_updates: int, passes: int = 2):
     }
 
 
+def _iter_delays(iterator, max_answers=None):
+    """Per-``next()`` wall-clock delays of an answer iterator."""
+    delays = []
+    while True:
+        start = time.perf_counter()
+        try:
+            next(iterator)
+        except StopIteration:
+            break
+        delays.append(time.perf_counter() - start)
+        if max_answers is not None and len(delays) >= max_answers:
+            break
+    return delays
+
+
 def bench_delay(size: int, max_answers: int):
-    """Median and p95 per-answer delay, per backend, on the descendant query."""
+    """Median and p95 per-answer delay, per backend, on the descendant query.
+
+    Also measures the **engine facade**: the same document and query, once
+    through ``TreeRuntime.assignments()`` directly and once through
+    ``Engine → Document.stream()``, with one measurement harness for both
+    (interleaved passes, best-of-3 medians).  The facade must be free —
+    ``stream()`` hands back the runtime's own iterator — and the smoke gate
+    holds it to <5% overhead on the bitset delay median.
+    """
     results = {}
     for backend in BACKENDS:
         enumerator = _fresh_enumerator(size, "descendant", backend)
@@ -188,10 +211,48 @@ def bench_delay(size: int, max_answers: int):
             "p95_s": p95,
             "answers": len(delays),
         }
+
+    from repro import Engine
+
+    tree = tree_for_experiment(size, "random", seed=SEED)
+    direct_medians = []
+    facade_medians = []
+    for pass_index in range(3):
+
+        def _measure_direct():
+            runtime = TreeRuntime(tree, query_for_name("descendant"), relation_backend="bitset")
+            with _gc_paused():
+                direct_medians.append(
+                    statistics.median(_iter_delays(iter(runtime.assignments()), max_answers))
+                )
+
+        def _measure_facade():
+            with Engine(backend="bitset") as engine:
+                doc = engine.add_tree(tree, query_for_name("descendant"))
+                with _gc_paused():
+                    facade_medians.append(
+                        statistics.median(_iter_delays(iter(doc.stream()), max_answers))
+                    )
+
+        # alternate the order so warm-cache effects hit both sides equally
+        first, second = (
+            (_measure_direct, _measure_facade)
+            if pass_index % 2 == 0
+            else (_measure_facade, _measure_direct)
+        )
+        first()
+        second()
+    direct_best = min(direct_medians)
+    facade_best = min(facade_medians)
     return {
         "bench": "delay_constant",
         "workload": {"query": "descendant", "shape": "random", "seed": SEED, "size": size},
         "backends": results,
+        "engine_facade": {
+            "direct_median_s": direct_best,
+            "engine_median_s": facade_best,
+            "overhead_ratio": facade_best / direct_best if direct_best else float("inf"),
+        },
     }
 
 
@@ -205,6 +266,86 @@ SERVING_QUERIES = ("select-a", "descendant", "nondet-6")
 HEAVY_SERVING_QUERY = "nondet-6"
 
 
+def _serving_traffic_run(
+    engine, trees, queries, doc_edits, rounds, page_size, pages_per_round, edits_per_batch
+):
+    """Drive one engine (local or sharded) through the serving traffic.
+
+    Same deterministic schedule whatever the engine: add the documents,
+    open one page cursor per document, then replay the interleaved
+    edit-batch / page-fetch events.  Returns the measured medians plus the
+    final canonical answers per document (the sharded-equivalence check).
+    """
+    from repro.errors import CursorInvalidatedError
+
+    build_times = []
+    docs = []
+    for index, (tree, query) in enumerate(zip(trees, queries)):
+        with _gc_paused():
+            start = time.perf_counter()
+            docs.append(engine.add_tree(tree, query, doc_id=index))
+            build_times.append(time.perf_counter() - start)
+
+    pages = {}
+    opened = 0
+    for doc in docs:
+        pages[doc.doc_id] = doc.page(page_size=page_size)
+        opened += 1
+    resumed_across_edits = 0
+    invalidated = 0
+    edit_times = []
+    page_times = []
+    edit_pos = {doc.doc_id: 0 for doc in docs}
+    n_docs = len(docs)
+    for kind, doc_index in serving_traffic(n_docs, rounds, seed=SEED + 5):
+        doc = docs[doc_index]
+        if kind == "edit":
+            pos = edit_pos[doc.doc_id]
+            batch = doc_edits[doc.doc_id][pos : pos + edits_per_batch]
+            edit_pos[doc.doc_id] = pos + edits_per_batch
+            if not batch:
+                continue
+            with _gc_paused():
+                start = time.perf_counter()
+                report = doc.apply_edits(batch)
+                edit_times.append(time.perf_counter() - start)
+            resumed_across_edits += report.cursors_resumed
+            invalidated += report.cursors_invalidated
+        else:
+            for _ in range(pages_per_round):
+                page = pages[doc.doc_id]
+                # an exhausted stream released its cursor id: reopen fresh
+                reopened = page.exhausted
+                with _gc_paused():
+                    start = time.perf_counter()
+                    try:
+                        page = doc.page(page_size=page_size) if reopened else doc.page(cursor=page)
+                    except CursorInvalidatedError:
+                        page = doc.page(page_size=page_size)
+                        reopened = True
+                    page_times.append(time.perf_counter() - start)
+                if reopened:
+                    opened += 1
+                pages[doc.doc_id] = page
+    final_answers = {
+        doc.doc_id: sorted(
+            sorted([str(var), str(pos)] for var, pos in answer) for answer in doc.stream()
+        )
+        for doc in docs
+    }
+    return {
+        "doc_build_median_s": statistics.median(build_times),
+        "edit_batch_median_s": statistics.median(edit_times) if edit_times else None,
+        "page_fetch_median_s": statistics.median(page_times) if page_times else None,
+        "cursors": {
+            "opened": opened,
+            "resumed_across_edit_batches": resumed_across_edits,
+            "invalidated_by_edit_batches": invalidated,
+        },
+        "final_answers": final_answers,
+    }
+
+
 def bench_serving(
     n_docs: int,
     size: int,
@@ -212,10 +353,12 @@ def bench_serving(
     page_size: int,
     edits_per_batch: int = 2,
     pages_per_round: int = 3,
+    shard_workers: int = 2,
 ):
     """The serving workload: N documents × standing queries × edit/page traffic.
 
-    Measures the serving-specific quantities:
+    Runs through the unified :class:`repro.Engine` API and measures the
+    serving-specific quantities:
 
     * **cold start vs catalog start** — per standing query, what a fresh
       process pays without the catalog (``compile_s``: translate +
@@ -231,17 +374,23 @@ def bench_serving(
       ``repro.bench.workloads.serving_traffic``: one edit batch on one
       document, several page fetches on another), plus how many cursors
       resumed across edit batches vs were invalidated (a cursor resumes when
-      the batch's trunks are disjoint from the regions it still has to read).
+      the batch's trunks are disjoint from the regions it still has to read);
+    * **the sharded variant** — the identical document set and traffic
+      schedule through ``Engine(workers=N)`` (worker processes sharing the
+      same catalog directory): per-shard routing costs show up in the
+      medians, and the final per-document answers must be byte-identical to
+      the single-process run (``answers_match_single_process``, gated by the
+      smoke).
     """
     import shutil
     import tempfile
 
-    from repro.serving import DocumentStore, QueryCatalog
+    from repro import Engine
+    from repro.core.enumerator import compiled_automaton_for
+    from repro.engine import QueryCatalog
 
     catalog_dir = tempfile.mkdtemp(prefix="repro-serving-bench-")
     try:
-        from repro.core.enumerator import compiled_automaton_for
-
         catalog = QueryCatalog(catalog_dir)
         compile_s = {}
         cold_first_build_s = {}
@@ -260,7 +409,7 @@ def bench_serving(
                 compile_s[query_name] = time.perf_counter() - start
             with _gc_paused():
                 start = time.perf_counter()
-                TreeEnumerator(warmup_tree, query)
+                TreeRuntime(warmup_tree, query)
                 cold_first_build_s[query_name] = time.perf_counter() - start
             with _gc_paused():
                 start = time.perf_counter()
@@ -280,65 +429,31 @@ def bench_serving(
             loaded.attach(fresh_query)
             with _gc_paused():
                 start = time.perf_counter()
-                TreeEnumerator(warmup_tree, fresh_query)
+                TreeRuntime(warmup_tree, fresh_query)
                 warm_first_build_s[query_name] = time.perf_counter() - start
 
-        # -- build N documents against the loaded automata (fresh-process shape)
-        _clear_query_caches()
-        store = DocumentStore(catalog=catalog)
-        build_times = []
-        docs = []
-        for i in range(n_docs):
-            tree = tree_for_experiment(size, "random", seed=SEED + i)
-            query = query_for_name(SERVING_QUERIES[i % len(SERVING_QUERIES)])
-            with _gc_paused():
-                start = time.perf_counter()
-                docs.append(store.add_tree(tree, query))
-                build_times.append(time.perf_counter() - start)
-
-        # -- interleaved edit/page traffic with one cursor per document
-        cursors = {doc.doc_id: doc.open_cursor(page_size=page_size) for doc in docs}
-        opened = len(cursors)
-        resumed_across_edits = 0
-        invalidated = 0
-        edit_times = []
-        page_times = []
+        # -- the same document set and edit workload for both engine modes
+        trees = [tree_for_experiment(size, "random", seed=SEED + i) for i in range(n_docs)]
+        queries = [query_for_name(SERVING_QUERIES[i % len(SERVING_QUERIES)]) for i in range(n_docs)]
         doc_edits = {
-            doc.doc_id: mixed_workload(
-                doc.enumerator.tree, rounds * edits_per_batch, seed=SEED + 17 + doc.doc_id
-            )
-            for doc in docs
+            i: mixed_workload(trees[i], rounds * edits_per_batch, seed=SEED + 17 + i)
+            for i in range(n_docs)
         }
-        edit_pos = {doc.doc_id: 0 for doc in docs}
-        for kind, doc_index in serving_traffic(n_docs, rounds, seed=SEED + 5):
-            doc = docs[doc_index]
-            if kind == "edit":
-                pos = edit_pos[doc.doc_id]
-                batch = doc_edits[doc.doc_id][pos : pos + edits_per_batch]
-                edit_pos[doc.doc_id] = pos + edits_per_batch
-                if not batch:
-                    continue
-                with _gc_paused():
-                    start = time.perf_counter()
-                    report = doc.apply_edits(batch)
-                    edit_times.append(time.perf_counter() - start)
-                resumed_across_edits += report.cursors_resumed
-                invalidated += report.cursors_invalidated
-            else:
-                for _ in range(pages_per_round):
-                    cursor = cursors[doc.doc_id]
-                    if not cursor.is_active():
-                        cursor = doc.open_cursor(page_size=page_size)
-                        cursors[doc.doc_id] = cursor
-                        opened += 1
-                    with _gc_paused():
-                        start = time.perf_counter()
-                        page = cursor.fetch()
-                        page_times.append(time.perf_counter() - start)
-                    if page.exhausted:
-                        cursor = doc.open_cursor(page_size=page_size)
-                        cursors[doc.doc_id] = cursor
-                        opened += 1
+
+        # -- single-process engine over the shared catalog (fresh-process shape)
+        _clear_query_caches()
+        with Engine(catalog=catalog_dir) as engine:
+            single = _serving_traffic_run(
+                engine, trees, queries, doc_edits, rounds, page_size, pages_per_round, edits_per_batch
+            )
+
+        # -- sharded variant: same traffic, worker processes, same catalog dir
+        _clear_query_caches()
+        with Engine(catalog=catalog_dir, workers=shard_workers) as engine:
+            sharded = _serving_traffic_run(
+                engine, trees, queries, doc_edits, rounds, page_size, pages_per_round, edits_per_batch
+            )
+        answers_match = single.pop("final_answers") == sharded.pop("final_answers")
     finally:
         shutil.rmtree(catalog_dir, ignore_errors=True)
 
@@ -369,13 +484,17 @@ def bench_serving(
             for q in SERVING_QUERIES
         },
         "heavy_query": HEAVY_SERVING_QUERY,
-        "doc_build_median_s": statistics.median(build_times),
-        "edit_batch_median_s": statistics.median(edit_times) if edit_times else None,
-        "page_fetch_median_s": statistics.median(page_times) if page_times else None,
-        "cursors": {
-            "opened": opened,
-            "resumed_across_edit_batches": resumed_across_edits,
-            "invalidated_by_edit_batches": invalidated,
+        "doc_build_median_s": single["doc_build_median_s"],
+        "edit_batch_median_s": single["edit_batch_median_s"],
+        "page_fetch_median_s": single["page_fetch_median_s"],
+        "cursors": single["cursors"],
+        "sharded": {
+            "workers": shard_workers,
+            "doc_build_median_s": sharded["doc_build_median_s"],
+            "edit_batch_median_s": sharded["edit_batch_median_s"],
+            "page_fetch_median_s": sharded["page_fetch_median_s"],
+            "cursors": sharded["cursors"],
+            "answers_match_single_process": answers_match,
         },
     }
 
@@ -419,6 +538,12 @@ def _attach_seed_baseline(payload, out_dir):
 #: smaller tree than the committed trajectory and on whatever machine is at
 #: hand, so only a regression beyond this factor fails the gate.
 DELAY_REGRESSION_SLACK = 2.0
+
+#: The engine facade (Document.stream()) is measured against the direct
+#: runtime iterator in the same run, same harness — it must stay within 5%
+#: of the bitset delay median (it hands back the runtime's own iterator, so
+#: the honest expectation is ~0%).
+ENGINE_FACADE_SLACK = 1.05
 
 
 def _delay_regression_gate(payload, out_dir):
@@ -470,6 +595,15 @@ def _speedup_lines(payload):
             f"{cursors['resumed_across_edit_batches']} resumed across edit batches, "
             f"{cursors['invalidated_by_edit_batches']} invalidated"
         )
+        sharded = payload.get("sharded")
+        if sharded:
+            lines.append(
+                f"  sharded ({sharded['workers']} workers): per-doc build "
+                f"{sharded['doc_build_median_s']*1e3:.2f}ms, edit batch "
+                f"{sharded['edit_batch_median_s']*1e3:.2f}ms, page fetch "
+                f"{sharded['page_fetch_median_s']*1e3:.2f}ms, answers match "
+                f"single-process: {sharded['answers_match_single_process']}"
+            )
         return lines
     pairs = payload["backends"]["pairs"]
     bitset = payload["backends"]["bitset"]
@@ -477,6 +611,13 @@ def _speedup_lines(payload):
         ratio = pairs["median_s"] / bitset["median_s"] if bitset["median_s"] else float("inf")
         lines.append(f"  delay: pairs {pairs['median_s']*1e6:.1f}us -> bitset "
                      f"{bitset['median_s']*1e6:.1f}us  ({ratio:.2f}x)")
+        facade = payload.get("engine_facade")
+        if facade:
+            lines.append(
+                f"  engine facade: direct {facade['direct_median_s']*1e6:.2f}us -> "
+                f"stream() {facade['engine_median_s']*1e6:.2f}us "
+                f"({(facade['overhead_ratio'] - 1) * 100:+.1f}% overhead)"
+            )
     else:
         for size in pairs:
             ratio = pairs[size]["median_s"] / bitset[size]["median_s"]
@@ -567,6 +708,11 @@ def main(argv=None) -> int:
                         f"  catalog start not paying off on {heavy} "
                         f"({payload['catalog_start_speedup'][heavy]:.2f}x <= 1.2x)"
                     )
+                # Sharding smoke: worker processes must serve byte-identical
+                # answers to the single-process engine.
+                if not payload["sharded"]["answers_match_single_process"]:
+                    print("  sharded answers DIVERGED from single-process answers")
+                    ok = False
             else:
                 # Perf smoke: the default bitset backend must not be slower
                 # than the reference pairs backend on any headline
@@ -576,6 +722,16 @@ def main(argv=None) -> int:
                 if payload["bench"] == "delay_constant":
                     ok = backends["bitset"]["median_s"] <= backends["pairs"]["median_s"] * 1.5
                     if not _delay_regression_gate(payload, args.out):
+                        ok = False
+                    # Facade smoke: Engine.stream() must add <5% to the
+                    # bitset delay median measured in this same run.
+                    facade = payload["engine_facade"]
+                    if facade["overhead_ratio"] > ENGINE_FACADE_SLACK:
+                        print(
+                            f"  engine facade overhead "
+                            f"{(facade['overhead_ratio'] - 1) * 100:.1f}% exceeds "
+                            f"{(ENGINE_FACADE_SLACK - 1) * 100:.0f}%"
+                        )
                         ok = False
                 else:
                     ok = all(

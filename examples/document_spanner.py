@@ -4,69 +4,78 @@ This is the word use case of Section 8 / Theorem 8.5: the query is a regular
 expression with capture variables (a document spanner), compiled to a
 nondeterministic word variable automaton — never determinized — and evaluated
 on a text that is being edited (characters inserted, deleted, replaced).
+The engine treats it as just another query kind: the same
+``compile → add → stream/page → apply_edits`` calls as tree queries.
 
 The spanner here extracts "key=value" occurrences from a configuration-like
 string: ``k{[ab]+} = v{[ab]+}`` over a small alphabet.  After each text edit
 the matches are re-enumerated from the incrementally maintained structure.
 
-Run with:  python examples/document_spanner.py
+Run with:  PYTHONPATH=src python examples/document_spanner.py
 """
 
 from __future__ import annotations
 
-from repro.spanners.spanner import Spanner
+from repro import Engine
 
 ALPHABET = ("a", "b", "=", ";", " ")
+PATTERN = ".* k{[ab]+} = v{[ab]+} .*"
 
 
 def render(word) -> str:
     return "".join(word)
 
 
-def show_matches(enumerator, spanner) -> None:
-    matches = list(enumerator.assignments_by_index())
+def show_matches(doc) -> None:
+    matches = list(doc.stream())
     print(f"  {len(matches)} match(es)")
-    word = enumerator.word()
+    word = doc.runtime.word()
+    index_of = {pos_id: i for i, pos_id in enumerate(doc.runtime.position_ids())}
     for assignment in sorted(matches, key=sorted):
-        spans = Spanner.spans(assignment)
+        spans = doc.query.spans(frozenset((v, index_of[p]) for v, p in assignment))
         rendered = {
-            str(var): render(word[start:end]) for var, (start, end) in sorted(spans.items(), key=lambda kv: str(kv[0]))
+            str(var): render(word[start:end])
+            for var, (start, end) in sorted(spans.items(), key=lambda kv: str(kv[0]))
         }
         print(f"    {rendered}")
 
 
 def main() -> None:
     text = list("ab=ba;a=b")
-    spanner = Spanner(".* k{[ab]+} = v{[ab]+} .*", ALPHABET)
-    print(f"spanner pattern: {spanner.pattern}")
-    print(f"document:        {render(text)!r}")
+    with Engine() as engine:
+        query = engine.compile(PATTERN, alphabet=ALPHABET)
+        print(f"spanner pattern: {query.pattern}")
+        print(f"document:        {render(text)!r}")
 
-    enumerator = spanner.enumerator(text)
-    stats = enumerator.stats()
-    print(
-        f"preprocessing: {stats.tree_size} positions, circuit width {stats.circuit_width}, "
-        f"{stats.preprocessing_seconds*1000:.1f} ms"
-    )
-    show_matches(enumerator, spanner)
+        doc = engine.add_word(text, query)
+        stats = doc.runtime.stats()
+        print(
+            f"preprocessing: {stats.tree_size} positions, circuit width {stats.circuit_width}, "
+            f"{stats.preprocessing_seconds*1000:.1f} ms"
+        )
+        show_matches(doc)
 
-    # --- edit 1: replace the final 'b' by 'a'
-    last = enumerator.position_ids()[-1]
-    enumerator.replace(last, "a")
-    print(f"\nafter replacing the last letter: {render(enumerator.word())!r}")
-    show_matches(enumerator, spanner)
+        # --- edit 1: replace the final 'b' by 'a'
+        last = doc.runtime.position_ids()[-1]
+        doc.apply_edits([("replace", last, "a")])
+        print(f"\nafter replacing the last letter: {render(doc.runtime.word())!r}")
+        show_matches(doc)
 
-    # --- edit 2: append a new key=value pair, one character at a time
-    for ch in ";ab=ab":
-        last_id = enumerator.position_ids()[-1]
-        update = enumerator.insert_after(last_id, ch)
-    print(f"\nafter appending ';ab=ab' (last trunk {update.trunk_size} boxes): {render(enumerator.word())!r}")
-    show_matches(enumerator, spanner)
+        # --- edit 2: append a new key=value pair, one character at a time
+        for ch in ";ab=ab":
+            last_id = doc.runtime.position_ids()[-1]
+            report = doc.apply_edits([("insert_after", last_id, ch)])
+        print(
+            f"\nafter appending ';ab=ab' (last trunk {report.boxes_rebuilt} boxes, "
+            f"epoch {report.epoch}): {render(doc.runtime.word())!r}"
+        )
+        show_matches(doc)
 
-    # --- edit 3: delete the leading 'a', changing the first key
-    first_id = enumerator.position_ids()[0]
-    enumerator.delete(first_id)
-    print(f"\nafter deleting the first letter: {render(enumerator.word())!r}")
-    show_matches(enumerator, spanner)
+        # --- edit 3: delete the leading 'a', changing the first key
+        first_id = doc.runtime.position_ids()[0]
+        doc.apply_edits([("delete", first_id)])
+        print(f"\nafter deleting the first letter: {render(doc.runtime.word())!r}")
+        show_matches(doc)
 
 
 if __name__ == "__main__":

@@ -3,16 +3,18 @@
 This example builds a small document tree, runs the query
 Φ(x) = "x is a node labelled 'highlight'" through the full pipeline of the
 paper (balanced forest-algebra term → assignment circuit → index →
-enumeration), prints the answers, and then edits the tree — relabeling a
-node, inserting a leaf and deleting one — re-enumerating after each update.
+enumeration) behind the unified :class:`repro.Engine` API, prints the
+answers, pages through them, and then edits the tree — relabeling a node,
+inserting a leaf and deleting one — re-enumerating after each update.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+from repro import Engine
 from repro.automata.queries import select_labeled
-from repro.core.enumerator import TreeEnumerator
+from repro.trees.edits import Delete, Insert, Relabel
 from repro.trees.serialization import to_sexpr
 from repro.trees.unranked import UnrankedTree
 
@@ -33,40 +35,50 @@ def main() -> None:
     query = select_labeled("highlight", labels)
 
     print("input tree:", to_sexpr(tree))
-    enumerator = TreeEnumerator(tree, query)
-    stats = enumerator.stats()
-    print(
-        f"preprocessing: tree of {stats.tree_size} nodes, term height {stats.term_height}, "
-        f"circuit width {stats.circuit_width}, {stats.circuit_gates} gates, "
-        f"{stats.preprocessing_seconds * 1000:.1f} ms"
-    )
+    with Engine() as engine:
+        doc = engine.add_tree(tree, query)
+        stats = doc.runtime.stats()
+        print(
+            f"preprocessing: tree of {stats.tree_size} nodes, term height {stats.term_height}, "
+            f"circuit width {stats.circuit_width}, {stats.circuit_gates} gates, "
+            f"{stats.preprocessing_seconds * 1000:.1f} ms"
+        )
 
-    print("\nanswers (node ids of highlighted fields):")
-    for assignment in enumerator.assignments():
-        print("  ", sorted(node_id for _var, node_id in assignment))
+        print("\nanswers (node ids of highlighted fields):")
+        for assignment in doc.stream():
+            print("  ", sorted(node_id for _var, node_id in assignment))
 
-    # --- update 1: a plain field becomes a highlight (relabeling)
-    some_field = enumerator.tree.nodes_with_label("field")[0]
-    update = enumerator.relabel(some_field.node_id, "highlight")
-    print(
-        f"\nafter relabel(#{some_field.node_id} -> highlight) "
-        f"(trunk of {update.trunk_size} boxes rebuilt): {enumerator.count()} answers"
-    )
+        # the same answers, paginated through edit-stable cursors
+        page = doc.page(page_size=1)
+        while True:
+            print(f"page at offset {page.offset}: {[sorted(a) for a in page]}")
+            if page.exhausted:
+                break
+            page = doc.page(cursor=page)
 
-    # --- update 2: insert a brand new highlighted field under the second record
-    second_record = enumerator.tree.nodes_with_label("record")[1]
-    update = enumerator.insert_first_child(second_record.node_id, "highlight")
-    print(
-        f"after insert(highlight under record #{second_record.node_id}) "
-        f"(new node #{update.new_node_id}): {enumerator.count()} answers"
-    )
+        # --- update 1: a plain field becomes a highlight (relabeling)
+        some_field = doc.runtime.tree.nodes_with_label("field")[0]
+        report = doc.apply_edits([Relabel(some_field.node_id, "highlight")])
+        print(
+            f"\nafter relabel(#{some_field.node_id} -> highlight) "
+            f"(trunk of {report.boxes_rebuilt} boxes rebuilt, epoch {report.epoch}): "
+            f"{doc.count()} answers"
+        )
 
-    # --- update 3: delete one of the original highlights
-    first_highlight = enumerator.tree.nodes_with_label("highlight")[0]
-    enumerator.delete_leaf(first_highlight.node_id)
-    print(f"after delete(#{first_highlight.node_id}): {enumerator.count()} answers")
+        # --- update 2: insert a brand new highlighted field under the second record
+        second_record = doc.runtime.tree.nodes_with_label("record")[1]
+        report = doc.apply_edits([Insert(second_record.node_id, "highlight")])
+        print(
+            f"after insert(highlight under record #{second_record.node_id}) "
+            f"(new node #{report.stats[0].new_node_id}): {doc.count()} answers"
+        )
 
-    print("\nanswers as tuples:", sorted(enumerator.answer_tuples(("x",))))
+        # --- update 3: delete one of the original highlights
+        first_highlight = doc.runtime.tree.nodes_with_label("highlight")[0]
+        doc.apply_edits([Delete(first_highlight.node_id)])
+        print(f"after delete(#{first_highlight.node_id}): {doc.count()} answers")
+
+        print("\nall answers:", sorted(sorted(a) for a in doc.stream()))
 
 
 if __name__ == "__main__":

@@ -7,21 +7,23 @@ without re-indexing the document after every change.
 The standing query here is the classic *descendant* pattern
 Φ(x, y) = "y is a (strict) descendant of x, x is a 'section' and y is an
 'error'" — built by intersecting the generic descendant-pair automaton with
-label tests — over a synthetic log-like document that keeps growing.  After
-each batch of edits the example reports the update cost (number of circuit
-boxes rebuilt, which is logarithmic in the document) and the first few
-answers.
+label tests — over a synthetic log-like document that keeps growing, served
+through the unified :class:`repro.Engine`.  After each batch of edits the
+example reports the update cost (number of circuit boxes rebuilt, which is
+logarithmic in the document) and the first few answers.
 
-Run with:  python examples/xml_monitoring.py
+Run with:  PYTHONPATH=src python examples/xml_monitoring.py
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 
+from repro import Engine
 from repro.automata.boolean_ops import intersect
 from repro.automata.queries import select_descendant_pairs, select_label_pairs
-from repro.core.enumerator import TreeEnumerator
+from repro.trees.edits import Delete, Insert, Relabel
 from repro.trees.unranked import UnrankedTree
 
 LABELS = ("doc", "section", "entry", "error", "info")
@@ -49,44 +51,45 @@ def sections_with_errors_query():
 def main() -> None:
     rng = random.Random(42)
     tree = build_document(n_sections=12, entries_per_section=4, seed=1)
-    query = sections_with_errors_query()
 
-    enumerator = TreeEnumerator(tree, query)
-    stats = enumerator.stats()
-    print(
-        f"document: {stats.tree_size} nodes | term height {stats.term_height} | "
-        f"circuit width {stats.circuit_width} | preprocessing {stats.preprocessing_seconds*1000:.1f} ms"
-    )
-    print(f"initial (section, error) pairs: {enumerator.count()}")
-
-    for batch in range(5):
-        # a batch of live edits: new entries arrive, some infos turn into errors
-        trunk_sizes = []
-        for _ in range(10):
-            action = rng.random()
-            if action < 0.5:
-                section = rng.choice(enumerator.tree.nodes_with_label("section"))
-                update = enumerator.insert_first_child(section.node_id, "entry")
-                update2 = enumerator.insert_first_child(
-                    update.new_node_id, "error" if rng.random() < 0.3 else "info"
-                )
-                trunk_sizes.extend([update.trunk_size, update2.trunk_size])
-            elif action < 0.8:
-                infos = enumerator.tree.nodes_with_label("info")
-                if infos:
-                    update = enumerator.relabel(rng.choice(infos).node_id, "error")
-                    trunk_sizes.append(update.trunk_size)
-            else:
-                errors = [n for n in enumerator.tree.nodes_with_label("error") if n.is_leaf()]
-                if errors:
-                    update = enumerator.delete_leaf(rng.choice(errors).node_id)
-                    trunk_sizes.append(update.trunk_size)
-        first_answers = enumerator.first(3)
+    with Engine() as engine:
+        doc = engine.add_tree(tree, sections_with_errors_query())
+        stats = doc.runtime.stats()
         print(
-            f"batch {batch + 1}: document now {enumerator.tree.size()} nodes, "
-            f"avg trunk {sum(trunk_sizes) / len(trunk_sizes):.1f} boxes, "
-            f"{enumerator.count()} answer pairs, sample {[sorted(a) for a in first_answers]}"
+            f"document: {stats.tree_size} nodes | term height {stats.term_height} | "
+            f"circuit width {stats.circuit_width} | preprocessing {stats.preprocessing_seconds*1000:.1f} ms"
         )
+        print(f"initial (section, error) pairs: {doc.count()}")
+
+        live_tree = doc.runtime.tree
+        for batch in range(5):
+            # a batch of live edits: new entries arrive, some infos turn into errors
+            trunk_sizes = []
+            for _ in range(10):
+                action = rng.random()
+                if action < 0.5:
+                    section = rng.choice(live_tree.nodes_with_label("section"))
+                    report = doc.apply_edits([Insert(section.node_id, "entry")])
+                    report2 = doc.apply_edits(
+                        [Insert(report.stats[0].new_node_id, "error" if rng.random() < 0.3 else "info")]
+                    )
+                    trunk_sizes.extend([report.boxes_rebuilt, report2.boxes_rebuilt])
+                elif action < 0.8:
+                    infos = live_tree.nodes_with_label("info")
+                    if infos:
+                        report = doc.apply_edits([Relabel(rng.choice(infos).node_id, "error")])
+                        trunk_sizes.append(report.boxes_rebuilt)
+                else:
+                    errors = [n for n in live_tree.nodes_with_label("error") if n.is_leaf()]
+                    if errors:
+                        report = doc.apply_edits([Delete(rng.choice(errors).node_id)])
+                        trunk_sizes.append(report.boxes_rebuilt)
+            first_answers = list(itertools.islice(doc.stream(), 3))
+            print(
+                f"batch {batch + 1}: document now {live_tree.size()} nodes (epoch {doc.epoch}), "
+                f"avg trunk {sum(trunk_sizes) / len(trunk_sizes):.1f} boxes, "
+                f"{doc.count()} answer pairs, sample {[sorted(a) for a in first_answers]}"
+            )
 
 
 if __name__ == "__main__":

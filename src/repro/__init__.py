@@ -5,19 +5,24 @@ A from-scratch Python reproduction of Amarilli, Bourhis, Mengel and Niewerth,
 Updates* (PODS 2019).  See README.md for a tour and DESIGN.md for the mapping
 between the paper and the modules.
 
-The most convenient entry points are:
+The front door is the unified engine API (``from repro import Engine``):
 
-* :class:`repro.core.enumerator.TreeEnumerator` — enumerate the satisfying
-  assignments of an unranked tree variable automaton (or a query from
-  :mod:`repro.automata.queries`) on an unranked tree, with support for
-  relabeling, leaf insertion and leaf deletion updates;
-* :class:`repro.core.enumerator.WordEnumerator` — the same for word variable
-  automata / document spanners on words (Theorem 8.5);
-* :mod:`repro.spanners` — compile regexes with capture variables into word
-  variable automata;
-* :mod:`repro.serving` — the serving layer: persistent compiled queries
-  (:class:`~repro.serving.QueryCatalog`), many documents per standing query
-  (:class:`~repro.serving.DocumentStore`) and edit-stable paginated cursors.
+* :class:`repro.Engine` — owns a persistent
+  :class:`~repro.engine.catalog.QueryCatalog`, backend defaults and an
+  optional pool of shard worker processes (``Engine(workers=N)``);
+* :class:`repro.Query` — one polymorphic compiled-query handle covering
+  unranked-tree TVA queries (Theorem 8.1), word variable automata and regex
+  document spanners (Theorem 8.5);
+* :class:`repro.Document` — a tree or word handle with ``apply_edits``
+  (Definition 7.1), epochs, and ``stream()`` / ``page()`` enumeration;
+* :class:`repro.ResultPage` — the one page type, backed by edit-stable
+  cursors.
+
+Every exception derives from :class:`repro.ReproError`.  The historical
+entry points — :class:`~repro.core.enumerator.TreeEnumerator`,
+:class:`~repro.core.enumerator.WordEnumerator`,
+:class:`~repro.serving.DocumentStore` — keep working as deprecated shims
+over the engine.
 """
 
 from repro.assignments import (
@@ -28,30 +33,72 @@ from repro.assignments import (
     format_assignment,
     valuation_from_assignment,
 )
+from repro.errors import (
+    BackendError,
+    CatalogError,
+    CatalogVersionError,
+    CircuitStructureError,
+    CursorInvalidatedError,
+    EngineError,
+    InvalidAutomatonError,
+    InvalidEditError,
+    InvalidTreeError,
+    RegexSyntaxError,
+    ReproError,
+    ServingError,
+    StaleIteratorError,
+    UnsupportedUpdateError,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # unified engine API (lazily imported)
+    "Engine",
+    "Query",
+    "Document",
+    "ResultPage",
+    "QueryCatalog",
+    # assignments
     "Assignment",
     "EMPTY_ASSIGNMENT",
     "assignment_of",
     "assignment_from_valuation",
     "valuation_from_assignment",
     "format_assignment",
+    # unified exception hierarchy
+    "ReproError",
+    "BackendError",
+    "CatalogError",
+    "CatalogVersionError",
+    "CircuitStructureError",
+    "CursorInvalidatedError",
+    "EngineError",
+    "InvalidAutomatonError",
+    "InvalidEditError",
+    "InvalidTreeError",
+    "RegexSyntaxError",
+    "ServingError",
+    "StaleIteratorError",
+    "UnsupportedUpdateError",
     "__version__",
 ]
 
 
 def __getattr__(name):
     """Lazily expose the high-level API without import cycles at package import."""
+    if name in {"Engine", "Query", "Document", "ResultPage", "QueryCatalog"}:
+        from repro import engine
+
+        return getattr(engine, name)
     if name in {"TreeEnumerator", "WordEnumerator"}:
         from repro.core import enumerator
 
         return getattr(enumerator, name)
-    if name in {"QueryCatalog", "DocumentStore"}:
+    if name == "DocumentStore":
         from repro import serving
 
-        return getattr(serving, name)
+        return serving.DocumentStore
     if name == "queries":
         from repro.automata import queries
 

@@ -240,6 +240,20 @@ def query_payload(query: object) -> Dict:
 
 
 def query_digest(query: object) -> str:
-    """A hex content digest of a query (stable across processes and machines)."""
+    """A hex content digest of a query (stable across processes and machines).
+
+    Memoized on the query instance (queries are immutable once built, like
+    the ``_binary_automaton_cache`` the enumerators attach), so hot paths —
+    one digest lookup per served document — canonicalize each query object
+    once.
+    """
+    cached = getattr(query, "_content_digest_cache", None)
+    if cached is not None:
+        return cached
     text = canonical_json(query_payload(query))
-    return hashlib.sha256(text.encode("utf8")).hexdigest()
+    digest = hashlib.sha256(text.encode("utf8")).hexdigest()
+    try:
+        query._content_digest_cache = digest
+    except AttributeError:  # query classes with __slots__: just skip caching
+        pass
+    return digest

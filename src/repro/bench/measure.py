@@ -7,7 +7,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.trees.edits import EditOperation, Insert, InsertRight
 
 __all__ = [

@@ -1,7 +1,11 @@
-"""High-level public API: tree and word enumerators with update support,
-result types and the baselines of Table 1."""
+"""Per-document enumeration runtimes with update support, result types and
+the baselines of Table 1.
 
-from repro.core.enumerator import TreeEnumerator, WordEnumerator
+The unified public front door is :class:`repro.Engine`;
+:class:`TreeEnumerator` / :class:`WordEnumerator` are deprecated aliases of
+the :class:`TreeRuntime` / :class:`WordRuntime` building blocks."""
+
+from repro.core.enumerator import TreeEnumerator, TreeRuntime, WordEnumerator, WordRuntime
 from repro.core.results import EnumeratorStats, UpdateStats
 from repro.core.baselines import (
     BaselineStrategy,
@@ -10,6 +14,8 @@ from repro.core.baselines import (
 )
 
 __all__ = [
+    "TreeRuntime",
+    "WordRuntime",
     "TreeEnumerator",
     "WordEnumerator",
     "EnumeratorStats",

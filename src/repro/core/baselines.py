@@ -18,7 +18,7 @@ algorithm against (experiment E1):
   raise :class:`~repro.errors.UnsupportedUpdateError` or, in ``fallback``
   mode, trigger a full rebuild.
 
-The main algorithm of this paper is :class:`repro.core.enumerator.TreeEnumerator`
+The main algorithm of this paper is :class:`repro.core.enumerator.TreeRuntime`
 itself: constant-ish delay *and* logarithmic structural updates.
 """
 
@@ -30,7 +30,7 @@ from typing import Iterator, List, Optional, Sequence, Set
 from repro.assignments import Assignment
 from repro.automata.brute_force import unranked_satisfying_assignments
 from repro.automata.unranked_tva import UnrankedTVA
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.core.results import UpdateStats
 from repro.errors import UnsupportedUpdateError
 from repro.trees.edits import Delete, EditOperation, Insert, InsertRight, Relabel
@@ -87,7 +87,7 @@ class RecomputeTreeEnumerator:
         self.query = query
         self.relation_backend = relation_backend
         self.tree = tree.copy()
-        self._inner = TreeEnumerator(self.tree, query, relation_backend=relation_backend, copy_tree=True)
+        self._inner = TreeRuntime(self.tree, query, relation_backend=relation_backend, copy_tree=True)
 
     def assignments(self) -> Iterator[Assignment]:
         """Enumerate answers (same guarantees as the static Theorem 6.5 pipeline)."""
@@ -109,7 +109,7 @@ class RecomputeTreeEnumerator:
         """Apply an edit by rebuilding the whole enumeration structure."""
         start = time.perf_counter()
         edit.apply_to_tree(self.tree)
-        self._inner = TreeEnumerator(
+        self._inner = TreeRuntime(
             self.tree, self.query, relation_backend=self.relation_backend, copy_tree=True
         )
         return UpdateStats(
@@ -147,7 +147,7 @@ class RelabelOnlyTreeEnumerator:
         #: if True, structural updates fall back to a full rebuild instead of failing
         self.fallback = fallback
         self.tree = tree.copy()
-        self._inner = TreeEnumerator(self.tree, query, relation_backend=relation_backend, copy_tree=True)
+        self._inner = TreeRuntime(self.tree, query, relation_backend=relation_backend, copy_tree=True)
 
     def assignments(self) -> Iterator[Assignment]:
         return self._inner.assignments()
@@ -176,7 +176,7 @@ class RelabelOnlyTreeEnumerator:
             )
         start = time.perf_counter()
         edit.apply_to_tree(self.tree)
-        self._inner = TreeEnumerator(
+        self._inner = TreeRuntime(
             self.tree, self.query, relation_backend=self.relation_backend, copy_tree=True
         )
         return UpdateStats(
@@ -198,7 +198,7 @@ class RelabelOnlyTreeEnumerator:
 def make_enumerator(strategy: str, tree: UnrankedTree, query: UnrankedTVA, **kwargs):
     """Factory used by the benchmarks: build an enumerator for a Table 1 row."""
     if strategy == "this-paper":
-        return TreeEnumerator(tree, query, **kwargs)
+        return TreeRuntime(tree, query, **kwargs)
     if strategy == "recompute":
         return RecomputeTreeEnumerator(tree, query, **kwargs)
     if strategy == "relabel-only":

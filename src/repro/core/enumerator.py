@@ -1,6 +1,6 @@
-"""The public enumerators: trees (Theorem 8.1) and words (Theorem 8.5).
+"""The per-document enumeration runtimes: trees (Theorem 8.1) and words (Theorem 8.5).
 
-:class:`TreeEnumerator` is the end-to-end object of the paper: given an
+:class:`TreeRuntime` is the end-to-end object of the paper: given an
 unranked tree and a (generally nondeterministic) unranked tree variable
 automaton, it
 
@@ -14,11 +14,17 @@ automaton, it
    trunk of the corresponding hollowing (Lemma 7.3) — logarithmic work per
    update — after which enumeration restarts on the updated tree.
 
-:class:`WordEnumerator` is the word specialization (Corollary 8.4 /
+:class:`WordRuntime` is the word specialization (Corollary 8.4 /
 Theorem 8.5), used for document spanners: the query is a word variable
 automaton (for instance compiled from a regex with capture variables by
 :mod:`repro.spanners`), answers bind variables to word positions, and the
 supported updates are character insertion, deletion and replacement.
+
+The runtimes are the building blocks of the public :class:`repro.Engine`
+(one maintained document each); the historical public classes
+:class:`TreeEnumerator` / :class:`WordEnumerator` are deprecated aliases
+kept for backward compatibility — they behave identically but emit a
+:class:`DeprecationWarning` pointing at the engine equivalent.
 
 Materialization boundary
 ------------------------
@@ -37,6 +43,7 @@ ever built when a caller asks for them through
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.assignments import Assignment, valuation_from_assignment
@@ -55,6 +62,8 @@ from repro.trees.edits import Delete, EditOperation, Insert, InsertRight, Relabe
 from repro.trees.unranked import UnrankedNode, UnrankedTree
 
 __all__ = [
+    "TreeRuntime",
+    "WordRuntime",
     "TreeEnumerator",
     "WordEnumerator",
     "query_content_key",
@@ -153,7 +162,7 @@ def seed_compiled_query(query, automaton) -> None:
         pass
 
 
-class TreeEnumerator:
+class TreeRuntime:
     """Enumerate the answers of an unranked TVA on an unranked tree, under updates."""
 
     def __init__(
@@ -279,7 +288,7 @@ class TreeEnumerator:
         return self.apply(Delete(node_id))
 
 
-class WordEnumerator:
+class WordRuntime:
     """Enumerate the matches of a WVA (document spanner) on a word, under updates."""
 
     def __init__(
@@ -382,3 +391,39 @@ class WordEnumerator:
         start = time.perf_counter()
         report = self.term.delete(position_id)
         return self._finish_update(report, start)
+
+
+# --------------------------------------------------------------- legacy shims
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        "(see the migration table in README.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class TreeEnumerator(TreeRuntime):
+    """Deprecated alias of :class:`TreeRuntime`.
+
+    Use ``repro.Engine().add_tree(tree, query)`` — the returned
+    :class:`repro.engine.Document` exposes the same enumeration
+    (``stream()``), updates (``apply_edits()``) and statistics through the
+    unified engine API.  This shim behaves identically to :class:`TreeRuntime`
+    but emits a :class:`DeprecationWarning` at construction.
+    """
+
+    def __init__(self, *args, **kwargs):
+        _warn_deprecated("repro.core.enumerator.TreeEnumerator", "repro.Engine().add_tree(...)")
+        super().__init__(*args, **kwargs)
+
+
+class WordEnumerator(WordRuntime):
+    """Deprecated alias of :class:`WordRuntime`.
+
+    Use ``repro.Engine().add_word(word, query)``; see :class:`TreeEnumerator`.
+    """
+
+    def __init__(self, *args, **kwargs):
+        _warn_deprecated("repro.core.enumerator.WordEnumerator", "repro.Engine().add_word(...)")
+        super().__init__(*args, **kwargs)

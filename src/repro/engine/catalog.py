@@ -1,0 +1,324 @@
+"""`QueryCatalog`: persistent storage of compiled standing queries.
+
+The catalog packages the query-only half of the paper's preprocessing
+pipeline — translate (Lemma 7.4 / Theorem 8.5), homogenize (Lemma 2.1) and
+the memoized box plans of the circuit construction (Lemma 3.7) — behind a
+content-addressed directory of JSON files, one per distinct query content
+(:func:`repro.automata.serialize.query_digest`).
+
+The serving workflow it enables:
+
+* an **offline/compile process** builds the standing queries once and
+  ``save()``\\ s them (ideally after building at least one document, so the
+  plan cache is warm);
+* each **serving process** ``get()``\\ s the compiled queries at startup —
+  a JSON load, orders of magnitude cheaper than compilation — and then pays
+  only the per-document ``O(|T| · poly|Q'|)`` build of Lemma 7.3 when
+  documents arrive.
+
+Files are written atomically (temp file + ``os.replace``), so a catalog
+directory shared between processes never exposes half-written entries — this
+is what lets the sharding workers of ``Engine(workers=N)`` share one catalog
+directory.
+
+Alongside the entries the catalog maintains a ``manifest.json``: the library
+version that wrote the catalog plus per-digest metadata (kind, sizes, save
+time).  Opening a catalog written by an incompatible library version raises
+a precise :class:`~repro.errors.CatalogVersionError`; :meth:`QueryCatalog.gc`
+garbage-collects entries whose digest is no longer referenced.  Entry files
+remain the source of truth — the manifest is metadata, rebuilt on demand —
+so catalogs written before the manifest existed keep loading.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.automata.serialize import query_digest
+from repro.automata.unranked_tva import UnrankedTVA
+from repro.automata.wva import WVA
+from repro.core.enumerator import compiled_automaton_for
+from repro.errors import CatalogError, CatalogVersionError
+from repro.engine.codec import CompiledQuery, compiled_query_from_json, compiled_query_to_json
+
+__all__ = ["QueryCatalog", "MANIFEST_FORMAT", "MANIFEST_NAME"]
+
+#: format number of ``manifest.json`` (bumped on incompatible layout changes)
+MANIFEST_FORMAT = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def _compatible_versions(wrote: str, reads: str) -> bool:
+    """Same-major-version compatibility rule for persisted compiled queries."""
+    return str(wrote).split(".")[0] == str(reads).split(".")[0]
+
+
+def _kind_of(query) -> str:
+    if isinstance(query, UnrankedTVA):
+        return "tree"
+    if isinstance(query, WVA):
+        return "word"
+    raise CatalogError(
+        f"cannot catalog {type(query).__name__}; expected an UnrankedTVA or a WVA"
+    )
+
+
+class QueryCatalog:
+    """A directory of persisted compiled queries, keyed by content digest."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        #: in-process cache of loaded entries (digest → CompiledQuery), so a
+        #: store serving many documents of one query hits the disk once.
+        self._loaded: Dict[str, CompiledQuery] = {}
+        # Fail fast on a catalog written by an incompatible library version
+        # (a missing manifest is a pre-manifest catalog and stays readable).
+        self.read_manifest()
+
+    # -------------------------------------------------------------- manifest
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def read_manifest(self) -> Optional[Dict]:
+        """The parsed ``manifest.json``, or ``None`` if none was written yet.
+
+        Raises :class:`~repro.errors.CatalogVersionError` when the manifest
+        was written by an incompatible library major version or an unknown
+        manifest format — naming both versions and the path, so a stale
+        catalog is distinguishable from a corrupt one (which raises
+        :class:`~repro.errors.CatalogError`).
+        """
+        from repro import __version__
+
+        try:
+            with open(self.manifest_path, encoding="utf8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except ValueError as exc:
+            raise CatalogError(
+                f"corrupt catalog manifest {self.manifest_path}: {exc}"
+            ) from exc
+        fmt = manifest.get("manifest_format")
+        if fmt != MANIFEST_FORMAT:
+            raise CatalogVersionError(
+                f"catalog {self.root} has manifest format {fmt!r}; this library "
+                f"reads format {MANIFEST_FORMAT}"
+            )
+        wrote = manifest.get("library_version", "0")
+        if not _compatible_versions(wrote, __version__):
+            raise CatalogVersionError(
+                f"catalog {self.root} was written by library version {wrote}, "
+                f"incompatible with this library version {__version__} "
+                f"(major versions must match); re-save its queries or point "
+                f"the engine at a fresh catalog directory"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        from repro import __version__
+
+        manifest = dict(manifest)
+        manifest["manifest_format"] = MANIFEST_FORMAT
+        manifest["library_version"] = __version__
+        self._atomic_write(
+            self.manifest_path, json.dumps(manifest, sort_keys=True, indent=0)
+        )
+
+    def _update_manifest(self, digest: str, meta: Optional[Dict]) -> None:
+        """Record (``meta`` is a dict) or drop (``meta is None``) one entry.
+
+        Concurrent writers race benignly: entry files are the source of
+        truth, written atomically, and a lost manifest update only loses
+        advisory metadata (:meth:`gc` works off the file listing).
+        """
+        manifest = self.read_manifest() or {"entries": {}}
+        entries = manifest.setdefault("entries", {})
+        if meta is None:
+            entries.pop(digest, None)
+        else:
+            entries[digest] = meta
+        self._write_manifest(manifest)
+
+    def entry_meta(self, query_or_digest) -> Optional[Dict]:
+        """The manifest metadata recorded for an entry (or ``None``)."""
+        digest = (
+            query_or_digest
+            if isinstance(query_or_digest, str)
+            else self.digest_of(query_or_digest)
+        )
+        manifest = self.read_manifest() or {}
+        return (manifest.get("entries") or {}).get(digest)
+
+    def gc(self, keep: Iterable) -> List[str]:
+        """Delete every persisted entry whose digest is not in ``keep``.
+
+        ``keep`` is an iterable of digests and/or query objects (digested
+        here).  Works off the entry-file listing, so pre-manifest entries and
+        entries saved by other processes are collected too; the manifest is
+        pruned to the survivors.  Returns the sorted list of removed digests.
+        """
+        kept = {
+            item if isinstance(item, str) else self.digest_of(item) for item in keep
+        }
+        removed = [digest for digest in self.digests() if digest not in kept]
+        for digest in removed:
+            self._loaded.pop(digest, None)
+            try:
+                os.unlink(self.path_of(digest))
+            except FileNotFoundError:
+                pass
+        if removed:
+            manifest = self.read_manifest() or {"entries": {}}
+            entries = manifest.setdefault("entries", {})
+            for digest in removed:
+                entries.pop(digest, None)
+            self._write_manifest(manifest)
+        return sorted(removed)
+
+    # --------------------------------------------------------------- low-level
+    def _atomic_write(self, path: str, text: str) -> None:
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    # ------------------------------------------------------------------ keys
+    def digest_of(self, query) -> str:
+        """The content digest a query is stored under."""
+        return query_digest(query)
+
+    def path_of(self, digest: str) -> str:
+        """The file path of a digest's entry (whether or not it exists)."""
+        return os.path.join(self.root, digest + ".json")
+
+    def __contains__(self, query_or_digest) -> bool:
+        digest = (
+            query_or_digest
+            if isinstance(query_or_digest, str)
+            else self.digest_of(query_or_digest)
+        )
+        return os.path.exists(self.path_of(digest))
+
+    def digests(self) -> List[str]:
+        """The digests of all persisted entries.
+
+        Leftover atomic-write temp files (``.tmp-*.json``, possible after a
+        crash between ``mkstemp`` and ``os.replace``) and the manifest are
+        not entries.
+        """
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if name.endswith(".json")
+            and not name.startswith(".tmp-")
+            and name != MANIFEST_NAME
+        )
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    # ----------------------------------------------------------------- write
+    def save(self, query, automaton=None) -> CompiledQuery:
+        """Compile (or accept) and persist the compiled form of ``query``.
+
+        ``automaton`` may pass a pre-compiled homogenized binary automaton
+        (e.g. one whose plan cache was warmed by building documents); when
+        omitted the query is compiled through the shared in-process cache.
+        The write is atomic and idempotent: saving equal content twice
+        rewrites the same file.
+        """
+        kind = _kind_of(query)
+        if automaton is None:
+            automaton = compiled_automaton_for(query)
+        digest = self.digest_of(query)
+        saved_unix = time.time()
+        text = compiled_query_to_json(
+            query, automaton, kind, extra_meta={"saved_unix": saved_unix}
+        )
+        self._atomic_write(self.path_of(digest), text)
+        self._update_manifest(
+            digest,
+            {
+                "kind": kind,
+                "saved_unix": saved_unix,
+                "automaton_states": len(automaton.states),
+                "automaton_size": automaton.size(),
+                "file_bytes": len(text.encode("utf8")),
+            },
+        )
+        entry = CompiledQuery(kind=kind, digest=digest, automaton=automaton)
+        self._loaded[digest] = entry
+        return entry
+
+    def remove(self, query_or_digest) -> None:
+        """Delete a persisted entry (no error if it does not exist)."""
+        digest = (
+            query_or_digest
+            if isinstance(query_or_digest, str)
+            else self.digest_of(query_or_digest)
+        )
+        self._loaded.pop(digest, None)
+        try:
+            os.unlink(self.path_of(digest))
+        except FileNotFoundError:
+            pass
+        if os.path.exists(self.manifest_path):
+            self._update_manifest(digest, None)
+
+    # ------------------------------------------------------------------ read
+    def load(self, digest: str, use_cache: bool = True) -> CompiledQuery:
+        """Load a persisted compiled query by digest.
+
+        ``load_seconds`` on the result records the wall-clock cost of the
+        disk read + payload reconstruction (the quantity the serving
+        benchmark compares against compile time).
+        """
+        if use_cache:
+            cached = self._loaded.get(digest)
+            if cached is not None:
+                return cached
+        path = self.path_of(digest)
+        start = time.perf_counter()
+        try:
+            with open(path, encoding="utf8") as handle:
+                text = handle.read()
+        except FileNotFoundError:
+            raise CatalogError(f"no compiled query with digest {digest!r} in {self.root}") from None
+        entry = compiled_query_from_json(text, expected_digest=digest)
+        entry.load_seconds = time.perf_counter() - start
+        self._loaded[digest] = entry
+        return entry
+
+    def get(self, query) -> CompiledQuery:
+        """The compiled form of ``query``: from disk if persisted, else compiled.
+
+        Either way the result is attached to the query object
+        (:meth:`CompiledQuery.attach`), so later enumerators for this query
+        content skip compilation.  A cache miss does *not* implicitly write
+        to disk — persisting is an explicit :meth:`save`.
+        """
+        digest = self.digest_of(query)
+        cached = self._loaded.get(digest)
+        if cached is not None:
+            return cached.attach(query)
+        if os.path.exists(self.path_of(digest)):
+            # A corrupt entry raises loudly here: silently recompiling could
+            # mask a catalog that keeps serving stale or wrong files.
+            return self.load(digest).attach(query)
+        entry = CompiledQuery(
+            kind=_kind_of(query), digest=digest, automaton=compiled_automaton_for(query)
+        )
+        self._loaded[digest] = entry
+        return entry.attach(query)

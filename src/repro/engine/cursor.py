@@ -1,0 +1,204 @@
+"""Edit-stable cursors: resumable paginated enumeration with epochs.
+
+The paper's model (Theorem 8.1 / Theorem 8.5) restarts enumeration after
+every update — :class:`~repro.errors.StaleIteratorError` at the enumerator
+layer.  A serving deployment paginates: a client fetches a page of answers,
+edits arrive from other clients, the client comes back for the next page.
+Restarting from scratch on every edit would make pagination quadratic and,
+worse, *silently* re-deliver answers.  The cursor refines the restart model
+with a precise resume-or-invalidate rule built on two facts:
+
+* the mask-native Algorithm 2 runs on an explicit, checkpointable frame
+  stack (:class:`repro.enumeration.duplicate_free.MaskStackEnumeration`),
+  so "where the enumeration stopped" is a passive value whose remaining
+  reads are confined to the subtrees of the boxes its frames reference
+  (its **trunk**);
+* the dirty sets of Lemma 7.3 are upward closed — an edit that rebuilds a
+  box rebuilds all its ancestors — so a box *not* rebuilt by an edit roots a
+  completely untouched subtree.
+
+Hence, after an edit batch:
+
+* if the batch's rebuilt trunk is **disjoint** from the cursor's trunk, the
+  frozen enumeration state reads only untouched boxes and the cursor
+  **resumes where it left off**, continuing the duplicate-free stream of its
+  base epoch with the delay guarantees of Theorem 6.5;
+* otherwise the cursor is **deterministically invalidated**: the next fetch
+  raises :class:`~repro.errors.CursorInvalidatedError` carrying a
+  :class:`CursorInvalidation` report (which epoch and edit batch hit it, and
+  how many answers had been delivered), and the client reopens a cursor on
+  the updated document.
+
+A cursor's stream is the answer stream of the epoch it was opened at; the
+store checks rebuilt-vs-referenced box identity *eagerly* at edit time
+(while both sides are alive), which is what makes the signal precise rather
+than heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.assignments import EMPTY_ASSIGNMENT, Assignment
+from repro.circuits.gates import Box
+from repro.enumeration.duplicate_free import MaskStackEnumeration
+from repro.errors import CursorInvalidatedError, ServingError
+
+__all__ = ["Cursor", "CursorPage", "CursorInvalidation"]
+
+ACTIVE = "active"
+EXHAUSTED = "exhausted"
+INVALIDATED = "invalidated"
+CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class CursorInvalidation:
+    """Why (and when) a cursor stopped being resumable."""
+
+    cursor_id: int
+    document_id: object
+    base_epoch: int
+    invalidated_epoch: int
+    answers_delivered: int
+    edit: str
+    boxes_hit: int
+
+    def describe(self) -> str:
+        return (
+            f"cursor {self.cursor_id} on document {self.document_id!r} "
+            f"(opened at epoch {self.base_epoch}, {self.answers_delivered} answers delivered) "
+            f"was invalidated at epoch {self.invalidated_epoch} by {self.edit}: "
+            f"the edit rebuilt {self.boxes_hit} box(es) of the cursor's trunk"
+        )
+
+
+@dataclass(frozen=True)
+class CursorPage:
+    """One fetched page of answers."""
+
+    answers: List[Assignment]
+    offset: int  #: index of the first answer within the cursor's stream
+    exhausted: bool  #: True when the stream ended within (or at) this page
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self):
+        return iter(self.answers)
+
+
+class Cursor:
+    """A resumable, duplicate-free, paginated view of one document's answers.
+
+    Created through :meth:`repro.engine.local.LocalDocument.open_cursor` /
+    :meth:`repro.engine.Document.page`.  Pages are
+    duplicate-free *across* pages because one underlying enumeration
+    (Algorithm 2, Theorem 5.3) produces the whole stream; pagination only
+    slices it.
+    """
+
+    def __init__(self, document, cursor_id: int, page_size: int):
+        if page_size < 1:
+            raise ServingError("cursor page_size must be >= 1")
+        self.document = document
+        self.cursor_id = cursor_id
+        self.page_size = page_size
+        self.base_epoch = document.epoch
+        self.delivered = 0
+        self.status = ACTIVE
+        self.invalidation: Optional[CursorInvalidation] = None
+        gates, self._pending_empty = document._root_boxed_set()
+        self._enum: Optional[MaskStackEnumeration] = (
+            MaskStackEnumeration(gates) if gates else None
+        )
+
+    # ------------------------------------------------------------ introspection
+    def referenced_boxes(self) -> List[Box]:
+        """The cursor's trunk: boxes its remaining enumeration can still read."""
+        if self._enum is None:
+            return []
+        return self._enum.referenced_boxes()
+
+    def is_active(self) -> bool:
+        return self.status == ACTIVE
+
+    # -------------------------------------------------------------- edit hook
+    def _note_edits(self, epoch: int, edit_description: str, replaced_boxes) -> bool:
+        """Called by the owning document after an edit batch.
+
+        Compares the batch's replaced boxes against the cursor's trunk by
+        identity and flips the cursor to ``invalidated`` on overlap.  Returns
+        ``True`` when the cursor survived (resumes).
+        """
+        if self.status != ACTIVE:
+            return False
+        if self._enum is None:
+            return True  # only the empty answer (or nothing) left: no trunk
+        referenced = {id(box) for box in self._enum.referenced_boxes()}
+        hits = sum(1 for box in replaced_boxes if id(box) in referenced)
+        if not hits:
+            return True
+        self.status = INVALIDATED
+        self.invalidation = CursorInvalidation(
+            cursor_id=self.cursor_id,
+            document_id=self.document.doc_id,
+            base_epoch=self.base_epoch,
+            invalidated_epoch=epoch,
+            answers_delivered=self.delivered,
+            edit=edit_description,
+            boxes_hit=hits,
+        )
+        self._enum = None  # drop the pinned snapshot state
+        return False
+
+    # ------------------------------------------------------------------ paging
+    def fetch(self, limit: Optional[int] = None) -> CursorPage:
+        """Fetch the next page (up to ``limit`` or the cursor's page size).
+
+        Raises :class:`~repro.errors.CursorInvalidatedError` once an edit has
+        hit the cursor's trunk, and :class:`~repro.errors.ServingError` on a
+        closed cursor.  Fetching an exhausted cursor returns empty pages.
+        """
+        if self.status == INVALIDATED:
+            raise CursorInvalidatedError(self.invalidation.describe(), self.invalidation)
+        if self.status == CLOSED:
+            raise ServingError(f"cursor {self.cursor_id} is closed")
+        want = self.page_size if limit is None else min(limit, self.page_size)
+        offset = self.delivered
+        answers: List[Assignment] = []
+        if self._pending_empty and len(answers) < want:
+            answers.append(EMPTY_ASSIGNMENT)
+            self._pending_empty = False
+        enum = self._enum
+        if enum is not None:
+            while len(answers) < want:
+                try:
+                    assignment, _prov = next(enum)
+                except StopIteration:
+                    self._enum = None
+                    break
+                answers.append(assignment)
+        self.delivered += len(answers)
+        exhausted = self._enum is None and not self._pending_empty
+        if exhausted and self.status == ACTIVE:
+            self.status = EXHAUSTED
+            self.document._forget_cursor(self)
+        return CursorPage(answers=answers, offset=offset, exhausted=exhausted)
+
+    def fetch_all(self) -> List[Assignment]:
+        """Drain the cursor (page loop), returning all remaining answers."""
+        out: List[Assignment] = []
+        while True:
+            page = self.fetch()
+            out.extend(page.answers)
+            if page.exhausted:
+                return out
+
+    def close(self) -> None:
+        """Release the cursor's snapshot state (idempotent)."""
+        if self.status in (ACTIVE, EXHAUSTED):
+            self.status = CLOSED
+        self._enum = None
+        self.document._forget_cursor(self)

@@ -1,0 +1,401 @@
+"""`Engine`: the unified front door over trees, words and spanners.
+
+One object owns the whole serving pipeline of the paper — translate
+(Lemma 7.4 / Theorem 8.5) → homogenize (Lemma 2.1) → circuit + index
+(Lemma 3.7 / 6.3) → duplicate-free enumeration (Theorem 6.5) → Lemma 7.3
+updates — behind four nouns:
+
+* :class:`Engine` — owns a :class:`~repro.engine.catalog.QueryCatalog`,
+  backend/config defaults, and (optionally) a pool of shard worker
+  processes;
+* :class:`~repro.engine.query.Query` — one polymorphic compiled-query
+  handle for unranked-tree TVA queries, word VAs and regex spanners,
+  compiled and persisted through one content-addressed path;
+* :class:`~repro.engine.document.Document` — a tree or word handle with
+  ``apply_edits``, epochs, and ``stream()`` / ``page()`` enumeration;
+* :class:`~repro.engine.document.ResultPage` — the one page type, backed by
+  edit-stable cursors.
+
+``Engine(workers=N)`` shards documents across ``N`` worker processes that
+share the engine's catalog directory (compiled once by the parent, loaded by
+every worker); edits and page fetches are routed by document id and
+:meth:`Engine.stats` merges the per-shard statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.engine.catalog import QueryCatalog
+from repro.engine.codec import CompiledQuery
+from repro.engine.document import Document, ResultPage, STREAM_PAGE_SIZE
+from repro.engine.local import BatchUpdateReport, LocalStore
+from repro.engine.query import Query, normalize_query_source
+from repro.engine.sharding import ShardPool
+from repro.errors import EngineError, ServingError
+from repro.trees.unranked import UnrankedTree
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """The unified enumeration engine (Theorems 8.1 + 8.5, one API).
+
+    Parameters
+    ----------
+    catalog:
+        ``None``, a directory path, or a :class:`QueryCatalog`.  With a
+        catalog, :meth:`compile` persists every compiled query through the
+        content-addressed path, so a fresh process (or a shard worker) loads
+        instead of compiling.  A sharded engine *requires* a shared catalog
+        directory; when none is given it creates a private temporary one
+        (removed on :meth:`close`).
+    backend:
+        Default relation backend (``"pairs"`` / ``"matrix"`` / ``"bitset"``)
+        for every document; ``None`` = the library default.
+    workers:
+        ``0`` (default) serves in-process; ``N >= 1`` partitions documents
+        across ``N`` worker processes (round-robin by arrival, routed by
+        document id afterwards).
+    start_method:
+        Optional :mod:`multiprocessing` start method (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` = the platform default.
+        The workers are safe under all of them.
+    page_size:
+        Default :meth:`Document.page` size.
+    """
+
+    def __init__(
+        self,
+        catalog=None,
+        *,
+        backend: Optional[str] = None,
+        workers: int = 0,
+        start_method: Optional[str] = None,
+        page_size: int = 50,
+    ):
+        if backend is not None:
+            from repro.enumeration.relations import validate_backend
+
+            validate_backend(backend)
+        if page_size < 1:
+            raise EngineError("page_size must be >= 1")
+        if workers < 0:
+            raise EngineError(f"workers must be >= 0, got {workers}")
+        self.backend = backend
+        self.page_size = page_size
+        # Everything close() touches exists before any step that can raise,
+        # so a failed construction cleans up (and __del__ stays safe).
+        self._closed = False
+        self._pool: Optional[ShardPool] = None
+        self._store: Optional[LocalStore] = None
+        self._owned_catalog_dir: Optional[str] = None
+        self._documents: Dict[object, Document] = {}
+        self._shard_of: Dict[object, int] = {}
+        self._queries: Dict[str, Query] = {}
+        #: per shard, the query digests whose source was already shipped
+        self._queries_sent: Dict[int, set] = {}
+        self._doc_ids = itertools.count()
+        self._round_robin = itertools.count()
+
+        if isinstance(catalog, QueryCatalog):
+            self.catalog: Optional[QueryCatalog] = catalog
+        elif catalog is not None:
+            self.catalog = QueryCatalog(os.fspath(catalog))
+        elif workers:
+            # Sharding needs a directory the workers can share; own a
+            # temporary one when the caller did not provide any.
+            self._owned_catalog_dir = tempfile.mkdtemp(prefix="repro-engine-catalog-")
+            self.catalog = QueryCatalog(self._owned_catalog_dir)
+        else:
+            self.catalog = None
+
+        try:
+            if workers:
+                self._pool = ShardPool(
+                    workers, self.catalog.root, relation_backend=backend, start_method=start_method
+                )
+            else:
+                self._store = LocalStore(catalog=self.catalog, relation_backend=backend)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ state
+    @property
+    def workers(self) -> int:
+        """Number of shard worker processes (0 = in-process engine)."""
+        return len(self._pool) if self._pool is not None else 0
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("this engine is closed")
+
+    # ---------------------------------------------------------------- queries
+    def compile(self, source, alphabet=None) -> Query:
+        """Compile (and, with a catalog, persist) a query of any kind.
+
+        ``source`` may be an :class:`~repro.automata.unranked_tva.UnrankedTVA`
+        (tree query), a :class:`~repro.automata.wva.WVA` (word query), a
+        :class:`~repro.spanners.Spanner`, a spanner regex string (pass
+        ``alphabet=``), or an already-compiled :class:`Query` (returned
+        as-is).  Equal query *content* yields one shared compiled automaton —
+        in-process through the content-keyed cache, cross-process through the
+        catalog digest.
+        """
+        self._check_open()
+        if isinstance(source, Query):
+            return source
+        kind, query_source, pattern = normalize_query_source(source, alphabet)
+        from repro.automata.serialize import query_digest
+
+        digest = query_digest(query_source)
+        known = self._queries.get(digest)
+        if known is not None:
+            return known
+        if self.catalog is not None:
+            entry = self.catalog.get(query_source)
+            if digest not in self.catalog:
+                # One content-addressed path for all kinds: compile once,
+                # persist, and every other process (shard workers included)
+                # loads instead of compiling.
+                self.catalog.save(query_source, automaton=entry.automaton)
+        else:
+            from repro.core.enumerator import compiled_automaton_for
+
+            entry = CompiledQuery(
+                kind=kind, digest=digest, automaton=compiled_automaton_for(query_source)
+            )
+            entry.attach(query_source)
+        query = Query(kind=kind, source=query_source, digest=digest, pattern=pattern, entry=entry)
+        self._queries[digest] = query
+        return query
+
+    # -------------------------------------------------------------- documents
+    def add(self, content, query, doc_id=None, alphabet=None) -> Document:
+        """Add a document of either kind (dispatch on ``content``'s type).
+
+        :class:`~repro.trees.unranked.UnrankedTree` → tree document; any
+        string / sequence of letters → word document.
+        """
+        if isinstance(content, UnrankedTree):
+            return self.add_tree(content, query, doc_id=doc_id, alphabet=alphabet)
+        return self.add_word(content, query, doc_id=doc_id, alphabet=alphabet)
+
+    def add_tree(self, tree: UnrankedTree, query, doc_id=None, alphabet=None) -> Document:
+        """Serve an unranked tree under a standing tree query (Theorem 8.1)."""
+        return self._add("tree", tree, query, doc_id, alphabet)
+
+    def add_word(self, word, query, doc_id=None, alphabet=None) -> Document:
+        """Serve a word under a standing word/spanner query (Theorem 8.5)."""
+        return self._add("word", list(word), query, doc_id, alphabet)
+
+    def _add(self, kind: str, content, query, doc_id, alphabet) -> Document:
+        self._check_open()
+        compiled = self.compile(query, alphabet=alphabet)
+        if compiled.kind != kind:
+            raise EngineError(
+                f"cannot serve a {kind} document under a {compiled.kind} query "
+                f"(digest {compiled.digest[:12]}...)"
+            )
+        if doc_id is None:
+            doc_id = next(self._doc_ids)
+            while doc_id in self._documents:
+                doc_id = next(self._doc_ids)
+        elif doc_id in self._documents:
+            raise ServingError(f"document id {doc_id!r} already in use")
+        if self._pool is not None:
+            shard = next(self._round_robin) % len(self._pool)
+            sent = self._queries_sent.setdefault(shard, set())
+            source = None if compiled.digest in sent else compiled.source
+            self._pool.request(shard, "add", doc_id, kind, content, source, compiled.digest)
+            sent.add(compiled.digest)
+            self._shard_of[doc_id] = shard
+        elif kind == "tree":
+            self._store.add_tree(content, compiled.source, doc_id=doc_id)
+        else:
+            self._store.add_word(content, compiled.source, doc_id=doc_id)
+        document = Document(self, doc_id, kind, compiled)
+        self._documents[doc_id] = document
+        return document
+
+    def document(self, doc_id) -> Document:
+        """The handle of a served document."""
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise ServingError(f"no document with id {doc_id!r}") from None
+
+    def remove(self, doc_id) -> None:
+        """Drop a document (its cursors are closed)."""
+        self.document(doc_id)  # raises on unknown ids
+        self._check_open()
+        if self._pool is not None:
+            self._pool.request(self._shard_of[doc_id], "remove", doc_id)
+            del self._shard_of[doc_id]
+        else:
+            self._store.remove(doc_id)
+        del self._documents[doc_id]
+
+    def doc_ids(self) -> List[object]:
+        return list(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id) -> bool:
+        return doc_id in self._documents
+
+    # ---------------------------------------------------------------- traffic
+    def apply_edits(self, doc_id, edits) -> BatchUpdateReport:
+        """Apply one edit batch to a document (one epoch step), routed by id."""
+        self.document(doc_id)
+        self._check_open()
+        if self._pool is not None:
+            return self._pool.request(self._shard_of[doc_id], "edits", doc_id, list(edits))
+        return self._store.document(doc_id).apply_edits(edits)
+
+    def _doc_epoch(self, doc_id) -> int:
+        self.document(doc_id)
+        if self._pool is not None:
+            return self._pool.request(self._shard_of[doc_id], "epoch", doc_id)
+        return self._store.document(doc_id).epoch
+
+    def _count(self, doc_id, limit: Optional[int]) -> int:
+        self.document(doc_id)
+        if self._pool is not None:
+            return self._pool.request(self._shard_of[doc_id], "count", doc_id, limit)
+        return self._store.document(doc_id).count(limit=limit)
+
+    def _runtime(self, doc_id):
+        self.document(doc_id)
+        if self._pool is not None:
+            raise EngineError(
+                f"document {doc_id!r} lives in shard worker {self._shard_of[doc_id]}; "
+                "its runtime is not reachable from the parent process"
+            )
+        return self._store.document(doc_id).enumerator
+
+    def _stream(self, doc_id):
+        self.document(doc_id)
+        self._check_open()
+        if self._pool is None:
+            # Zero-overhead facade: the exact per-answer iterator of the
+            # runtime (Theorem 6.5 delay), StaleIteratorError on edits.
+            return self._store.document(doc_id).enumerator.assignments()
+        return self._stream_paged(doc_id)
+
+    def _stream_paged(self, doc_id):
+        page = self._page(doc_id, None, STREAM_PAGE_SIZE)
+        while True:
+            yield from page.answers
+            if page.exhausted:
+                return
+            page = self._page(doc_id, page, None)
+
+    def _page(self, doc_id, cursor, page_size: Optional[int]) -> ResultPage:
+        self.document(doc_id)
+        self._check_open()
+        if isinstance(cursor, ResultPage):
+            if cursor.document_id != doc_id:
+                raise EngineError(
+                    f"page cursor {cursor.cursor_id} belongs to document "
+                    f"{cursor.document_id!r}, not {doc_id!r}"
+                )
+            cursor_id: Optional[int] = cursor.cursor_id
+        else:
+            cursor_id = cursor
+        if cursor_id is not None and page_size is not None:
+            raise EngineError(
+                "page_size is fixed when a cursor is opened; "
+                "continue with page(cursor=...) only"
+            )
+        size = self.page_size if page_size is None else page_size
+        if size < 1:
+            raise EngineError("page_size must be >= 1")
+        if self._pool is not None:
+            payload = self._pool.request(
+                self._shard_of[doc_id], "page", doc_id, cursor_id, size
+            )
+            return ResultPage(
+                answers=tuple(payload["answers"]),
+                offset=payload["offset"],
+                exhausted=payload["exhausted"],
+                cursor_id=payload["cursor_id"],
+                document_id=doc_id,
+                epoch=payload["epoch"],
+            )
+        document = self._store.document(doc_id)
+        cursor_obj, page = document.fetch_page(cursor_id, size)
+        return ResultPage(
+            answers=tuple(page.answers),
+            offset=page.offset,
+            exhausted=page.exhausted,
+            cursor_id=cursor_obj.cursor_id,
+            document_id=doc_id,
+            epoch=document.epoch,
+        )
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, object]:
+        """A monitoring snapshot; sharded engines merge per-shard stats."""
+        self._check_open()
+        if self._pool is None:
+            merged = self._store.stats()
+            merged["workers"] = 0
+        else:
+            per_shard = self._pool.broadcast("stats")
+            merged = {}
+            for shard_stats in per_shard:
+                for key, value in shard_stats.items():
+                    if not isinstance(value, (int, float)) or isinstance(value, bool):
+                        continue
+                    if key == "compiled_queries":
+                        # Every shard loads the same standing queries; summing
+                        # would multiply the count by the worker count.
+                        merged[key] = max(merged.get(key, 0), value)
+                    else:
+                        merged[key] = merged.get(key, 0) + value
+            merged["relation_backend"] = self.backend
+            merged["workers"] = len(self._pool)
+            merged["per_shard"] = per_shard
+        merged["queries_compiled"] = len(self._queries)
+        merged["catalog_entries"] = len(self.catalog) if self.catalog is not None else 0
+        return merged
+
+    # ------------------------------------------------------------------ close
+    def close(self) -> None:
+        """Shut down workers and release owned resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+        self._store = None
+        self._documents.clear()
+        self._shard_of.clear()
+        if self._owned_catalog_dir is not None:
+            shutil.rmtree(self._owned_catalog_dir, ignore_errors=True)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover — best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mode = f"workers={self.workers}" if self.workers else "in-process"
+        return (
+            f"Engine({mode}, backend={self.backend!r}, "
+            f"documents={len(self._documents)}, queries={len(self._queries)})"
+        )

@@ -1,0 +1,203 @@
+"""Sharded execution: documents partitioned across worker processes.
+
+``Engine(workers=N)`` routes every document to one of ``N`` worker
+processes.  Each worker runs a plain single-process
+:class:`~repro.engine.local.LocalStore`; all workers share **one catalog
+directory** (the catalog's atomic temp-file + ``os.replace`` writes make it
+multi-process safe), so a standing query is compiled once — by the parent —
+and every worker *loads* its persisted form instead of compiling.
+
+Design constraints:
+
+* **fork/spawn safety.**  The worker entry point
+  (:func:`_shard_worker_main`) is a module-level function and receives only
+  picklable arguments (a pipe connection, the catalog path, the backend
+  name), so it works under every :mod:`multiprocessing` start method.
+  Documents, queries, edits and answers cross the pipe pickled; node /
+  position ids, answer order and epochs are identical to a single-process
+  store (pinned by the sharded-equivalence tests).
+* **one in-flight request per worker.**  The engine is a synchronous façade;
+  each request is a ``(op, ...)`` tuple answered by ``("ok", payload)`` or
+  ``("err", exception)`` — the exception object itself travels back and is
+  re-raised in the caller, so sharded error behavior (``InvalidEditError``,
+  ``CursorInvalidatedError`` with its report, ...) matches local behavior.
+* **death detection.**  A broken pipe surfaces as
+  :class:`~repro.errors.EngineError` naming the shard, never a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional
+
+from repro.errors import EngineError
+
+__all__ = ["ShardPool"]
+
+
+def _handle_request(store, queries_by_digest, request):
+    """Execute one request tuple against the worker's LocalStore."""
+    op = request[0]
+    if op == "add":
+        # The parent sends each query's source automaton to a shard once
+        # (it can be large); later adds of the same content carry only the
+        # digest and resolve against this worker-side cache.
+        _, doc_id, kind, content, query, digest = request
+        if query is None:
+            query = queries_by_digest.get(digest)
+            if query is None:
+                raise EngineError(
+                    f"shard has no cached query for digest {digest[:12]}..."
+                )
+        else:
+            queries_by_digest[digest] = query
+        if kind == "tree":
+            document = store.add_tree(content, query, doc_id=doc_id)
+        else:
+            document = store.add_word(content, query, doc_id=doc_id)
+        return {"doc_id": document.doc_id, "kind": document.kind, "digest": document.digest}
+    if op == "edits":
+        _, doc_id, edits = request
+        return store.document(doc_id).apply_edits(edits)
+    if op == "page":
+        _, doc_id, cursor_id, page_size = request
+        document = store.document(doc_id)
+        cursor, page = document.fetch_page(cursor_id, page_size)
+        return {
+            "cursor_id": cursor.cursor_id,
+            "answers": tuple(page.answers),
+            "offset": page.offset,
+            "exhausted": page.exhausted,
+            "epoch": document.epoch,
+        }
+    if op == "count":
+        _, doc_id, limit = request
+        return store.document(doc_id).count(limit=limit)
+    if op == "epoch":
+        _, doc_id = request
+        return store.document(doc_id).epoch
+    if op == "remove":
+        _, doc_id = request
+        store.remove(doc_id)
+        return None
+    if op == "stats":
+        return store.stats()
+    raise EngineError(f"unknown shard request {op!r}")
+
+
+def _shard_worker_main(conn, catalog_root: Optional[str], relation_backend: Optional[str]) -> None:
+    """Entry point of one shard worker process.
+
+    Module-level (importable) so it works under the ``spawn`` start method;
+    receives only picklable arguments so it also works under ``fork`` and
+    ``forkserver``.
+    """
+    # Imports happen here (not at module top) only in the sense that a
+    # spawned interpreter re-imports this module; keeping them top-level in
+    # the package is what makes that re-import cheap and deterministic.
+    from repro.engine.catalog import QueryCatalog
+    from repro.engine.local import LocalStore
+
+    catalog = QueryCatalog(catalog_root) if catalog_root else None
+    store = LocalStore(catalog=catalog, relation_backend=relation_backend)
+    queries_by_digest = {}
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if request[0] == "close":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            conn.send(("ok", _handle_request(store, queries_by_digest, request)))
+        except BaseException as exc:  # noqa: BLE001 — every failure must travel back
+            try:
+                conn.send(("err", exc))
+            except Exception:
+                # The exception itself didn't pickle; send a description.
+                conn.send(
+                    ("err", EngineError(f"shard worker error ({type(exc).__name__}): {exc}"))
+                )
+    conn.close()
+
+
+class ShardPool:
+    """``N`` worker processes, each owning a LocalStore, addressed by index."""
+
+    def __init__(
+        self,
+        workers: int,
+        catalog_root: Optional[str],
+        relation_backend: Optional[str] = None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise EngineError(f"a shard pool needs at least one worker, got {workers}")
+        context = multiprocessing.get_context(start_method)
+        self.start_method = context.get_start_method()
+        self._conns = []
+        self._procs: List[multiprocessing.Process] = []
+        try:
+            for index in range(workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, catalog_root, relation_backend),
+                    name=f"repro-shard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(process)
+        except BaseException:
+            self.close()
+            raise
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    # ---------------------------------------------------------------- request
+    def request(self, shard: int, *request):
+        """Send one request tuple to a shard and return (or raise) its answer."""
+        if getattr(self, "_closed", True):
+            raise EngineError("the engine's worker pool is closed")
+        conn = self._conns[shard]
+        try:
+            conn.send(request)
+            status, payload = conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            process = self._procs[shard]
+            raise EngineError(
+                f"shard worker {shard} (pid {process.pid}, "
+                f"exitcode {process.exitcode}) died while handling {request[0]!r}"
+            ) from exc
+        if status == "err":
+            raise payload
+        return payload
+
+    def broadcast(self, *request) -> List:
+        """The same request to every shard, answers in shard order."""
+        return [self.request(shard, *request) for shard in range(len(self))]
+
+    # ------------------------------------------------------------------ close
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut every worker down (graceful close, then terminate stragglers)."""
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover — stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()

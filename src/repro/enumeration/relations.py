@@ -43,6 +43,8 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import BackendError
+
 __all__ = [
     "Relation",
     "set_default_backend",
@@ -63,13 +65,16 @@ _IDENTITY_CACHE: Dict[Tuple[int, str], "Relation"] = {}
 
 
 def validate_backend(backend: str) -> str:
-    """Return ``backend`` unchanged if valid, else raise a helpful ``ValueError``.
+    """Return ``backend`` unchanged if valid, else raise a helpful error.
 
-    The error lists the valid backends and, on a near-miss (``"bitsets"``,
-    ``"matrx"``, ...), suggests the one probably meant.  Called everywhere a
-    backend name enters the library (``relation_backend=`` keyword arguments,
-    :func:`set_default_backend`, :class:`Relation` construction) so typos fail
-    fast with the same message instead of deep inside a build.
+    The error is a :class:`repro.errors.BackendError` (which is also a
+    ``ValueError``, for callers that caught the historical type).  It lists
+    the valid backends and, on a near-miss (``"bitsets"``, ``"matrx"``, ...),
+    suggests the one probably meant.  Called everywhere a backend name enters
+    the library (``relation_backend=`` keyword arguments,
+    :func:`set_default_backend`, :class:`Relation` construction,
+    ``Engine(backend=...)``) so typos fail fast with the same message instead
+    of deep inside a build.
     """
     if backend in _VALID_BACKENDS:
         return backend
@@ -83,7 +88,7 @@ def validate_backend(backend: str) -> str:
         close = difflib.get_close_matches(backend, _VALID_BACKENDS, n=1, cutoff=0.6)
         if close:
             message += f" (did you mean {close[0]!r}?)"
-    raise ValueError(message)
+    raise BackendError(message)
 
 
 def set_default_backend(backend: str) -> None:

@@ -18,10 +18,13 @@ __all__ = [
     "IndexError_",
     "TermStructureError",
     "RegexSyntaxError",
+    "BackendError",
     "StaleIteratorError",
     "UnsupportedUpdateError",
+    "EngineError",
     "ServingError",
     "CatalogError",
+    "CatalogVersionError",
     "CursorInvalidatedError",
 ]
 
@@ -69,6 +72,13 @@ class RegexSyntaxError(ReproError):
     """A spanner regular expression could not be parsed."""
 
 
+class BackendError(ReproError, ValueError):
+    """An unknown relation backend name was given (``relation_backend=`` /
+    :func:`repro.enumeration.relations.set_default_backend` /
+    ``Engine(backend=...)``).  Also a :class:`ValueError` for backward
+    compatibility with callers that caught the historical ``ValueError``."""
+
+
 class StaleIteratorError(ReproError):
     """An enumeration iterator was advanced after the underlying tree was
     updated; the paper's model requires restarting enumeration after each
@@ -81,9 +91,16 @@ class UnsupportedUpdateError(ReproError):
     relabeling-only baseline)."""
 
 
-class ServingError(ReproError):
-    """A request to the serving layer (:mod:`repro.serving`) is invalid
-    (unknown document id, closed cursor, unsupported edit spec, ...)."""
+class EngineError(ReproError):
+    """A request to an :class:`repro.Engine` is invalid or cannot be served
+    (unknown document id, closed engine, a sharding worker process died,
+    mismatched document/query kinds, ...)."""
+
+
+class ServingError(EngineError):
+    """A request to the serving layer (:mod:`repro.engine` /
+    :mod:`repro.serving`) is invalid (unknown document id, closed cursor,
+    unsupported edit spec, ...)."""
 
 
 class CatalogError(ServingError):
@@ -91,13 +108,22 @@ class CatalogError(ServingError):
     entry, unknown format version, content digest mismatch, ...)."""
 
 
-class CursorInvalidatedError(ServingError):
+class CatalogVersionError(CatalogError):
+    """A catalog directory (or a persisted compiled query) was written by an
+    incompatible library or format version.  The message names both versions
+    and the offending path, so operators can tell a stale catalog from a
+    corrupt one."""
+
+
+class CursorInvalidatedError(ServingError, StaleIteratorError):
     """A paginated cursor was advanced after an edit rebuilt part of the
     circuit its remaining enumeration still depends on.  Carries the
-    :class:`repro.serving.cursor.CursorInvalidation` report as ``.report``
+    :class:`repro.engine.cursor.CursorInvalidation` report as ``.report``
     (which edit batch invalidated the cursor, at which epoch, and how many
-    answers had been delivered); reopen a cursor to paginate the updated
-    document."""
+    answers had been delivered); reopen a cursor (or re-page the document)
+    to paginate the updated document.  Also a :class:`StaleIteratorError`:
+    it is the cursor-level refinement of "the document changed under a
+    running enumeration"."""
 
     def __init__(self, message: str, report=None):
         super().__init__(message)

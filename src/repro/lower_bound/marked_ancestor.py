@@ -14,7 +14,7 @@ This module makes the reduction executable:
 * :class:`MarkedAncestorInstance` — the dynamic problem itself (a labelled
   tree whose nodes are ``marked`` / ``unmarked`` / ``special``);
 * :class:`EnumerationMarkedAncestor` — solves it through a
-  :class:`~repro.core.enumerator.TreeEnumerator` for the MSO query "select
+  :class:`~repro.core.enumerator.TreeRuntime` for the MSO query "select
   the special nodes that have a marked ancestor", exactly as in the proof of
   Theorem 9.2: a query on ``v`` relabels ``v`` to ``special``, enumerates (at
   most one answer), and relabels it back — i.e. two updates plus one delay;
@@ -31,7 +31,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.automata.queries import select_special_with_marked_ancestor
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.trees.unranked import UnrankedTree
 
 __all__ = ["MarkedAncestorInstance", "NaiveMarkedAncestor", "EnumerationMarkedAncestor"]
@@ -92,7 +92,7 @@ class EnumerationMarkedAncestor:
 
     def __init__(self, tree: UnrankedTree, relation_backend: Optional[str] = None):
         query = select_special_with_marked_ancestor(MARKED, SPECIAL, LABELS)
-        self.enumerator = TreeEnumerator(tree, query, relation_backend=relation_backend)
+        self.enumerator = TreeRuntime(tree, query, relation_backend=relation_backend)
         #: bookkeeping of the current label of every node (mirrors the tree)
         self._label: Dict[int, str] = {n.node_id: n.label for n in self.enumerator.tree.nodes()}
 

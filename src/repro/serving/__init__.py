@@ -1,45 +1,30 @@
-"""repro.serving — multi-document enumeration service over standing queries.
+"""repro.serving — legacy serving surface (now thin shims over :mod:`repro.engine`).
 
-The serving layer packages the paper's pipeline for the workload its
-complexity results describe: **standing queries over evolving documents**.
-It adds three things the one-shot enumerators do not have:
+The unified front door is :class:`repro.Engine`:
 
-* :class:`~repro.serving.catalog.QueryCatalog` — persistent compiled queries.
-  The homogenized binary TVA (Lemma 7.4 + Lemma 2.1) and its memoized box
-  plans (Lemma 3.7) are serialized to content-addressed JSON files; a fresh
-  process loads them instead of compiling, so only the per-document build of
-  Lemma 7.3 remains at serving time.
-* :class:`~repro.serving.store.DocumentStore` — many maintained documents
-  (trees, Theorem 8.1, and words/spanners, Theorem 8.5) sharing one compiled
-  automaton per distinct query content, with batched edit application through
-  the incremental maintainer (logarithmic trunk rebuilds, Lemma 7.3) and
-  per-document epochs.
-* :class:`~repro.serving.cursor.Cursor` — edit-stable paginated enumeration.
-  Built on the checkpointable frame stack of the mask-native Algorithm 2
-  (Theorem 5.3 duplicate-freeness, Theorem 6.5 delay), a cursor resumes
-  across edits that did not rebuild any box its remaining enumeration
-  references, and reports a precise
-  :class:`~repro.serving.cursor.CursorInvalidation` when an edit hit its
-  trunk — never a silent restart, never a duplicated page.
+* :class:`~repro.engine.catalog.QueryCatalog` (re-exported here, and *not*
+  deprecated — the engine owns the same class) persists compiled queries;
+* :class:`DocumentStore` is a **deprecated** shim over the engine's
+  :class:`~repro.engine.local.LocalStore`; it keeps working exactly as
+  before but emits a :class:`DeprecationWarning` pointing at
+  ``repro.Engine(catalog=...)``;
+* :class:`~repro.engine.cursor.Cursor` / :class:`~repro.engine.cursor.CursorPage`
+  remain the edit-stable pagination machinery behind
+  :meth:`repro.engine.Document.page`.
 
-Quickstart::
+Migration::
 
-    from repro.serving import DocumentStore, QueryCatalog
-
-    catalog = QueryCatalog("catalog-dir")
-    catalog.save(query)                    # compile once, persist
-
-    store = DocumentStore(catalog=catalog) # fresh process: loads, no compile
-    doc = store.add_tree(tree, query)
-    cursor = doc.open_cursor(page_size=100)
-    page = cursor.fetch()                  # duplicate-free pages
-    doc.apply_edits([Relabel(node_id, "b")])
-    cursor.fetch()                         # resumes — or CursorInvalidatedError
+    # before                                   # after
+    store = DocumentStore(catalog=catalog)     engine = Engine(catalog=catalog)
+    doc = store.add_tree(tree, query)          doc = engine.add_tree(tree, query)
+    cursor = doc.open_cursor(page_size=100)    page = doc.page(page_size=100)
+    page = cursor.fetch()                      page = doc.page(cursor=page)
+    doc.apply_edits([...])                     doc.apply_edits([...])
 """
 
-from repro.serving.catalog import QueryCatalog
-from repro.serving.codec import CompiledQuery
-from repro.serving.cursor import Cursor, CursorInvalidation, CursorPage
+from repro.engine.catalog import QueryCatalog
+from repro.engine.codec import CompiledQuery
+from repro.engine.cursor import Cursor, CursorInvalidation, CursorPage
 from repro.serving.store import BatchUpdateReport, DocumentStore, ServedDocument
 
 __all__ = [

@@ -1,179 +1,9 @@
-"""`QueryCatalog`: persistent storage of compiled standing queries.
+"""Deprecated location: :class:`QueryCatalog` lives in :mod:`repro.engine.catalog`.
 
-The catalog packages the query-only half of the paper's preprocessing
-pipeline — translate (Lemma 7.4 / Theorem 8.5), homogenize (Lemma 2.1) and
-the memoized box plans of the circuit construction (Lemma 3.7) — behind a
-content-addressed directory of JSON files, one per distinct query content
-(:func:`repro.automata.serialize.query_digest`).
-
-The serving workflow it enables:
-
-* an **offline/compile process** builds the standing queries once and
-  ``save()``\\ s them (ideally after building at least one document, so the
-  plan cache is warm);
-* each **serving process** ``get()``\\ s the compiled queries at startup —
-  a JSON load, orders of magnitude cheaper than compilation — and then pays
-  only the per-document ``O(|T| · poly|Q'|)`` build of Lemma 7.3 when
-  documents arrive.
-
-Files are written atomically (temp file + ``os.replace``), so a catalog
-directory shared between processes never exposes half-written entries.
+The class itself is *not* deprecated (the engine owns and re-exports it);
+only this import path is historical.
 """
 
-from __future__ import annotations
+from repro.engine.catalog import MANIFEST_FORMAT, MANIFEST_NAME, QueryCatalog
 
-import os
-import tempfile
-import time
-from typing import Dict, List, Optional
-
-from repro.automata.serialize import query_digest
-from repro.automata.unranked_tva import UnrankedTVA
-from repro.automata.wva import WVA
-from repro.core.enumerator import compiled_automaton_for
-from repro.errors import CatalogError
-from repro.serving.codec import CompiledQuery, compiled_query_from_json, compiled_query_to_json
-
-__all__ = ["QueryCatalog"]
-
-
-def _kind_of(query) -> str:
-    if isinstance(query, UnrankedTVA):
-        return "tree"
-    if isinstance(query, WVA):
-        return "word"
-    raise CatalogError(
-        f"cannot catalog {type(query).__name__}; expected an UnrankedTVA or a WVA"
-    )
-
-
-class QueryCatalog:
-    """A directory of persisted compiled queries, keyed by content digest."""
-
-    def __init__(self, root: str):
-        self.root = os.path.abspath(root)
-        os.makedirs(self.root, exist_ok=True)
-        #: in-process cache of loaded entries (digest → CompiledQuery), so a
-        #: store serving many documents of one query hits the disk once.
-        self._loaded: Dict[str, CompiledQuery] = {}
-
-    # ------------------------------------------------------------------ keys
-    def digest_of(self, query) -> str:
-        """The content digest a query is stored under."""
-        return query_digest(query)
-
-    def path_of(self, digest: str) -> str:
-        """The file path of a digest's entry (whether or not it exists)."""
-        return os.path.join(self.root, digest + ".json")
-
-    def __contains__(self, query_or_digest) -> bool:
-        digest = (
-            query_or_digest
-            if isinstance(query_or_digest, str)
-            else self.digest_of(query_or_digest)
-        )
-        return os.path.exists(self.path_of(digest))
-
-    def digests(self) -> List[str]:
-        """The digests of all persisted entries.
-
-        Leftover atomic-write temp files (``.tmp-*.json``, possible after a
-        crash between ``mkstemp`` and ``os.replace``) are not entries.
-        """
-        return sorted(
-            name[: -len(".json")]
-            for name in os.listdir(self.root)
-            if name.endswith(".json") and not name.startswith(".tmp-")
-        )
-
-    def __len__(self) -> int:
-        return len(self.digests())
-
-    # ----------------------------------------------------------------- write
-    def save(self, query, automaton=None) -> CompiledQuery:
-        """Compile (or accept) and persist the compiled form of ``query``.
-
-        ``automaton`` may pass a pre-compiled homogenized binary automaton
-        (e.g. one whose plan cache was warmed by building documents); when
-        omitted the query is compiled through the shared in-process cache.
-        The write is atomic and idempotent: saving equal content twice
-        rewrites the same file.
-        """
-        kind = _kind_of(query)
-        if automaton is None:
-            automaton = compiled_automaton_for(query)
-        digest = self.digest_of(query)
-        text = compiled_query_to_json(
-            query, automaton, kind, extra_meta={"saved_unix": time.time()}
-        )
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, prefix=".tmp-", suffix=".json")
-        try:
-            with os.fdopen(fd, "w", encoding="utf8") as handle:
-                handle.write(text)
-            os.replace(tmp_path, self.path_of(digest))
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
-        entry = CompiledQuery(kind=kind, digest=digest, automaton=automaton)
-        self._loaded[digest] = entry
-        return entry
-
-    def remove(self, query_or_digest) -> None:
-        """Delete a persisted entry (no error if it does not exist)."""
-        digest = (
-            query_or_digest
-            if isinstance(query_or_digest, str)
-            else self.digest_of(query_or_digest)
-        )
-        self._loaded.pop(digest, None)
-        try:
-            os.unlink(self.path_of(digest))
-        except FileNotFoundError:
-            pass
-
-    # ------------------------------------------------------------------ read
-    def load(self, digest: str, use_cache: bool = True) -> CompiledQuery:
-        """Load a persisted compiled query by digest.
-
-        ``load_seconds`` on the result records the wall-clock cost of the
-        disk read + payload reconstruction (the quantity the serving
-        benchmark compares against compile time).
-        """
-        if use_cache:
-            cached = self._loaded.get(digest)
-            if cached is not None:
-                return cached
-        path = self.path_of(digest)
-        start = time.perf_counter()
-        try:
-            with open(path, encoding="utf8") as handle:
-                text = handle.read()
-        except FileNotFoundError:
-            raise CatalogError(f"no compiled query with digest {digest!r} in {self.root}") from None
-        entry = compiled_query_from_json(text, expected_digest=digest)
-        entry.load_seconds = time.perf_counter() - start
-        self._loaded[digest] = entry
-        return entry
-
-    def get(self, query) -> CompiledQuery:
-        """The compiled form of ``query``: from disk if persisted, else compiled.
-
-        Either way the result is attached to the query object
-        (:meth:`CompiledQuery.attach`), so later enumerators for this query
-        content skip compilation.  A cache miss does *not* implicitly write
-        to disk — persisting is an explicit :meth:`save`.
-        """
-        digest = self.digest_of(query)
-        cached = self._loaded.get(digest)
-        if cached is not None:
-            return cached.attach(query)
-        if os.path.exists(self.path_of(digest)):
-            # A corrupt entry raises loudly here: silently recompiling could
-            # mask a catalog that keeps serving stale or wrong files.
-            return self.load(digest).attach(query)
-        entry = CompiledQuery(
-            kind=_kind_of(query), digest=digest, automaton=compiled_automaton_for(query)
-        )
-        self._loaded[digest] = entry
-        return entry.attach(query)
+__all__ = ["QueryCatalog", "MANIFEST_FORMAT", "MANIFEST_NAME"]

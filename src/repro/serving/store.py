@@ -1,236 +1,32 @@
-"""`DocumentStore` / `ServedDocument`: many maintained documents, one query each.
+"""Deprecated location: the store implementation lives in :mod:`repro.engine.local`.
 
-This is the serving shape of the paper's headline result: a **standing
-query**, compiled once (and persisted via
-:class:`~repro.serving.catalog.QueryCatalog`), served over many **evolving
-documents**.  Each served document packages:
-
-* the maintained balanced term and incremental circuit of Lemma 7.3 —
-  wrapped as the library's :class:`~repro.core.enumerator.TreeEnumerator` or
-  :class:`~repro.core.enumerator.WordEnumerator` (Theorem 8.1 / 8.5), so
-  every document build and edit goes through the exact code path the tests
-  and benchmarks pin;
-* an **epoch counter** advanced once per applied edit batch;
-* the set of open :class:`~repro.serving.cursor.Cursor`\\ s, which the
-  document notifies after each edit with the identity set of replaced trunk
-  boxes (collected by the maintainer), driving the cursors'
-  resume-or-invalidate decision.
-
-All documents added for content-equal queries share one compiled automaton —
-and therefore one box-plan cache — whether it came from the catalog or from
-an in-process compile.
-
-Word edits are specified as tuples (the word maintainer's operations have no
-first-class edit objects): ``("replace", position_id, letter)``,
-``("insert_after", position_id_or_None, letter)``, ``("delete",
-position_id)``.
+:class:`DocumentStore` is a thin shim over the engine's
+:class:`~repro.engine.local.LocalStore` — identical behavior, plus a
+:class:`DeprecationWarning` at construction pointing at :class:`repro.Engine`.
+``ServedDocument`` and ``BatchUpdateReport`` are re-exported aliases.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Optional
 
-from repro.automata.unranked_tva import UnrankedTVA
-from repro.automata.wva import WVA
-from repro.core.enumerator import TreeEnumerator, WordEnumerator, compiled_automaton_for
-from repro.core.results import UpdateStats
-from repro.errors import ServingError
-from repro.serving.catalog import QueryCatalog
-from repro.serving.codec import CompiledQuery
-from repro.enumeration.assignment_iter import root_boxed_set
-from repro.serving.cursor import Cursor
-from repro.trees.edits import EditOperation
-from repro.trees.unranked import UnrankedTree
+from repro.core.enumerator import _warn_deprecated
+from repro.engine.catalog import QueryCatalog
+from repro.engine.local import BatchUpdateReport, LocalDocument, LocalStore
 
 __all__ = ["DocumentStore", "ServedDocument", "BatchUpdateReport"]
 
-
-@dataclass
-class BatchUpdateReport:
-    """What one edit batch did to a served document."""
-
-    document_id: object
-    epoch: int  #: the document epoch after the batch
-    stats: List[UpdateStats] = field(default_factory=list)
-    boxes_rebuilt: int = 0
-    cursors_resumed: int = 0
-    cursors_invalidated: int = 0
-
-    def trunk_total(self) -> int:
-        return sum(s.trunk_size for s in self.stats)
+#: historical name of :class:`repro.engine.local.LocalDocument`
+ServedDocument = LocalDocument
 
 
-class ServedDocument:
-    """One maintained document bound to a compiled standing query."""
+class DocumentStore(LocalStore):
+    """Deprecated shim over :class:`repro.engine.local.LocalStore`.
 
-    def __init__(self, store: "DocumentStore", doc_id, kind: str, enumerator, digest: str):
-        self.store = store
-        self.doc_id = doc_id
-        self.kind = kind  #: "tree" or "word"
-        self.enumerator = enumerator
-        self.digest = digest
-        self.epoch = 0
-        #: cursors still eligible for edit notifications (pruned as they
-        #: exhaust, invalidate or close, so long-lived documents don't
-        #: accumulate dead cursor objects)
-        self._cursors: List[Cursor] = []
-        self._cursor_ids = itertools.count()
-        self.cursors_opened_total = 0
-        self.cursors_invalidated_total = 0
-
-    # ------------------------------------------------------------------ views
-    @property
-    def maintainer(self):
-        return self.enumerator.maintainer
-
-    def _root_boxed_set(self):
-        return root_boxed_set(
-            self.maintainer.root_box, self.enumerator.binary_automaton.final
-        )
-
-    def answers(self):
-        """Fresh full enumeration of the document's current answers."""
-        return self.enumerator.assignments()
-
-    def count(self, limit: Optional[int] = None) -> int:
-        return self.enumerator.count(limit=limit)
-
-    def open_cursors(self) -> List[Cursor]:
-        """The currently resumable (active) cursors."""
-        return [c for c in self._cursors if c.is_active()]
-
-    def trunk_boxes(self, node_or_position_id: int) -> List:
-        """The boxes a (non-rebalancing) edit at the given node would rebuild.
-
-        The path of term nodes from the node's leaf to the term root — the
-        trunk of the corresponding hollowing (Definition 7.2) — read off the
-        maintained term.  Rebalancing can enlarge the actual trunk, so this
-        is a lower bound; it is exact for relabel edits on a balanced term
-        and is what tests and capacity planning use to predict cursor
-        invalidation (``store.would_invalidate``).
-        """
-        term = self.enumerator.term
-        leaf = term.leaf_of.get(node_or_position_id)
-        if leaf is None:
-            raise ServingError(
-                f"document {self.doc_id!r} has no node/position {node_or_position_id!r}"
-            )
-        boxes = []
-        node = leaf
-        while node is not None:
-            if node.box is not None:
-                boxes.append(node.box)
-            node = node.parent
-        return boxes
-
-    # ----------------------------------------------------------------- cursors
-    def open_cursor(self, page_size: int = 50) -> Cursor:
-        """Open a paginated cursor over the document's current answers."""
-        cursor = Cursor(self, next(self._cursor_ids), page_size)
-        self._cursors.append(cursor)
-        self.cursors_opened_total += 1
-        return cursor
-
-    def _forget_cursor(self, cursor: Cursor) -> None:
-        """Drop a no-longer-notifiable cursor from the live list."""
-        try:
-            self._cursors.remove(cursor)
-        except ValueError:
-            pass
-
-    def _notify_cursors(self, description: str, replaced_boxes) -> Tuple[int, int]:
-        resumed = 0
-        invalidated = 0
-        survivors: List[Cursor] = []
-        for cursor in self._cursors:
-            if not cursor.is_active():
-                continue  # pruned below
-            if cursor._note_edits(self.epoch, description, replaced_boxes):
-                resumed += 1
-                survivors.append(cursor)
-            else:
-                invalidated += 1
-        self._cursors = survivors
-        self.cursors_invalidated_total += invalidated
-        return resumed, invalidated
-
-    # ------------------------------------------------------------------ edits
-    def apply_edits(self, edits: Iterable) -> BatchUpdateReport:
-        """Apply one batch of edits; one epoch step for the whole batch.
-
-        Tree documents take :class:`~repro.trees.edits.EditOperation` objects;
-        word documents take ``("replace" | "insert_after" | "delete", ...)``
-        tuples.  Each edit runs through the incremental maintainer
-        (logarithmic trunk rebuild, Lemma 7.3); the union of the replaced
-        trunk boxes is then checked against every open cursor.
-
-        If an edit in the batch raises, the edits already applied are *not*
-        rolled back (the document has genuinely changed); the epoch still
-        advances and the cursors are still notified of the partial batch
-        before the exception propagates — a cursor must never keep serving a
-        stream whose trunk was rebuilt, however the batch ended.  A batch
-        that fails before any edit applied leaves the epoch untouched.
-        """
-        edits = list(edits)
-        report = BatchUpdateReport(document_id=self.doc_id, epoch=self.epoch)
-        replaced_union: List = []
-        descriptions: List[str] = []
-        try:
-            for edit in edits:
-                stats = self._apply_one(edit)
-                report.stats.append(stats)
-                report.boxes_rebuilt += stats.trunk_size
-                replaced_union.extend(self.maintainer.last_replaced_boxes)
-                descriptions.append(self._describe(edit))
-        finally:
-            if report.stats:
-                self.epoch += 1
-                report.epoch = self.epoch
-                description = "edit batch [" + "; ".join(descriptions) + "]"
-                resumed, invalidated = self._notify_cursors(description, replaced_union)
-                report.cursors_resumed = resumed
-                report.cursors_invalidated = invalidated
-        return report
-
-    def _apply_one(self, edit) -> UpdateStats:
-        if self.kind == "tree":
-            if not isinstance(edit, EditOperation):
-                raise ServingError(
-                    f"tree documents take EditOperation edits, got {edit!r}"
-                )
-            return self.enumerator.apply(edit)
-        if not isinstance(edit, tuple) or not edit:
-            raise ServingError(f"word documents take (op, ...) tuples, got {edit!r}")
-        op = edit[0]
-        if op == "replace":
-            _, position_id, letter = edit
-            return self.enumerator.replace(position_id, letter)
-        if op == "insert_after":
-            _, position_id, letter = edit
-            return self.enumerator.insert_after(position_id, letter)
-        if op == "delete":
-            _, position_id = edit
-            return self.enumerator.delete(position_id)
-        raise ServingError(
-            f"unknown word edit op {op!r}; expected replace/insert_after/delete"
-        )
-
-    @staticmethod
-    def _describe(edit) -> str:
-        if isinstance(edit, EditOperation):
-            return edit.describe()
-        return repr(edit)
-
-
-class DocumentStore:
-    """Many served documents sharing persistently compiled standing queries.
-
-    ``catalog`` (optional) is a :class:`~repro.serving.catalog.QueryCatalog`;
-    when given, queries are resolved through it (disk hit → no compilation),
-    otherwise through the in-process compiled-query cache.  All documents of
-    content-equal queries share one compiled automaton either way.
+    Use ``repro.Engine(catalog=...)`` — ``engine.add_tree`` /
+    ``engine.add_word`` / ``engine.apply_edits`` / ``engine.document(...)
+    .page(...)`` cover everything this class did, through one API that also
+    scales across worker processes (``Engine(workers=N)``).
     """
 
     def __init__(
@@ -238,114 +34,5 @@ class DocumentStore:
         catalog: Optional[QueryCatalog] = None,
         relation_backend: Optional[str] = None,
     ):
-        if relation_backend is not None:
-            from repro.enumeration.relations import validate_backend
-
-            validate_backend(relation_backend)
-        self.catalog = catalog
-        self.relation_backend = relation_backend
-        self._documents: Dict[object, ServedDocument] = {}
-        self._doc_ids = itertools.count()
-        #: digest → CompiledQuery resolved so far (catalog or in-process)
-        self._compiled: Dict[str, CompiledQuery] = {}
-
-    # ----------------------------------------------------------------- queries
-    def _resolve_query(self, query, expected_kind: str) -> CompiledQuery:
-        if expected_kind == "tree" and not isinstance(query, UnrankedTVA):
-            raise ServingError("tree documents take UnrankedTVA queries")
-        if expected_kind == "word" and not isinstance(query, WVA):
-            raise ServingError("word documents take WVA queries")
-        if self.catalog is not None:
-            entry = self.catalog.get(query)
-        else:
-            from repro.automata.serialize import query_digest
-
-            digest = query_digest(query)
-            entry = self._compiled.get(digest)
-            if entry is None:
-                entry = CompiledQuery(
-                    kind=expected_kind,
-                    digest=digest,
-                    automaton=compiled_automaton_for(query),
-                )
-            entry.attach(query)
-        self._compiled[entry.digest] = entry
-        return entry
-
-    # --------------------------------------------------------------- documents
-    def add_tree(self, tree: UnrankedTree, query: UnrankedTVA, doc_id=None) -> ServedDocument:
-        """Serve an unranked tree under a standing tree query (Theorem 8.1)."""
-        entry = self._resolve_query(query, "tree")
-        enumerator = TreeEnumerator(tree, query, relation_backend=self.relation_backend)
-        return self._register(enumerator, "tree", entry.digest, doc_id)
-
-    def add_word(self, word: Sequence[object], query: WVA, doc_id=None) -> ServedDocument:
-        """Serve a word under a standing spanner query (Theorem 8.5)."""
-        entry = self._resolve_query(query, "word")
-        enumerator = WordEnumerator(word, query, relation_backend=self.relation_backend)
-        return self._register(enumerator, "word", entry.digest, doc_id)
-
-    def _register(self, enumerator, kind: str, digest: str, doc_id) -> ServedDocument:
-        if doc_id is None:
-            doc_id = next(self._doc_ids)
-        if doc_id in self._documents:
-            raise ServingError(f"document id {doc_id!r} already in use")
-        document = ServedDocument(self, doc_id, kind, enumerator, digest)
-        self._documents[doc_id] = document
-        return document
-
-    def document(self, doc_id) -> ServedDocument:
-        try:
-            return self._documents[doc_id]
-        except KeyError:
-            raise ServingError(f"no document with id {doc_id!r}") from None
-
-    def remove(self, doc_id) -> None:
-        """Drop a document (its cursors are closed)."""
-        document = self.document(doc_id)
-        for cursor in list(document._cursors):  # close() prunes the live list
-            cursor.close()
-        del self._documents[doc_id]
-
-    def doc_ids(self) -> List[object]:
-        return list(self._documents)
-
-    def __len__(self) -> int:
-        return len(self._documents)
-
-    # ------------------------------------------------------------------ traffic
-    def apply_edits(self, doc_id, edits: Iterable) -> BatchUpdateReport:
-        """Apply a batch of edits to one document (one epoch step)."""
-        return self.document(doc_id).apply_edits(edits)
-
-    def open_cursor(self, doc_id, page_size: int = 50) -> Cursor:
-        """Open a paginated cursor on one document."""
-        return self.document(doc_id).open_cursor(page_size)
-
-    def would_invalidate(self, doc_id, cursor: Cursor, node_or_position_id: int) -> bool:
-        """Predict whether a (non-rebalancing) edit at a node would hit a cursor.
-
-        Compares the node's prospective trunk (:meth:`ServedDocument.trunk_boxes`)
-        against the cursor's currently referenced boxes by identity.  Exact
-        for relabel/replace edits on a balanced term; structural edits may
-        additionally trigger rebalancing, which can only turn a predicted
-        ``False`` into an actual invalidation, never the reverse.
-        """
-        document = self.document(doc_id)
-        trunk = {id(box) for box in document.trunk_boxes(node_or_position_id)}
-        return any(id(box) in trunk for box in cursor.referenced_boxes())
-
-    # ------------------------------------------------------------------- stats
-    def stats(self) -> Dict[str, object]:
-        """A snapshot of the store for monitoring."""
-        documents = self._documents.values()
-        return {
-            "documents": len(self._documents),
-            "compiled_queries": len(self._compiled),
-            "cursors_open": sum(
-                sum(1 for c in d._cursors if c.is_active()) for d in documents
-            ),
-            "cursors_opened_total": sum(d.cursors_opened_total for d in documents),
-            "cursors_invalidated": sum(d.cursors_invalidated_total for d in documents),
-            "relation_backend": self.relation_backend,
-        }
+        _warn_deprecated("repro.serving.DocumentStore", "repro.Engine(catalog=...)")
+        super().__init__(catalog=catalog, relation_backend=relation_backend)

@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.assignments import Assignment, valuation_from_assignment
 from repro.automata.wva import WVA
-from repro.core.enumerator import WordEnumerator
+from repro.core.enumerator import WordRuntime, _warn_deprecated
 from repro.spanners.compile import regex_to_wva
 
 __all__ = ["Spanner"]
@@ -45,9 +45,15 @@ class Spanner:
         """Materialize all matches on a document (brute-force; small documents only)."""
         return self.wva.satisfying_assignments(list(document))
 
-    def enumerator(self, document: Sequence[str], relation_backend: Optional[str] = None) -> WordEnumerator:
-        """An update-aware enumerator over the document (Theorem 8.5)."""
-        return WordEnumerator(list(document), self.wva, relation_backend=relation_backend)
+    def enumerator(self, document: Sequence[str], relation_backend: Optional[str] = None) -> WordRuntime:
+        """An update-aware enumerator over the document (Theorem 8.5).
+
+        Deprecated: pass the spanner (or its pattern) to the engine instead —
+        ``Engine().add_word(document, spanner)`` — which serves the same
+        runtime through the unified API.
+        """
+        _warn_deprecated("Spanner.enumerator", "repro.Engine().add_word(document, spanner)")
+        return WordRuntime(list(document), self.wva, relation_backend=relation_backend)
 
     @staticmethod
     def spans(assignment: Assignment) -> Dict[object, Tuple[int, int]]:

@@ -1,0 +1,523 @@
+"""The unified `repro.engine` API: differential, sharding, catalog, errors.
+
+This module is additionally run with ``-W error::DeprecationWarning`` by
+``make check``, so nothing inside the engine may touch a deprecated shim —
+every intentional use of a legacy entry point below is wrapped in
+``pytest.warns(DeprecationWarning)``.
+
+What is pinned here:
+
+* **Differential equivalence** — for each relation backend, `Engine`
+  answers are byte-identical to the legacy ``TreeEnumerator`` /
+  ``WordEnumerator`` / ``Spanner`` paths, on the initial document and after
+  every edit (tree, word and regex-spanner workloads through the same
+  ``Query`` / ``Document`` / ``ResultPage`` types).
+* **Sharded equivalence** — ``Engine(workers=N)`` serves byte-identical
+  answers, epochs, pages and cursor invalidations to a single-process
+  engine and to the legacy ``DocumentStore``, under interleaved edits and
+  cursor paging; workers share one catalog directory and *load* (never
+  recompile) the parent's persisted compiled query.
+* **Catalog manifest** — version + per-digest metadata, ``gc(keep=...)``,
+  and the precise :class:`CatalogVersionError` on incompatible versions.
+* **Exception hierarchy** — every public exception derives from
+  :class:`ReproError` and is importable from top-level :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+
+import pytest
+
+import repro
+from repro import (
+    BackendError,
+    CatalogVersionError,
+    CursorInvalidatedError,
+    Engine,
+    EngineError,
+    InvalidEditError,
+    ReproError,
+    ServingError,
+    StaleIteratorError,
+)
+from repro.automata.queries import select_descendant_pairs, select_labeled
+from repro.engine import Document, Query, QueryCatalog, ResultPage
+from repro.spanners.compile import regex_to_wva
+from repro.trees.edits import Delete, Insert, Relabel
+from repro.trees.generators import random_tree, tree_of_shape
+from repro.trees.unranked import UnrankedTree
+
+LABELS = ("a", "b", "c", "d")
+BACKENDS = ("pairs", "matrix", "bitset")
+
+
+def canonical(assignments):
+    """Canonical JSON text of an answer set (byte-level comparison)."""
+    rows = sorted(sorted([str(var), pos] for var, pos in a) for a in assignments)
+    return json.dumps(rows, sort_keys=True, separators=(",", ":"))
+
+
+def tree_query():
+    return select_labeled("a", LABELS)
+
+
+def word_query():
+    return regex_to_wva(".*x{aa}.*", ["a", "b"])
+
+
+# ======================================================================= API
+class TestEngineApi:
+    def test_one_import_covers_all_three_workloads(self, tmp_path):
+        """from repro import Engine: tree, word and spanner through one API."""
+        with Engine(catalog=tmp_path / "catalog") as engine:
+            tree_doc = engine.add_tree(random_tree(40, LABELS, 3), tree_query())
+            word_doc = engine.add_word("abaab", word_query())
+            span_doc = engine.add_word(list("aabba"), "x{a+}b.*", alphabet="ab")
+            for doc in (tree_doc, word_doc, span_doc):
+                assert isinstance(doc, Document)
+                assert isinstance(doc.query, Query)
+                # compile → persist: every query went through the catalog
+                assert doc.query.digest in engine.catalog
+                page = doc.page(page_size=3)
+                assert isinstance(page, ResultPage)
+                answers = doc.answers()
+                assert list(page.answers) == answers[: len(page.answers)]
+            assert tree_doc.query.kind == "tree"
+            assert word_doc.query.kind == "word"
+            assert span_doc.query.kind == "word"
+            assert span_doc.query.pattern == "x{a+}b.*"
+            spans = span_doc.query.spans(span_doc.answers()[0])
+            assert spans == {"x": (0, 2)}
+
+    def test_compile_is_content_keyed_and_idempotent(self):
+        with Engine() as engine:
+            q1 = engine.compile(tree_query())
+            q2 = engine.compile(tree_query())
+            assert q1 is q2  # equal content → one handle
+            assert engine.compile(q1) is q1
+
+    def test_kind_mismatch_and_bad_sources(self):
+        with Engine() as engine:
+            with pytest.raises(EngineError, match="word query"):
+                engine.add_tree(random_tree(10, LABELS, 0), word_query())
+            with pytest.raises(EngineError, match="alphabet"):
+                engine.compile("x{a+}")
+            with pytest.raises(EngineError, match="cannot compile"):
+                engine.compile(12345)
+
+    def test_document_lifecycle_and_errors(self):
+        engine = Engine()
+        doc = engine.add_word("abab", word_query(), doc_id="w1")
+        assert "w1" in engine and len(engine) == 1
+        assert engine.document("w1") is doc
+        with pytest.raises(ServingError):
+            engine.add_word("bb", word_query(), doc_id="w1")
+        with pytest.raises(ServingError):
+            engine.document("nope")
+        doc.remove()
+        assert len(engine) == 0
+        engine.close()
+        with pytest.raises(EngineError, match="closed"):
+            engine.add_word("ab", word_query())
+        engine.close()  # idempotent
+
+    def test_stream_is_invalidated_by_edits(self):
+        with Engine() as engine:
+            doc = engine.add_tree(random_tree(60, LABELS, 5), tree_query())
+            stream = doc.stream()
+            next(stream)
+            leaf = next(n for n in doc.runtime.tree.nodes() if n.is_leaf())
+            doc.apply_edits([Relabel(leaf.node_id, "b")])
+            with pytest.raises(StaleIteratorError):
+                list(stream)
+
+    def test_backend_typo_fails_fast_as_backend_error(self):
+        with pytest.raises(BackendError, match="did you mean"):
+            Engine(backend="bitsets")
+        # BackendError is also the historical ValueError
+        with pytest.raises(ValueError):
+            Engine(backend="bitsets")
+
+
+# ============================================================== differential
+class TestDifferentialVsLegacy:
+    """Engine answers byte-identical to the legacy paths, per backend."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tree_workload_matches_tree_enumerator(self, backend):
+        tree = tree_of_shape("random", 80, LABELS, 11)
+        query = select_descendant_pairs(LABELS)
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.TreeEnumerator(tree, query, relation_backend=backend)
+        with Engine(backend=backend) as engine:
+            doc = engine.add_tree(tree, query)
+            assert canonical(doc.stream()) == canonical(legacy.assignments())
+            leaf = next(n for n in legacy.tree.nodes() if n.is_leaf())
+            edits = [
+                Relabel(leaf.node_id, "b"),
+                Insert(legacy.tree.root.node_id, "a"),
+                Delete(leaf.node_id),
+            ]
+            for edit in edits:
+                legacy.apply(edit)
+                doc.apply_edits([edit])
+                assert canonical(doc.stream()) == canonical(legacy.assignments())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_word_workload_matches_word_enumerator(self, backend):
+        word = list("abaabbaab")
+        query = word_query()
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.WordEnumerator(word, query, relation_backend=backend)
+        with Engine(backend=backend) as engine:
+            doc = engine.add_word(word, query)
+            assert canonical(doc.stream()) == canonical(legacy.assignments())
+            positions = legacy.position_ids()
+            legacy.replace(positions[1], "a")
+            doc.apply_edits([("replace", positions[1], "a")])
+            assert canonical(doc.stream()) == canonical(legacy.assignments())
+            legacy.insert_after(positions[0], "a")
+            doc.apply_edits([("insert_after", positions[0], "a")])
+            assert canonical(doc.stream()) == canonical(legacy.assignments())
+            legacy.delete(positions[2])
+            doc.apply_edits([("delete", positions[2])])
+            assert canonical(doc.stream()) == canonical(legacy.assignments())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_spanner_workload_matches_spanner_path(self, backend):
+        from repro.spanners import Spanner
+
+        pattern = ".* k{[ab]+} = v{[ab]+} .*"
+        alphabet = ("a", "b", "=", ";", " ")
+        document = list("ab=ba;a=b ab = ba ")
+        spanner = Spanner(pattern, alphabet)
+        with pytest.warns(DeprecationWarning):
+            legacy = spanner.enumerator(document, relation_backend=backend)
+        with Engine(backend=backend) as engine:
+            doc = engine.add_word(document, pattern, alphabet=alphabet)
+            assert canonical(doc.stream()) == canonical(legacy.assignments())
+            # the Spanner object itself also compiles to the same query
+            assert engine.compile(spanner).digest == doc.query.digest
+
+    def test_page_cursor_is_bound_to_its_document(self):
+        with Engine() as engine:
+            doc_a = engine.add_tree(random_tree(30, LABELS, 1), tree_query())
+            doc_b = engine.add_tree(random_tree(30, LABELS, 2), tree_query())
+            page_a = doc_a.page(page_size=2)
+            doc_b.page(page_size=2)  # doc_b's cursor 0 exists too
+            with pytest.raises(EngineError, match="belongs to document"):
+                doc_b.page(cursor=page_a)
+
+    def test_failed_construction_cleans_owned_catalog_dir(self):
+        import glob
+
+        before = set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-engine-catalog-*")))
+        with pytest.raises(ValueError):
+            Engine(workers=1, start_method="not-a-start-method")
+        after = set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-engine-catalog-*")))
+        assert after == before  # the mkdtemp'd shared dir was removed
+
+    def test_pagination_equals_full_enumeration(self):
+        with Engine() as engine:
+            doc = engine.add_tree(tree_of_shape("random", 120, LABELS, 7), tree_query())
+            expected = doc.answers()
+            paged = [a for page in doc.pages(page_size=7) for a in page]
+            assert paged == expected  # same order, duplicate-free, complete
+            offsets = [p.offset for p in doc.pages(page_size=7)]
+            assert offsets == sorted(offsets)
+
+
+# ================================================================== sharding
+def _run_traffic(engine_like, docs, edits_by_doc):
+    """One deterministic interleaved edit/page schedule; returns a transcript."""
+    transcript = []
+    pages = {doc.doc_id: doc.page(page_size=3) for doc in docs}
+    for round_index in range(4):
+        for doc in docs:
+            edits = edits_by_doc[doc.doc_id]
+            if round_index < len(edits):
+                report = doc.apply_edits([edits[round_index]])
+                transcript.append(("epoch", doc.doc_id, report.epoch))
+            page = pages[doc.doc_id]
+            try:
+                # an exhausted stream releases its cursor id: reopen
+                page = doc.page(page_size=3) if page.exhausted else doc.page(cursor=page)
+                transcript.append(
+                    ("page", doc.doc_id, canonical(page.answers), page.offset, page.exhausted)
+                )
+            except CursorInvalidatedError as exc:
+                transcript.append(("invalidated", doc.doc_id, exc.report.answers_delivered))
+                page = doc.page(page_size=3)
+                transcript.append(
+                    ("page", doc.doc_id, canonical(page.answers), page.offset, page.exhausted)
+                )
+            pages[doc.doc_id] = page
+    for doc in docs:
+        transcript.append(("final", doc.doc_id, canonical(doc.stream()), doc.epoch))
+    return transcript
+
+
+class _LegacyStoreAdapter:
+    """Drive a legacy DocumentStore document through the Document interface."""
+
+    class _Doc:
+        def __init__(self, served):
+            self._served = served
+            self.doc_id = served.doc_id
+            self._cursors = {}
+
+        @property
+        def epoch(self):
+            return self._served.epoch
+
+        def page(self, cursor=None, page_size=3):
+            if cursor is None:
+                opened = self._served.open_cursor(page_size=page_size)
+                page = opened.fetch()
+            else:
+                opened = self._cursors[cursor.cursor_id]
+                page = opened.fetch()
+            result = ResultPage(
+                answers=tuple(page.answers),
+                offset=page.offset,
+                exhausted=page.exhausted,
+                cursor_id=opened.cursor_id,
+                document_id=self.doc_id,
+                epoch=self._served.epoch,
+            )
+            self._cursors[opened.cursor_id] = opened
+            return result
+
+        def apply_edits(self, edits):
+            return self._served.apply_edits(edits)
+
+        def stream(self):
+            return self._served.answers()
+
+
+def _interleaved_workload(trees):
+    edits_by_doc = {}
+    for index, tree in enumerate(trees):
+        leaves = [n.node_id for n in tree.nodes() if n.is_leaf()]
+        edits_by_doc[index] = [
+            Relabel(leaves[0], "b"),
+            Insert(tree.root.node_id, "a"),
+            Relabel(leaves[1], "a"),
+            Delete(leaves[2]),
+        ]
+    return edits_by_doc
+
+
+class TestSharding:
+    def test_sharded_equals_single_process_and_legacy_store(self, tmp_path):
+        """The acceptance gate: interleaved edits + cursor pages, byte-equal."""
+        trees = [random_tree(60, LABELS, seed) for seed in range(4)]
+        query = tree_query()
+        edits = _interleaved_workload(trees)
+
+        with Engine(catalog=tmp_path / "cat", workers=2) as sharded:
+            docs = [sharded.add_tree(t, query, doc_id=i) for i, t in enumerate(trees)]
+            sharded_transcript = _run_traffic(sharded, docs, edits)
+        with Engine(catalog=tmp_path / "cat2") as single:
+            docs = [single.add_tree(t, query, doc_id=i) for i, t in enumerate(trees)]
+            single_transcript = _run_traffic(single, docs, edits)
+        with pytest.warns(DeprecationWarning):
+            store = repro.DocumentStore()
+        legacy_docs = [
+            _LegacyStoreAdapter._Doc(store.add_tree(t, query, doc_id=i))
+            for i, t in enumerate(trees)
+        ]
+        legacy_transcript = _run_traffic(store, legacy_docs, edits)
+
+        assert sharded_transcript == single_transcript == legacy_transcript
+
+    def test_workers_share_one_catalog_and_do_not_recompile(self, tmp_path):
+        catalog_dir = tmp_path / "shared"
+        query = select_descendant_pairs(LABELS)
+        with Engine(catalog=catalog_dir, workers=2) as engine:
+            compiled = engine.compile(query)
+            # the parent persisted the compiled query before any worker use
+            catalog = QueryCatalog(os.fspath(catalog_dir))
+            assert compiled.digest in catalog
+            docs = [
+                engine.add_tree(random_tree(30, LABELS, seed), query) for seed in range(3)
+            ]
+            expected = [canonical(doc.stream()) for doc in docs]
+        # a fresh single-process engine over the same catalog directory loads
+        # the persisted entry and serves byte-identical answers
+        with Engine(catalog=catalog_dir) as fresh:
+            docs = [
+                fresh.add_tree(random_tree(30, LABELS, seed), query) for seed in range(3)
+            ]
+            assert [canonical(doc.stream()) for doc in docs] == expected
+
+    def test_sharded_word_documents_and_temporary_catalog(self):
+        with Engine(workers=2) as engine:
+            owned = engine.catalog.root
+            assert os.path.isdir(owned)  # auto-created shared directory
+            docs = [
+                engine.add_word("abaab", word_query()),
+                engine.add_word("aabb", word_query()),
+                engine.add_word(list("aaa"), "x{a+}", alphabet="ab"),
+            ]
+            with Engine() as single:
+                singles = [
+                    single.add_word("abaab", word_query()),
+                    single.add_word("aabb", word_query()),
+                    single.add_word(list("aaa"), "x{a+}", alphabet="ab"),
+                ]
+                for sharded_doc, local_doc in zip(docs, singles):
+                    assert canonical(sharded_doc.stream()) == canonical(local_doc.stream())
+            report = docs[0].apply_edits([("replace", 1, "a")])
+            assert report.epoch == 1 and docs[0].epoch == 1
+            stats = engine.stats()
+            assert stats["workers"] == 2
+            assert stats["documents"] == 3
+            assert len(stats["per_shard"]) == 2
+        assert not os.path.exists(owned)  # owned temp catalog removed on close
+
+    def test_sharded_error_propagation(self):
+        tree = random_tree(20, LABELS, 2)
+        root_id = tree.root.node_id
+        with Engine(workers=1) as engine:
+            doc = engine.add_tree(tree, tree_query())
+            with pytest.raises(ServingError, match="EditOperation"):
+                doc.apply_edits([("replace", 0, "a")])
+            with pytest.raises(InvalidEditError):
+                # deleting an internal node is invalid; the worker's exception
+                # travels back and is re-raised with its original type
+                doc.apply_edits([Delete(root_id)])
+            with pytest.raises(EngineError, match="worker"):
+                doc.runtime  # noqa: B018 — property access raises in sharded mode
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_start_methods(self, start_method):
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {start_method} unavailable on {sys.platform}")
+        with Engine(workers=1, start_method=start_method) as engine:
+            doc = engine.add_word("abaa", word_query())
+            single_answers = canonical(doc.stream())
+        with Engine() as local:
+            assert canonical(local.add_word("abaa", word_query()).stream()) == single_answers
+
+
+# =================================================================== catalog
+class TestCatalogManifestAndGc:
+    def test_manifest_records_version_and_per_digest_metadata(self, tmp_path):
+        catalog = QueryCatalog(os.fspath(tmp_path))
+        query = tree_query()
+        catalog.save(query)
+        manifest = catalog.read_manifest()
+        assert manifest["library_version"] == repro.__version__
+        meta = catalog.entry_meta(query)
+        assert meta["kind"] == "tree"
+        assert meta["automaton_states"] > 0 and meta["file_bytes"] > 0
+        # the manifest is not an entry
+        assert catalog.digests() == [catalog.digest_of(query)]
+
+    def test_gc_deletes_unreferenced_digests(self, tmp_path):
+        catalog = QueryCatalog(os.fspath(tmp_path))
+        keep_query = tree_query()
+        drop_query = select_descendant_pairs(LABELS)
+        catalog.save(keep_query)
+        catalog.save(drop_query)
+        removed = catalog.gc(keep=[keep_query])
+        assert removed == [catalog.digest_of(drop_query)]
+        assert catalog.digests() == [catalog.digest_of(keep_query)]
+        assert catalog.entry_meta(drop_query) is None
+        # gc accepts digests too, and is idempotent
+        assert catalog.gc(keep=[catalog.digest_of(keep_query)]) == []
+        # the surviving entry still loads
+        assert catalog.load(catalog.digest_of(keep_query), use_cache=False).kind == "tree"
+
+    def test_incompatible_manifest_raises_catalog_version_error(self, tmp_path):
+        catalog = QueryCatalog(os.fspath(tmp_path))
+        catalog.save(tree_query())
+        manifest_path = catalog.manifest_path
+        with open(manifest_path, encoding="utf8") as handle:
+            manifest = json.load(handle)
+        manifest["library_version"] = "99.0.0"
+        with open(manifest_path, "w", encoding="utf8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CatalogVersionError, match="99.0.0"):
+            QueryCatalog(os.fspath(tmp_path))
+        manifest["library_version"] = repro.__version__
+        manifest["manifest_format"] = 999
+        with open(manifest_path, "w", encoding="utf8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CatalogVersionError, match="format"):
+            QueryCatalog(os.fspath(tmp_path))
+
+    def test_pre_manifest_catalog_stays_readable(self, tmp_path):
+        catalog = QueryCatalog(os.fspath(tmp_path))
+        query = tree_query()
+        catalog.save(query)
+        os.unlink(catalog.manifest_path)  # simulate a PR-3-era catalog
+        reopened = QueryCatalog(os.fspath(tmp_path))
+        assert reopened.read_manifest() is None
+        assert reopened.load(reopened.digest_of(query), use_cache=False).kind == "tree"
+
+
+# ==================================================================== errors
+class TestUnifiedErrors:
+    EXPORTED = [
+        "ReproError",
+        "BackendError",
+        "CatalogError",
+        "CatalogVersionError",
+        "CircuitStructureError",
+        "CursorInvalidatedError",
+        "EngineError",
+        "InvalidAutomatonError",
+        "InvalidEditError",
+        "InvalidTreeError",
+        "RegexSyntaxError",
+        "ServingError",
+        "StaleIteratorError",
+        "UnsupportedUpdateError",
+    ]
+
+    def test_every_public_exception_derives_from_repro_error(self):
+        for name in self.EXPORTED:
+            exc_type = getattr(repro, name)
+            assert issubclass(exc_type, ReproError), name
+
+    def test_refinements(self):
+        assert issubclass(BackendError, ValueError)
+        assert issubclass(CatalogVersionError, repro.CatalogError)
+        assert issubclass(CursorInvalidatedError, StaleIteratorError)
+        assert issubclass(ServingError, EngineError)
+
+    def test_one_handler_catches_the_pipeline(self):
+        with Engine() as engine:
+            with pytest.raises(ReproError):
+                engine.compile("x{a+}")  # missing alphabet → EngineError
+            with pytest.raises(ReproError):
+                engine.document("missing")  # ServingError
+        with pytest.raises(ReproError):
+            Engine(backend="nope")  # BackendError
+
+
+# =============================================================== deprecation
+class TestDeprecatedShims:
+    def test_legacy_entry_points_warn_and_point_at_the_engine(self):
+        tree = random_tree(15, LABELS, 1)
+        with pytest.warns(DeprecationWarning, match="Engine"):
+            repro.TreeEnumerator(tree, tree_query())
+        with pytest.warns(DeprecationWarning, match="Engine"):
+            repro.WordEnumerator(["a", "b"], word_query())
+        with pytest.warns(DeprecationWarning, match="Engine"):
+            repro.DocumentStore()
+
+    def test_shims_are_the_same_machinery(self):
+        from repro.core.enumerator import TreeRuntime, WordRuntime
+        from repro.engine.local import LocalStore
+
+        assert issubclass(repro.TreeEnumerator, TreeRuntime)
+        assert issubclass(repro.WordEnumerator, WordRuntime)
+        assert issubclass(repro.DocumentStore, LocalStore)
