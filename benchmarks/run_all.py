@@ -267,7 +267,8 @@ HEAVY_SERVING_QUERY = "nondet-6"
 
 
 def _serving_traffic_run(
-    engine, trees, queries, doc_edits, rounds, page_size, pages_per_round, edits_per_batch
+    engine, trees, queries, doc_edits, rounds, page_size, pages_per_round, edits_per_batch,
+    batched_ingest=False,
 ):
     """Drive one engine (local or sharded) through the serving traffic.
 
@@ -275,16 +276,29 @@ def _serving_traffic_run(
     open one page cursor per document, then replay the interleaved
     edit-batch / page-fetch events.  Returns the measured medians plus the
     final canonical answers per document (the sharded-equivalence check).
+
+    ``batched_ingest=True`` adds all the documents through one
+    ``engine.add_documents`` call (the pipelined path: one batch per shard,
+    every batch in flight at once) instead of one synchronous ``add_tree``
+    round trip per document; ``ingest_total_s`` measures whichever path ran.
     """
     from repro.errors import CursorInvalidatedError
 
     build_times = []
-    docs = []
-    for index, (tree, query) in enumerate(zip(trees, queries)):
+    if batched_ingest:
         with _gc_paused():
             start = time.perf_counter()
-            docs.append(engine.add_tree(tree, query, doc_id=index))
-            build_times.append(time.perf_counter() - start)
+            docs = engine.add_documents(trees, queries=queries, doc_ids=range(len(trees)))
+            ingest_total_s = time.perf_counter() - start
+        build_times = [ingest_total_s / max(1, len(docs))]
+    else:
+        docs = []
+        for index, (tree, query) in enumerate(zip(trees, queries)):
+            with _gc_paused():
+                start = time.perf_counter()
+                docs.append(engine.add_tree(tree, query, doc_id=index))
+                build_times.append(time.perf_counter() - start)
+        ingest_total_s = sum(build_times)
 
     pages = {}
     opened = 0
@@ -335,6 +349,7 @@ def _serving_traffic_run(
     }
     return {
         "doc_build_median_s": statistics.median(build_times),
+        "ingest_total_s": ingest_total_s,
         "edit_batch_median_s": statistics.median(edit_times) if edit_times else None,
         "page_fetch_median_s": statistics.median(page_times) if page_times else None,
         "cursors": {
@@ -453,7 +468,34 @@ def bench_serving(
             sharded = _serving_traffic_run(
                 engine, trees, queries, doc_edits, rounds, page_size, pages_per_round, edits_per_batch
             )
-        answers_match = single.pop("final_answers") == sharded.pop("final_answers")
+
+        # -- pipelined sharded variant (PR 5): batched add_documents ingest
+        #    (one batch per shard, builds overlapping across workers), the
+        #    same traffic, and push-streaming throughput on the biggest
+        #    result set (the descendant-query document) with the protocol's
+        #    chunk/round-trip counters.
+        _clear_query_caches()
+        with Engine(catalog=catalog_dir, workers=shard_workers) as engine:
+            pipelined = _serving_traffic_run(
+                engine, trees, queries, doc_edits, rounds, page_size, pages_per_round,
+                edits_per_batch, batched_ingest=True,
+            )
+            stream_doc = engine.document(1 % n_docs)  # the descendant query
+            before = engine.stats()["streaming"]
+            with _gc_paused():
+                start = time.perf_counter()
+                stream_answers = sum(1 for _ in stream_doc.stream())
+                stream_seconds = time.perf_counter() - start
+            after = engine.stats()["streaming"]
+            streaming = {
+                "chunk_size": after["chunk_size"],
+                "credit": after["credit"],
+                "chunks": after["chunks"] - before["chunks"],
+                "round_trips": after["round_trips"] - before["round_trips"],
+            }
+        single_final = single.pop("final_answers")
+        answers_match = single_final == sharded.pop("final_answers")
+        pipelined_match = single_final == pipelined.pop("final_answers")
     finally:
         shutil.rmtree(catalog_dir, ignore_errors=True)
 
@@ -488,13 +530,39 @@ def bench_serving(
         "edit_batch_median_s": single["edit_batch_median_s"],
         "page_fetch_median_s": single["page_fetch_median_s"],
         "cursors": single["cursors"],
+        "ingest_total_s": single["ingest_total_s"],
         "sharded": {
             "workers": shard_workers,
             "doc_build_median_s": sharded["doc_build_median_s"],
+            "ingest_total_s": sharded["ingest_total_s"],
             "edit_batch_median_s": sharded["edit_batch_median_s"],
             "page_fetch_median_s": sharded["page_fetch_median_s"],
             "cursors": sharded["cursors"],
             "answers_match_single_process": answers_match,
+        },
+        "sharded_pipelined": {
+            "workers": shard_workers,
+            "ingest_total_s": pipelined["ingest_total_s"],
+            "ingest_per_doc_s": pipelined["ingest_total_s"] / n_docs,
+            # the acceptance comparison: batched, overlapped ingest vs the
+            # one-round-trip-per-document sequential sharded ingest above
+            # (overlap needs >1 CPU to show as wall clock; the round-trip
+            # serialization is gone either way)
+            "ingest_speedup_vs_sequential_sharded": (
+                sharded["ingest_total_s"] / pipelined["ingest_total_s"]
+                if pipelined["ingest_total_s"]
+                else float("inf")
+            ),
+            "edit_batch_median_s": pipelined["edit_batch_median_s"],
+            "page_fetch_median_s": pipelined["page_fetch_median_s"],
+            "cursors": pipelined["cursors"],
+            "stream": {
+                "answers": stream_answers,
+                "seconds": stream_seconds,
+                "answers_per_s": stream_answers / stream_seconds if stream_seconds else None,
+                **streaming,
+            },
+            "answers_match_single_process": pipelined_match,
         },
     }
 
@@ -604,6 +672,21 @@ def _speedup_lines(payload):
                 f"{sharded['page_fetch_median_s']*1e3:.2f}ms, answers match "
                 f"single-process: {sharded['answers_match_single_process']}"
             )
+        pipelined = payload.get("sharded_pipelined")
+        if pipelined:
+            stream = pipelined["stream"]
+            lines.append(
+                f"  pipelined ({pipelined['workers']} workers): batched ingest "
+                f"{pipelined['ingest_total_s']*1e3:.1f}ms total "
+                f"({pipelined['ingest_per_doc_s']*1e3:.2f}ms/doc, "
+                f"{pipelined['ingest_speedup_vs_sequential_sharded']:.2f}x vs sequential sharded), "
+                f"answers match single-process: {pipelined['answers_match_single_process']}"
+            )
+            lines.append(
+                f"  pipelined stream: {stream['answers']} answers in {stream['seconds']*1e3:.1f}ms "
+                f"({stream['chunks']} chunks / {stream['round_trips']} round trips, "
+                f"credit {stream['credit']} x {stream['chunk_size']})"
+            )
         return lines
     pairs = payload["backends"]["pairs"]
     bitset = payload["backends"]["bitset"]
@@ -712,6 +795,27 @@ def main(argv=None) -> int:
                 # answers to the single-process engine.
                 if not payload["sharded"]["answers_match_single_process"]:
                     print("  sharded answers DIVERGED from single-process answers")
+                    ok = False
+                # Pipelined smoke (PR 5): batched ingest must serve the same
+                # answers as the single-process engine through the same
+                # traffic, and a large sharded stream() must pay fewer round
+                # trips than it receives chunks (the credit window works).
+                pipelined = payload["sharded_pipelined"]
+                if not pipelined["answers_match_single_process"]:
+                    print("  pipelined sharded answers DIVERGED from single-process answers")
+                    ok = False
+                stream = pipelined["stream"]
+                if stream["chunks"] < 2:
+                    print(
+                        f"  pipelined stream too small to exercise credit "
+                        f"({stream['chunks']} chunks of {stream['answers']} answers)"
+                    )
+                    ok = False
+                elif stream["round_trips"] >= stream["chunks"]:
+                    print(
+                        f"  pipelined stream paid {stream['round_trips']} round trips "
+                        f"for {stream['chunks']} chunks (credit window not working)"
+                    )
                     ok = False
             else:
                 # Perf smoke: the default bitset backend must not be slower

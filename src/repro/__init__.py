@@ -46,6 +46,7 @@ from repro.errors import (
     RegexSyntaxError,
     ReproError,
     ServingError,
+    ShardDiedError,
     StaleIteratorError,
     UnsupportedUpdateError,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "InvalidTreeError",
     "RegexSyntaxError",
     "ServingError",
+    "ShardDiedError",
     "StaleIteratorError",
     "UnsupportedUpdateError",
     "__version__",

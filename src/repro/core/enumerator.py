@@ -206,15 +206,31 @@ class TreeRuntime:
         raises :class:`~repro.errors.StaleIteratorError`, as the paper's model
         requires restarting enumeration after each update.
         """
+        # The version is captured *eagerly* (this is not a generator): an
+        # update or removal landing between creating the iterator and its
+        # first answer must invalidate it too.
         version = self._version
         enumerator = self.maintainer.enumerator()
-        for assignment in enumerator.assignments():
-            if self._version != version:
-                raise StaleIteratorError("the tree was updated; restart the enumeration")
-            yield assignment
+
+        def iterate() -> Iterator[Assignment]:
+            for assignment in enumerator.assignments():
+                if self._version != version:
+                    raise StaleIteratorError("the tree was updated; restart the enumeration")
+                yield assignment
+
+        return iterate()
 
     def __iter__(self) -> Iterator[Assignment]:
         return self.assignments()
+
+    def invalidate_iterators(self) -> None:
+        """Make every live :meth:`assignments` iterator raise on its next answer.
+
+        Updates do this implicitly; the serving layer calls it when a
+        document is removed, so a stream over a dropped document fails the
+        same way in local and sharded mode.
+        """
+        self._version += 1
 
     def valuations(self) -> Iterator[Dict[int, FrozenSet[object]]]:
         """Enumerate answers as valuations (node id → set of variables)."""
@@ -334,15 +350,25 @@ class WordRuntime:
     # -------------------------------------------------------------- enumeration
     def assignments(self) -> Iterator[Assignment]:
         """Enumerate the satisfying assignments (sets of ``(variable, position id)``)."""
+        # Eager version capture — see :meth:`TreeRuntime.assignments`.
         version = self._version
         enumerator = self.maintainer.enumerator()
-        for assignment in enumerator.assignments():
-            if self._version != version:
-                raise StaleIteratorError("the word was updated; restart the enumeration")
-            yield assignment
+
+        def iterate() -> Iterator[Assignment]:
+            for assignment in enumerator.assignments():
+                if self._version != version:
+                    raise StaleIteratorError("the word was updated; restart the enumeration")
+                yield assignment
+
+        return iterate()
 
     def __iter__(self) -> Iterator[Assignment]:
         return self.assignments()
+
+    def invalidate_iterators(self) -> None:
+        """Make every live :meth:`assignments` iterator raise on its next answer
+        (see :meth:`TreeRuntime.invalidate_iterators`)."""
+        self._version += 1
 
     def assignments_by_index(self) -> Iterator[Assignment]:
         """Answers with positions given as current 0-based indices (not stable ids)."""

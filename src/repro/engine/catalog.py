@@ -278,27 +278,61 @@ class QueryCatalog:
             self._update_manifest(digest, None)
 
     # ------------------------------------------------------------------ read
-    def load(self, digest: str, use_cache: bool = True) -> CompiledQuery:
-        """Load a persisted compiled query by digest.
+    def _load_if_present(self, digest: str) -> Optional[CompiledQuery]:
+        """Load one entry from disk; ``None`` if its file does not exist.
 
-        ``load_seconds`` on the result records the wall-clock cost of the
-        disk read + payload reconstruction (the quantity the serving
-        benchmark compares against compile time).
+        This is the single disk-read path, and it distinguishes the two
+        failure modes a *shared* catalog can produce:
+
+        * **the entry vanished** (e.g. another process ran :meth:`gc` after
+          this one listed or probed it) — returns ``None``, letting callers
+          decide between compiling and raising a precise missing-entry error;
+        * **the entry is unreadable** (truncated file, invalid JSON, a
+          payload that does not decode) — raises :class:`CatalogError`
+          naming the path and digest, never a bare ``json`` / ``KeyError``
+          crash.  Entry writes are atomic, so this means real corruption,
+          not a concurrent writer.
         """
-        if use_cache:
-            cached = self._loaded.get(digest)
-            if cached is not None:
-                return cached
         path = self.path_of(digest)
         start = time.perf_counter()
         try:
             with open(path, encoding="utf8") as handle:
                 text = handle.read()
         except FileNotFoundError:
-            raise CatalogError(f"no compiled query with digest {digest!r} in {self.root}") from None
-        entry = compiled_query_from_json(text, expected_digest=digest)
+            return None
+        try:
+            entry = compiled_query_from_json(text, expected_digest=digest)
+        except CatalogError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CatalogError(
+                f"corrupt or truncated compiled-query entry {path} "
+                f"(digest {digest!r}): {exc}"
+            ) from exc
         entry.load_seconds = time.perf_counter() - start
         self._loaded[digest] = entry
+        return entry
+
+    def load(self, digest: str, use_cache: bool = True) -> CompiledQuery:
+        """Load a persisted compiled query by digest.
+
+        ``load_seconds`` on the result records the wall-clock cost of the
+        disk read + payload reconstruction (the quantity the serving
+        benchmark compares against compile time).  A digest with no entry
+        file raises a precise :class:`CatalogError` (the entry may never
+        have been saved — or may just have been garbage-collected by
+        another process sharing the directory).
+        """
+        if use_cache:
+            cached = self._loaded.get(digest)
+            if cached is not None:
+                return cached
+        entry = self._load_if_present(digest)
+        if entry is None:
+            raise CatalogError(
+                f"no compiled query with digest {digest!r} in {self.root} "
+                f"(never saved, or removed by a concurrent gc())"
+            )
         return entry
 
     def get(self, query) -> CompiledQuery:
@@ -308,15 +342,21 @@ class QueryCatalog:
         (:meth:`CompiledQuery.attach`), so later enumerators for this query
         content skip compilation.  A cache miss does *not* implicitly write
         to disk — persisting is an explicit :meth:`save`.
+
+        Safe against a concurrent :meth:`gc` in another process sharing the
+        directory (e.g. the parent of a shard pool collecting a digest while
+        a worker loads it): an entry that vanishes between the existence
+        probe and the read is treated as never persisted and compiled
+        in-process.  A *corrupt* entry still raises loudly — silently
+        recompiling could mask a catalog that keeps serving damaged files.
         """
         digest = self.digest_of(query)
         cached = self._loaded.get(digest)
         if cached is not None:
             return cached.attach(query)
-        if os.path.exists(self.path_of(digest)):
-            # A corrupt entry raises loudly here: silently recompiling could
-            # mask a catalog that keeps serving stale or wrong files.
-            return self.load(digest).attach(query)
+        entry = self._load_if_present(digest)
+        if entry is not None:
+            return entry.attach(query)
         entry = CompiledQuery(
             kind=_kind_of(query), digest=digest, automaton=compiled_automaton_for(query)
         )

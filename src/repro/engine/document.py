@@ -7,9 +7,12 @@ worker process the document was routed to (``workers=N``).  The handle's API
 is identical in both modes:
 
 * :meth:`Document.stream` — live duplicate-free enumeration of the current
-  answers (Theorem 8.1 / 8.5); a conflicting edit invalidates the stream
-  with a :class:`~repro.errors.StaleIteratorError` (its cursor-level
-  refinement :class:`~repro.errors.CursorInvalidatedError` in sharded mode);
+  answers (Theorem 8.1 / 8.5); any edit to the document invalidates the
+  stream with a :class:`~repro.errors.StaleIteratorError` at the next
+  answer, identically in both modes (sharded streams receive worker-pushed
+  result chunks under a bounded credit window — see
+  :mod:`repro.engine.sharding` — and check staleness against the engine's
+  epoch mirror);
 * :meth:`Document.page` — edit-stable pagination: every call returns one
   :class:`ResultPage`, pages of one cursor are duplicate-free across edits
   that don't touch what the cursor still has to read (Lemma 7.3 upward
@@ -57,7 +60,7 @@ class ResultPage:
         return not self.exhausted
 
 
-#: page size used internally when ``stream()`` has to page (sharded mode)
+#: answers per worker-pushed chunk of a sharded ``stream()``
 STREAM_PAGE_SIZE = 256
 
 
@@ -80,11 +83,13 @@ class Document:
     def stream(self) -> Iterator[Assignment]:
         """Enumerate the document's current answers, duplicate-free.
 
-        Output-linear delay (Theorem 6.5).  Advancing the stream after a
-        conflicting edit raises a :class:`~repro.errors.StaleIteratorError`
-        (sharded engines raise the :class:`~repro.errors.CursorInvalidatedError`
-        refinement, and only when the edit actually rebuilt a region the
-        stream still had to read).
+        Output-linear delay (Theorem 6.5).  Advancing the stream after *any*
+        edit to this document raises
+        :class:`~repro.errors.StaleIteratorError` — the paper's restart
+        model, enforced identically in local and sharded mode (a sharded
+        stream is fed by worker-pushed chunks, but staleness is checked at
+        every answer against the engine's epoch mirror).  Use :meth:`page`
+        for pagination that survives non-conflicting edits.
         """
         return self.engine._stream(self.doc_id)
 

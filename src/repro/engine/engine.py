@@ -19,7 +19,13 @@ updates — behind four nouns:
 ``Engine(workers=N)`` shards documents across ``N`` worker processes that
 share the engine's catalog directory (compiled once by the parent, loaded by
 every worker); edits and page fetches are routed by document id and
-:meth:`Engine.stats` merges the per-shard statistics.
+:meth:`Engine.stats` merges the per-shard statistics.  The worker protocol
+is pipelined (request-id tagged, see :mod:`repro.engine.sharding`):
+:meth:`Engine.add_documents` ships one document batch per shard with every
+batch in flight at once, so per-document builds overlap across workers, and
+sharded :meth:`~repro.engine.document.Document.stream` consumes result
+chunks the worker pushes under a bounded credit window instead of paying one
+round trip per page.
 """
 
 from __future__ import annotations
@@ -35,8 +41,8 @@ from repro.engine.codec import CompiledQuery
 from repro.engine.document import Document, ResultPage, STREAM_PAGE_SIZE
 from repro.engine.local import BatchUpdateReport, LocalStore
 from repro.engine.query import Query, normalize_query_source
-from repro.engine.sharding import ShardPool
-from repro.errors import EngineError, ServingError
+from repro.engine.sharding import STREAM_CREDIT, ShardPool
+from repro.errors import EngineError, ServingError, ShardDiedError, StaleIteratorError
 from repro.trees.unranked import UnrankedTree
 
 __all__ = ["Engine"]
@@ -96,6 +102,10 @@ class Engine:
         self._owned_catalog_dir: Optional[str] = None
         self._documents: Dict[object, Document] = {}
         self._shard_of: Dict[object, int] = {}
+        #: parent-side epoch mirror: every edit flows through this engine, so
+        #: the mirror is exact without a per-read round trip; sharded streams
+        #: use it for the stale-on-edit check at the answer boundary
+        self._epochs: Dict[object, int] = {}
         self._queries: Dict[str, Query] = {}
         #: per shard, the query digests whose source was already shipped
         self._queries_sent: Dict[int, set] = {}
@@ -195,33 +205,171 @@ class Engine:
         return self._add("word", list(word), query, doc_id, alphabet)
 
     def _add(self, kind: str, content, query, doc_id, alphabet) -> Document:
+        # Single adds ride the batch path (a batch of one), so there is
+        # exactly one ingest protocol to keep correct.
+        doc_ids = None if doc_id is None else [doc_id]
+        return self.add_documents(
+            [content], query, doc_ids=doc_ids, alphabet=alphabet, _kind=kind
+        )[0]
+
+    def add_documents(
+        self,
+        contents,
+        query=None,
+        *,
+        queries=None,
+        doc_ids=None,
+        alphabet=None,
+        _kind=None,
+    ) -> List[Document]:
+        """Add many documents at once — the pipelined ingest path.
+
+        ``contents`` is a sequence of documents (each an
+        :class:`~repro.trees.unranked.UnrankedTree` or a word); ``query`` is
+        the standing query they share, or ``queries`` gives one per document.
+        ``doc_ids`` optionally fixes ids (``None`` entries auto-assign).
+
+        On a sharded engine the documents are grouped per shard (round-robin
+        by arrival, same placement a loop of :meth:`add` would produce) and
+        shipped as **one pickled batch per worker, all batches in flight
+        before any reply is collected** — so the per-document builds, the
+        dominant serving cost, overlap across the worker processes instead of
+        paying one synchronous round trip each.  A single-process engine adds
+        the documents in order through the same entry point, so the facade is
+        uniform.
+
+        If an item fails inside a live worker, the documents the batch had
+        already added stay registered and the item's original exception is
+        re-raised.  If a worker process dies mid-batch, a precise
+        :class:`~repro.errors.ShardDiedError` names the document ids that
+        were in flight on it; surviving shards keep their documents.
+        """
         self._check_open()
-        compiled = self.compile(query, alphabet=alphabet)
-        if compiled.kind != kind:
-            raise EngineError(
-                f"cannot serve a {kind} document under a {compiled.kind} query "
-                f"(digest {compiled.digest[:12]}...)"
-            )
-        if doc_id is None:
-            doc_id = next(self._doc_ids)
-            while doc_id in self._documents:
+        contents = list(contents)
+        if queries is not None:
+            queries = list(queries)
+            if len(queries) != len(contents):
+                raise EngineError(
+                    f"queries ({len(queries)}) and contents ({len(contents)}) differ in length"
+                )
+        if doc_ids is not None:
+            doc_ids = list(doc_ids)
+            if len(doc_ids) != len(contents):
+                raise EngineError(
+                    f"doc_ids ({len(doc_ids)}) and contents ({len(contents)}) differ in length"
+                )
+        items = []  # (doc_id, kind, wire_content, compiled)
+        claimed = set()
+        for index, content in enumerate(contents):
+            item_query = queries[index] if queries is not None else query
+            if item_query is None:
+                raise EngineError(
+                    "add_documents needs a query: pass query= (shared) or queries= (per item)"
+                )
+            compiled = self.compile(item_query, alphabet=alphabet)
+            if isinstance(content, UnrankedTree):
+                kind = "tree"
+            else:
+                kind = "word"
+                content = list(content)
+            if _kind is not None and kind != _kind:
+                kind = _kind  # add_tree/add_word said so; the check below reports
+            if compiled.kind != kind:
+                raise EngineError(
+                    f"cannot serve a {kind} document under a {compiled.kind} query "
+                    f"(digest {compiled.digest[:12]}...)"
+                )
+            doc_id = doc_ids[index] if doc_ids is not None else None
+            if doc_id is None:
                 doc_id = next(self._doc_ids)
-        elif doc_id in self._documents:
-            raise ServingError(f"document id {doc_id!r} already in use")
-        if self._pool is not None:
-            shard = next(self._round_robin) % len(self._pool)
-            sent = self._queries_sent.setdefault(shard, set())
-            source = None if compiled.digest in sent else compiled.source
-            self._pool.request(shard, "add", doc_id, kind, content, source, compiled.digest)
-            sent.add(compiled.digest)
-            self._shard_of[doc_id] = shard
-        elif kind == "tree":
-            self._store.add_tree(content, compiled.source, doc_id=doc_id)
-        else:
-            self._store.add_word(content, compiled.source, doc_id=doc_id)
+                while doc_id in self._documents or doc_id in claimed:
+                    doc_id = next(self._doc_ids)
+            elif doc_id in self._documents or doc_id in claimed:
+                raise ServingError(f"document id {doc_id!r} already in use")
+            claimed.add(doc_id)
+            items.append((doc_id, kind, content, compiled))
+
+        if self._pool is None:
+            # The same batch entry point a shard worker's store exposes, so
+            # local and sharded engines share one ingest facade end to end.
+            self._store.add_documents(
+                [content for _doc_id, _kind, content, _compiled in items],
+                queries=[compiled.source for _doc_id, _kind, _content, compiled in items],
+                doc_ids=[doc_id for doc_id, _kind, _content, _compiled in items],
+            )
+            return [
+                self._register(doc_id, kind, compiled)
+                for doc_id, kind, _content, compiled in items
+            ]
+        return self._add_documents_sharded(items)
+
+    def _register(self, doc_id, kind: str, compiled: Query) -> Document:
         document = Document(self, doc_id, kind, compiled)
         self._documents[doc_id] = document
+        self._epochs[doc_id] = 0
         return document
+
+    def _pick_shard(self) -> int:
+        """Round-robin placement over the shards still observed alive."""
+        for _ in range(len(self._pool)):
+            shard = next(self._round_robin) % len(self._pool)
+            if self._pool.is_alive(shard):
+                return shard
+        raise EngineError(
+            "every shard worker of this engine is dead; close the engine"
+        )
+
+    def _add_documents_sharded(self, items) -> List[Document]:
+        # Group per shard; ship each query's source to a shard once (later
+        # adds of the same content carry only the digest).
+        batches: Dict[int, List] = {}
+        batch_meta: Dict[int, List] = {}
+        for doc_id, kind, content, compiled in items:
+            shard = self._pick_shard()
+            sent = self._queries_sent.setdefault(shard, set())
+            source = None if compiled.digest in sent else compiled.source
+            sent.add(compiled.digest)
+            batches.setdefault(shard, []).append(
+                (doc_id, kind, content, source, compiled.digest)
+            )
+            batch_meta.setdefault(shard, []).append((doc_id, kind, compiled))
+        # Issue every batch before collecting any reply: builds overlap
+        # across the worker processes.
+        request_ids: Dict[int, int] = {}
+        died: List[tuple] = []  # (shard, doc_ids, error)
+        item_failure = None  # (shard, doc_id, original exception)
+        for shard, batch in batches.items():
+            try:
+                request_ids[shard] = self._pool.submit(shard, "add_batch", batch)
+            except ShardDiedError as exc:
+                died.append((shard, [entry[0] for entry in batch], exc))
+        registered: Dict[object, Document] = {}
+        for shard, request_id in request_ids.items():
+            try:
+                payload = self._pool.collect(shard, request_id)
+            except ShardDiedError as exc:
+                died.append((shard, [entry[0] for entry in batches[shard]], exc))
+                continue
+            for _summary, (doc_id, kind, compiled) in zip(payload["added"], batch_meta[shard]):
+                self._shard_of[doc_id] = shard
+                registered[doc_id] = self._register(doc_id, kind, compiled)
+            if payload["error"] is not None and item_failure is None:
+                item_failure = (shard, payload["failed_doc_id"], payload["error"])
+        # handles come back in the caller's order, not in shard order
+        documents = [
+            registered[doc_id] for doc_id, _kind, _content, _compiled in items
+            if doc_id in registered
+        ]
+        if died:
+            detail = "; ".join(
+                f"shard {shard} died with document ids {doc_ids!r} in flight"
+                for shard, doc_ids, _exc in died
+            )
+            raise ShardDiedError(f"batch ingest failed: {detail}") from died[0][2]
+        if item_failure is not None:
+            _shard, _doc_id, error = item_failure
+            raise error
+        return documents
 
     def document(self, doc_id) -> Document:
         """The handle of a served document."""
@@ -240,6 +388,7 @@ class Engine:
         else:
             self._store.remove(doc_id)
         del self._documents[doc_id]
+        self._epochs.pop(doc_id, None)
 
     def doc_ids(self) -> List[object]:
         return list(self._documents)
@@ -255,14 +404,33 @@ class Engine:
         """Apply one edit batch to a document (one epoch step), routed by id."""
         self.document(doc_id)
         self._check_open()
-        if self._pool is not None:
-            return self._pool.request(self._shard_of[doc_id], "edits", doc_id, list(edits))
-        return self._store.document(doc_id).apply_edits(edits)
+        if self._pool is None:
+            return self._store.document(doc_id).apply_edits(edits)
+        shard = self._shard_of[doc_id]
+        try:
+            report = self._pool.request(shard, "edits", doc_id, list(edits))
+        except ShardDiedError:
+            self._epochs.pop(doc_id, None)  # state unknowable; streams go stale
+            raise
+        except BaseException:
+            # The batch may have partially applied (the epoch still advances
+            # on a partial batch): resync the mirror so live streams see it.
+            try:
+                self._epochs[doc_id] = self._pool.request(shard, "epoch", doc_id)
+            except EngineError:
+                self._epochs.pop(doc_id, None)
+            raise
+        self._epochs[doc_id] = report.epoch
+        return report
 
     def _doc_epoch(self, doc_id) -> int:
         self.document(doc_id)
         if self._pool is not None:
-            return self._pool.request(self._shard_of[doc_id], "epoch", doc_id)
+            epoch = self._epochs.get(doc_id)
+            if epoch is None:  # mirror lost after a failed batch: resync
+                epoch = self._pool.request(self._shard_of[doc_id], "epoch", doc_id)
+                self._epochs[doc_id] = epoch
+            return epoch
         return self._store.document(doc_id).epoch
 
     def _count(self, doc_id, limit: Optional[int]) -> int:
@@ -287,15 +455,54 @@ class Engine:
             # Zero-overhead facade: the exact per-answer iterator of the
             # runtime (Theorem 6.5 delay), StaleIteratorError on edits.
             return self._store.document(doc_id).enumerator.assignments()
-        return self._stream_paged(doc_id)
+        return self._stream_pushed(doc_id)
 
-    def _stream_paged(self, doc_id):
-        page = self._page(doc_id, None, STREAM_PAGE_SIZE)
-        while True:
-            yield from page.answers
-            if page.exhausted:
-                return
-            page = self._page(doc_id, page, None)
+    def _stream_pushed(self, doc_id):
+        """Sharded ``stream()``: chunks pushed by the worker under credit.
+
+        The worker iterates the runtime's own per-answer iterator and pushes
+        result chunks ahead of consumption (bounded by the credit window), so
+        a long stream costs one round trip per credit grant instead of one
+        per page.  Stale-on-edit semantics are enforced at the parent against
+        the epoch mirror — every edit flows through this engine — so the
+        stream raises :class:`~repro.errors.StaleIteratorError` at exactly
+        the answer boundary where a single-process stream would.  The base
+        epoch is captured *eagerly* (this is not a generator), matching the
+        runtime iterator: an edit or removal landing between creating the
+        stream and its first answer invalidates it too.
+        """
+        start_epoch = self._doc_epoch(doc_id)  # resyncs a lost mirror
+        shard = self._shard_of[doc_id]
+
+        def check_fresh():
+            if self._epochs.get(doc_id) != start_epoch:
+                raise StaleIteratorError(
+                    f"document {doc_id!r} was edited (or removed) while stream() "
+                    "was running; restart the stream, or use page() for "
+                    "edit-stable pagination"
+                )
+
+        def iterate():
+            check_fresh()
+            stream = self._pool.stream_open(shard, doc_id, STREAM_PAGE_SIZE)
+            try:
+                while True:
+                    chunk = self._pool.stream_next_chunk(stream)
+                    if chunk is None:
+                        return
+                    answers, exhausted = chunk
+                    # Staleness is checked only before *yielding an answer* —
+                    # an edit landing after the final answer ends the stream
+                    # with StopIteration, like the runtime's own iterator.
+                    for answer in answers:
+                        check_fresh()
+                        yield answer
+                    if exhausted:
+                        return
+            finally:
+                self._pool.stream_close(stream)
+
+        return iterate()
 
     def _page(self, doc_id, cursor, page_size: Optional[int]) -> ResultPage:
         self.document(doc_id)
@@ -342,15 +549,30 @@ class Engine:
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, object]:
-        """A monitoring snapshot; sharded engines merge per-shard stats."""
+        """A monitoring snapshot; sharded engines merge per-shard stats.
+
+        Sharded engines additionally report the protocol counters of the
+        pipelined shard pool: ``shards`` (per shard: liveness, in-flight
+        request count, queued replies, open streams, message totals),
+        ``queue_depth`` (total in-flight requests at snapshot time) and
+        ``streaming`` (result chunks received vs round trips paid — with
+        credit-based streaming the round trips stay well under one per
+        chunk).  The ``cursors_resumed_across_edit_batches`` counter (from
+        the per-shard stores) measures the cursor resume rate the ROADMAP
+        asks for.
+        """
         self._check_open()
         if self._pool is None:
             merged = self._store.stats()
             merged["workers"] = 0
         else:
-            per_shard = self._pool.broadcast("stats")
+            # Pipelined gather (all shards asked before any reply is read);
+            # a dead shard reports None instead of failing the snapshot.
+            per_shard = self._pool.broadcast("stats", skip_dead=True)
             merged = {}
             for shard_stats in per_shard:
+                if shard_stats is None:  # dead shard: its numbers are gone
+                    continue
                 for key, value in shard_stats.items():
                     if not isinstance(value, (int, float)) or isinstance(value, bool):
                         continue
@@ -363,6 +585,16 @@ class Engine:
             merged["relation_backend"] = self.backend
             merged["workers"] = len(self._pool)
             merged["per_shard"] = per_shard
+            shard_counters = self._pool.shard_stats()
+            merged["shards"] = shard_counters
+            merged["queue_depth"] = sum(s["inflight_requests"] for s in shard_counters)
+            merged["streams_open"] = sum(s["streams_open"] for s in shard_counters)
+            merged["streaming"] = {
+                "chunks": sum(s["stream_chunks"] for s in shard_counters),
+                "round_trips": sum(s["stream_round_trips"] for s in shard_counters),
+                "chunk_size": STREAM_PAGE_SIZE,
+                "credit": STREAM_CREDIT,
+            }
         merged["queries_compiled"] = len(self._queries)
         merged["catalog_entries"] = len(self.catalog) if self.catalog is not None else 0
         return merged
@@ -378,6 +610,7 @@ class Engine:
         self._store = None
         self._documents.clear()
         self._shard_of.clear()
+        self._epochs.clear()
         if self._owned_catalog_dir is not None:
             shutil.rmtree(self._owned_catalog_dir, ignore_errors=True)
 

@@ -89,6 +89,7 @@ class LocalDocument:
         self._cursors_by_id: Dict[int, Cursor] = {}
         self.cursors_opened_total = 0
         self.cursors_invalidated_total = 0
+        self.cursors_resumed_total = 0  #: cursor×edit-batch resume events
 
     # ------------------------------------------------------------------ views
     @property
@@ -201,6 +202,7 @@ class LocalDocument:
             else:
                 invalidated += 1
         self._cursors = survivors
+        self.cursors_resumed_total += resumed
         self.cursors_invalidated_total += invalidated
         return resumed, invalidated
 
@@ -333,6 +335,44 @@ class LocalStore:
         enumerator = WordRuntime(word, query, relation_backend=self.relation_backend)
         return self._register(enumerator, "word", entry.digest, doc_id)
 
+    def add_documents(
+        self, contents, query=None, *, queries=None, doc_ids=None
+    ) -> List[LocalDocument]:
+        """Add many documents under standing queries (kind by content type).
+
+        The single-process face of :meth:`repro.Engine.add_documents`:
+        ``contents`` holds trees and/or words, ``query`` (shared) or
+        ``queries`` (one per item) names the standing queries, ``doc_ids``
+        optionally fixes ids.  Documents are added in order; the first
+        failure propagates (earlier documents stay registered).
+        """
+        contents = list(contents)
+        if queries is not None:
+            queries = list(queries)
+            if len(queries) != len(contents):
+                raise ServingError(
+                    f"queries ({len(queries)}) and contents ({len(contents)}) differ in length"
+                )
+        if doc_ids is not None:
+            doc_ids = list(doc_ids)
+            if len(doc_ids) != len(contents):
+                raise ServingError(
+                    f"doc_ids ({len(doc_ids)}) and contents ({len(contents)}) differ in length"
+                )
+        documents = []
+        for index, content in enumerate(contents):
+            item_query = queries[index] if queries is not None else query
+            if item_query is None:
+                raise ServingError(
+                    "add_documents needs a query: pass query= (shared) or queries= (per item)"
+                )
+            doc_id = doc_ids[index] if doc_ids is not None else None
+            if isinstance(content, UnrankedTree):
+                documents.append(self.add_tree(content, item_query, doc_id=doc_id))
+            else:
+                documents.append(self.add_word(list(content), item_query, doc_id=doc_id))
+        return documents
+
     def _register(self, enumerator, kind: str, digest: str, doc_id) -> LocalDocument:
         if doc_id is None:
             doc_id = next(self._doc_ids)
@@ -349,10 +389,14 @@ class LocalStore:
             raise ServingError(f"no document with id {doc_id!r}") from None
 
     def remove(self, doc_id) -> None:
-        """Drop a document (its cursors are closed)."""
+        """Drop a document (its cursors are closed, live streams invalidated)."""
         document = self.document(doc_id)
         for cursor in list(document._cursors):  # close() prunes the live list
             cursor.close()
+        # A stream over a removed document must fail at its next answer in
+        # local mode exactly as it does in sharded mode (where the engine's
+        # epoch mirror is dropped with the document).
+        document.enumerator.invalidate_iterators()
         del self._documents[doc_id]
 
     def doc_ids(self) -> List[object]:
@@ -395,5 +439,10 @@ class LocalStore:
             ),
             "cursors_opened_total": sum(d.cursors_opened_total for d in documents),
             "cursors_invalidated": sum(d.cursors_invalidated_total for d in documents),
+            # resume *events* (cursor × edit batch): the measured side of the
+            # ROADMAP's cursor-resume-rate open item
+            "cursors_resumed_across_edit_batches": sum(
+                d.cursors_resumed_total for d in documents
+            ),
             "relation_backend": self.relation_backend,
         }

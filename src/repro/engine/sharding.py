@@ -1,4 +1,4 @@
-"""Sharded execution: documents partitioned across worker processes.
+"""Sharded execution: a pipelined, request-id-tagged worker protocol.
 
 ``Engine(workers=N)`` routes every document to one of ``N`` worker
 processes.  Each worker runs a plain single-process
@@ -7,60 +7,115 @@ directory** (the catalog's atomic temp-file + ``os.replace`` writes make it
 multi-process safe), so a standing query is compiled once — by the parent —
 and every worker *loads* its persisted form instead of compiling.
 
-Design constraints:
+The protocol (PR 5) is pipelined rather than lockstep.  Every message the
+parent sends is a tuple ``(request_id, op, *args)``; every message a worker
+sends back is ``(request_id, status, *payload)``, so replies correlate to
+requests by id and the parent may have **many requests in flight per
+worker** at once:
+
+* **batched ingest.**  ``("add_batch", items)`` ships one pickled batch of
+  documents per worker; :meth:`ShardPool.submit` / :meth:`ShardPool.collect`
+  let the engine issue the batches to *all* shards before collecting *any*
+  reply, so the per-document builds (the dominant serving cost,
+  ``doc_build_median_s``) overlap across worker processes instead of
+  serializing behind one round trip per document.
+* **streaming replies.**  ``("stream_open", doc_id, chunk_size, credit)``
+  registers a push stream: the worker sends up to ``credit`` result chunks
+  ``(request_id, "chunk", answers, exhausted)`` without waiting for the
+  parent, and ``("stream_credit", n)`` replenishes the window as the parent
+  consumes — bounded in-flight data, and a round trip per *credit grant*
+  instead of one per page (counted by the ``stream_round_trips`` /
+  ``stream_chunks`` stats).
+* **demultiplexing.**  A worker handles messages strictly in arrival order,
+  but chunks of concurrent streams and replies of concurrent requests
+  interleave on the pipe; the parent buffers whatever it receives under the
+  request id it belongs to, so out-of-order collection is safe.
+
+Design constraints kept from PR 4:
 
 * **fork/spawn safety.**  The worker entry point
   (:func:`_shard_worker_main`) is a module-level function and receives only
-  picklable arguments (a pipe connection, the catalog path, the backend
-  name), so it works under every :mod:`multiprocessing` start method.
-  Documents, queries, edits and answers cross the pipe pickled; node /
-  position ids, answer order and epochs are identical to a single-process
-  store (pinned by the sharded-equivalence tests).
-* **one in-flight request per worker.**  The engine is a synchronous façade;
-  each request is a ``(op, ...)`` tuple answered by ``("ok", payload)`` or
-  ``("err", exception)`` — the exception object itself travels back and is
-  re-raised in the caller, so sharded error behavior (``InvalidEditError``,
-  ``CursorInvalidatedError`` with its report, ...) matches local behavior.
+  picklable arguments, so it works under every :mod:`multiprocessing` start
+  method.  Documents, queries, edits and answers cross the pipe pickled;
+  node / position ids, answer order and epochs are identical to a
+  single-process store (pinned by the sharded fuzz harness).
+* **original error types.**  A failure is answered with
+  ``(request_id, "err", exception)`` — the exception object itself travels
+  back and is re-raised in the caller, so sharded error behavior
+  (``InvalidEditError``, ``CursorInvalidatedError`` with its report, ...)
+  matches local behavior and correlates to the right request.
 * **death detection.**  A broken pipe surfaces as
-  :class:`~repro.errors.EngineError` naming the shard, never a hang.
+  :class:`~repro.errors.EngineError` naming the shard (and, for a batch
+  ingest, the document ids that were in flight), never a hang; the
+  surviving shards stay usable.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.errors import EngineError
+from repro.errors import EngineError, ShardDiedError
 
-__all__ = ["ShardPool"]
+__all__ = ["ShardPool", "ShardStream", "STREAM_CREDIT"]
+
+#: chunks a worker may push ahead of the parent's consumption (per stream)
+STREAM_CREDIT = 4
 
 
-def _handle_request(store, queries_by_digest, request):
-    """Execute one request tuple against the worker's LocalStore."""
-    op = request[0]
-    if op == "add":
-        # The parent sends each query's source automaton to a shard once
-        # (it can be large); later adds of the same content carry only the
-        # digest and resolve against this worker-side cache.
-        _, doc_id, kind, content, query, digest = request
-        if query is None:
-            query = queries_by_digest.get(digest)
+# ============================================================== worker side
+class _WorkerStream:
+    """One push stream inside a worker: an answer iterator plus its credit."""
+
+    __slots__ = ("iterator", "chunk_size", "credit")
+
+    def __init__(self, iterator, chunk_size: int):
+        self.iterator = iterator
+        self.chunk_size = chunk_size
+        self.credit = 0
+
+
+def _handle_add_batch(store, queries_by_digest, items):
+    """Add a batch of documents; report how far the batch got on failure.
+
+    ``items`` is a list of ``(doc_id, kind, content, query_or_None, digest)``
+    tuples.  The reply names the documents actually added plus — when an item
+    failed — the failing document id and the original exception, so the
+    parent can both register the successes and re-raise precisely.
+    """
+    added = []
+    for doc_id, kind, content, query, digest in items:
+        try:
             if query is None:
-                raise EngineError(
-                    f"shard has no cached query for digest {digest[:12]}..."
-                )
-        else:
-            queries_by_digest[digest] = query
-        if kind == "tree":
-            document = store.add_tree(content, query, doc_id=doc_id)
-        else:
-            document = store.add_word(content, query, doc_id=doc_id)
-        return {"doc_id": document.doc_id, "kind": document.kind, "digest": document.digest}
+                query = queries_by_digest.get(digest)
+                if query is None:
+                    raise EngineError(
+                        f"shard has no cached query for digest {digest[:12]}..."
+                    )
+            else:
+                queries_by_digest[digest] = query
+            if kind == "tree":
+                document = store.add_tree(content, query, doc_id=doc_id)
+            else:
+                document = store.add_word(content, query, doc_id=doc_id)
+        except BaseException as exc:  # noqa: BLE001 — reported, not swallowed
+            return {"added": added, "failed_doc_id": doc_id, "error": exc}
+        added.append(
+            {"doc_id": document.doc_id, "kind": document.kind, "digest": document.digest}
+        )
+    return {"added": added, "failed_doc_id": None, "error": None}
+
+
+def _handle_request(store, queries_by_digest, op, args):
+    """Execute one non-stream request against the worker's LocalStore."""
+    if op == "add_batch":
+        return _handle_add_batch(store, queries_by_digest, args[0])
     if op == "edits":
-        _, doc_id, edits = request
+        doc_id, edits = args
         return store.document(doc_id).apply_edits(edits)
     if op == "page":
-        _, doc_id, cursor_id, page_size = request
+        doc_id, cursor_id, page_size = args
         document = store.document(doc_id)
         cursor, page = document.fetch_page(cursor_id, page_size)
         return {
@@ -71,18 +126,56 @@ def _handle_request(store, queries_by_digest, request):
             "epoch": document.epoch,
         }
     if op == "count":
-        _, doc_id, limit = request
+        doc_id, limit = args
         return store.document(doc_id).count(limit=limit)
     if op == "epoch":
-        _, doc_id = request
-        return store.document(doc_id).epoch
+        return store.document(args[0]).epoch
     if op == "remove":
-        _, doc_id = request
-        store.remove(doc_id)
+        store.remove(args[0])
         return None
     if op == "stats":
         return store.stats()
     raise EngineError(f"unknown shard request {op!r}")
+
+
+def _pump_stream(conn, streams: Dict[int, _WorkerStream], request_id: int) -> None:
+    """Push chunks of one stream while it has credit; drop it when done.
+
+    The per-answer iterator is the runtime's own (`LocalDocument.answers`),
+    so an edit that lands between chunks invalidates it exactly like the
+    single-process ``stream()`` — the resulting ``StaleIteratorError``
+    travels back as this stream's error reply.
+    """
+    stream = streams.get(request_id)
+    while stream is not None and stream.credit > 0:
+        answers = []
+        exhausted = False
+        try:
+            for _ in range(stream.chunk_size):
+                try:
+                    answers.append(next(stream.iterator))
+                except StopIteration:
+                    exhausted = True
+                    break
+        except BaseException as exc:  # noqa: BLE001 — must travel back
+            del streams[request_id]
+            _send_err(conn, request_id, exc)
+            return
+        stream.credit -= 1
+        if exhausted:
+            del streams[request_id]
+            stream = None
+        conn.send((request_id, "chunk", tuple(answers), exhausted))
+
+
+def _send_err(conn, request_id: int, exc: BaseException) -> None:
+    try:
+        conn.send((request_id, "err", exc))
+    except Exception:
+        # The exception itself didn't pickle; send a description instead.
+        conn.send(
+            (request_id, "err", EngineError(f"shard worker error ({type(exc).__name__}): {exc}"))
+        )
 
 
 def _shard_worker_main(conn, catalog_root: Optional[str], relation_backend: Optional[str]) -> None:
@@ -90,43 +183,112 @@ def _shard_worker_main(conn, catalog_root: Optional[str], relation_backend: Opti
 
     Module-level (importable) so it works under the ``spawn`` start method;
     receives only picklable arguments so it also works under ``fork`` and
-    ``forkserver``.
+    ``forkserver``.  Messages are handled strictly in arrival order; stream
+    chunks are pushed eagerly up to each stream's credit.
     """
-    # Imports happen here (not at module top) only in the sense that a
-    # spawned interpreter re-imports this module; keeping them top-level in
-    # the package is what makes that re-import cheap and deterministic.
-    from repro.engine.catalog import QueryCatalog
     from repro.engine.local import LocalStore
+    from repro.engine.catalog import QueryCatalog
 
     catalog = QueryCatalog(catalog_root) if catalog_root else None
     store = LocalStore(catalog=catalog, relation_backend=relation_backend)
-    queries_by_digest = {}
+    queries_by_digest: Dict[str, object] = {}
+    streams: Dict[int, _WorkerStream] = {}
     while True:
         try:
-            request = conn.recv()
+            message = conn.recv()
         except (EOFError, KeyboardInterrupt):
             break
-        if request[0] == "close":
+        request_id, op = message[0], message[1]
+        if op == "close":
             try:
-                conn.send(("ok", None))
+                conn.send((request_id, "ok", None))
             except (BrokenPipeError, OSError):
                 pass
             break
-        try:
-            conn.send(("ok", _handle_request(store, queries_by_digest, request)))
-        except BaseException as exc:  # noqa: BLE001 — every failure must travel back
+        if op == "stream_open":
+            doc_id, chunk_size, credit = message[2:]
             try:
-                conn.send(("err", exc))
-            except Exception:
-                # The exception itself didn't pickle; send a description.
-                conn.send(
-                    ("err", EngineError(f"shard worker error ({type(exc).__name__}): {exc}"))
-                )
+                iterator = iter(store.document(doc_id).answers())
+            except BaseException as exc:  # noqa: BLE001
+                _send_err(conn, request_id, exc)
+                continue
+            stream = _WorkerStream(iterator, chunk_size)
+            stream.credit = credit
+            streams[request_id] = stream
+            _pump_stream(conn, streams, request_id)
+        elif op == "stream_credit":
+            stream = streams.get(request_id)
+            if stream is not None:  # closed/errored streams ignore late credit
+                stream.credit += message[2]
+                _pump_stream(conn, streams, request_id)
+        elif op == "stream_close":
+            streams.pop(request_id, None)  # no reply: close is fire-and-forget
+        else:
+            try:
+                conn.send((request_id, "ok", _handle_request(store, queries_by_digest, op, message[2:])))
+            except BaseException as exc:  # noqa: BLE001 — every failure travels back
+                _send_err(conn, request_id, exc)
     conn.close()
 
 
+# ============================================================== parent side
+class ShardStream:
+    """Parent-side handle of one push stream (chunks buffered until read)."""
+
+    __slots__ = ("shard", "request_id", "chunks", "error", "done", "closed", "to_grant")
+
+    def __init__(self, shard: int, request_id: int):
+        self.shard = shard
+        self.request_id = request_id
+        self.chunks: List[tuple] = []  #: received, not yet consumed (answers, exhausted)
+        self.error: Optional[BaseException] = None
+        self.done = False  #: the worker sent the exhausted chunk or an error
+        self.closed = False  #: the parent abandoned the stream
+        self.to_grant = 0  #: consumed chunks not yet returned as credit
+
+
+class _ShardState:
+    """Parent-side bookkeeping of one worker: pipe, process, pending replies."""
+
+    __slots__ = (
+        "conn",
+        "process",
+        "pending",
+        "inflight",
+        "streams",
+        "deferred_closes",
+        "dead",
+        "requests_sent",
+        "replies_received",
+        "stream_chunks",
+        "stream_round_trips",
+    )
+
+    def __init__(self, conn, process):
+        self.conn = conn
+        self.process = process
+        self.pending: Dict[int, tuple] = {}  #: request_id → (status, payload)
+        self.inflight: Dict[int, str] = {}  #: request_id → op (awaiting reply)
+        self.streams: Dict[int, ShardStream] = {}
+        self.deferred_closes: List[int] = []
+        self.dead = False
+        self.requests_sent = 0
+        self.replies_received = 0
+        self.stream_chunks = 0
+        self.stream_round_trips = 0
+
+
 class ShardPool:
-    """``N`` worker processes, each owning a LocalStore, addressed by index."""
+    """``N`` worker processes, each owning a LocalStore, addressed by index.
+
+    The pool is a pure message router: :meth:`submit` sends a tagged request
+    without waiting, :meth:`collect` blocks until *that* request's reply
+    arrives (buffering everything else), and :meth:`request` is the
+    synchronous composition of the two.  Streams are opened with
+    :meth:`stream_open` and consumed chunk by chunk with
+    :meth:`stream_next_chunk`, which replenishes the worker's credit window
+    as chunks are consumed.
+    """
 
     def __init__(
         self,
@@ -139,8 +301,8 @@ class ShardPool:
             raise EngineError(f"a shard pool needs at least one worker, got {workers}")
         context = multiprocessing.get_context(start_method)
         self.start_method = context.get_start_method()
-        self._conns = []
-        self._procs: List[multiprocessing.Process] = []
+        self._shards: List[_ShardState] = []
+        self._request_ids = itertools.count()
         try:
             for index in range(workers):
                 parent_conn, child_conn = context.Pipe()
@@ -152,52 +314,254 @@ class ShardPool:
                 )
                 process.start()
                 child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(process)
+                self._shards.append(_ShardState(parent_conn, process))
         except BaseException:
             self.close()
             raise
         self._closed = False
 
     def __len__(self) -> int:
-        return len(self._procs)
+        return len(self._shards)
 
-    # ---------------------------------------------------------------- request
-    def request(self, shard: int, *request):
-        """Send one request tuple to a shard and return (or raise) its answer."""
+    def is_alive(self, shard: int) -> bool:
+        """Whether a shard has not (yet) been observed dead.
+
+        Death is detected on pipe failures, so a freshly killed worker may
+        still read as alive until the next message to it fails.
+        """
+        return not self._shards[shard].dead
+
+    # ----------------------------------------------------------- plumbing
+    def _death(self, shard: int, doing: str, cause: Optional[BaseException]) -> ShardDiedError:
+        """Mark a shard dead and build the precise error for it."""
+        state = self._shards[shard]
+        state.dead = True
+        # In-flight requests can never be answered now; dropping them keeps
+        # the queue-depth counters honest (already-received replies stay
+        # collectable from ``pending``).
+        state.inflight.clear()
+        for stream in state.streams.values():
+            stream.done = True
+            if stream.error is None:
+                stream.error = ShardDiedError(f"shard worker {shard} died mid-stream")
+        process = state.process
+        error = ShardDiedError(
+            f"shard worker {shard} (pid {process.pid}, exitcode {process.exitcode}) "
+            f"died while {doing}"
+        )
+        if cause is not None:
+            error.__cause__ = cause
+        return error
+
+    def _check_shard(self, shard: int) -> _ShardState:
         if getattr(self, "_closed", True):
             raise EngineError("the engine's worker pool is closed")
-        conn = self._conns[shard]
+        state = self._shards[shard]
+        if state.dead:
+            raise ShardDiedError(
+                f"shard worker {shard} (pid {state.process.pid}, exitcode "
+                f"{state.process.exitcode}) is dead; its documents are unreachable"
+            )
+        return state
+
+    def _send(self, shard: int, message: tuple, doing: str) -> None:
+        state = self._check_shard(shard)
+        if state.deferred_closes:
+            closes, state.deferred_closes = state.deferred_closes, []
+            for request_id in closes:
+                try:
+                    state.conn.send((request_id, "stream_close"))
+                except (BrokenPipeError, OSError):
+                    break  # the real send below reports the death precisely
         try:
-            conn.send(request)
-            status, payload = conn.recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            process = self._procs[shard]
-            raise EngineError(
-                f"shard worker {shard} (pid {process.pid}, "
-                f"exitcode {process.exitcode}) died while handling {request[0]!r}"
-            ) from exc
+            state.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._death(shard, doing, exc) from exc
+
+    def _recv_one(self, shard: int, doing: str) -> None:
+        """Receive one message from a shard and file it where it belongs."""
+        state = self._shards[shard]
+        try:
+            message = state.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._death(shard, doing, exc) from exc
+        request_id, status = message[0], message[1]
+        if status == "chunk":
+            stream = state.streams.get(request_id)
+            state.stream_chunks += 1
+            if stream is None or stream.closed:
+                return  # chunk of an abandoned stream: drop
+            _request_id, _status, answers, exhausted = message
+            stream.chunks.append((answers, exhausted))
+            if exhausted:
+                stream.done = True
+                state.streams.pop(request_id, None)
+            return
+        if request_id in state.streams:
+            # an error reply addressed to a stream (StaleIteratorError, death
+            # of the underlying document, ...): terminate the stream with it
+            stream = state.streams.pop(request_id)
+            stream.error = message[2] if status == "err" else EngineError(
+                f"protocol error: stream {request_id} got a {status!r} reply"
+            )
+            stream.done = True
+            return
+        state.replies_received += 1
+        state.inflight.pop(request_id, None)
+        state.pending[request_id] = (status, message[2] if len(message) > 2 else None)
+
+    # ------------------------------------------------------------- requests
+    def submit(self, shard: int, op: str, *args) -> int:
+        """Send one tagged request without waiting; returns its request id."""
+        state = self._check_shard(shard)
+        request_id = next(self._request_ids)
+        self._send(shard, (request_id, op, *args), f"receiving {op!r}")
+        state.inflight[request_id] = op
+        state.requests_sent += 1
+        return request_id
+
+    def collect(self, shard: int, request_id: int):
+        """Block until the reply with ``request_id`` arrives; return or raise it."""
+        state = self._shards[shard]
+        op = state.inflight.get(request_id, "?")  # before a death clears it
+        while request_id not in state.pending:
+            if state.dead:
+                raise self._death(shard, f"handling {op!r}", None)
+            self._recv_one(shard, f"handling {op!r}")
+        status, payload = state.pending.pop(request_id)
         if status == "err":
             raise payload
         return payload
 
-    def broadcast(self, *request) -> List:
-        """The same request to every shard, answers in shard order."""
-        return [self.request(shard, *request) for shard in range(len(self))]
+    def request(self, shard: int, op: str, *args):
+        """Send one request and wait for its reply (the synchronous path)."""
+        return self.collect(shard, self.submit(shard, op, *args))
 
-    # ------------------------------------------------------------------ close
+    def broadcast(self, op: str, *args, skip_dead: bool = False) -> List:
+        """The same request to every shard, pipelined, answers in shard order.
+
+        All requests are submitted before any reply is collected.  With
+        ``skip_dead=True`` a dead shard — known dead at submit time, or dying
+        before it replies — contributes ``None`` instead of raising, so a
+        monitoring gather survives partial pool death; otherwise the first
+        dead shard raises :class:`~repro.errors.ShardDiedError`.
+        """
+        request_ids: List[Optional[int]] = []
+        for shard in range(len(self)):
+            try:
+                request_ids.append(self.submit(shard, op, *args))
+            except ShardDiedError:
+                if not skip_dead:
+                    raise
+                request_ids.append(None)
+        results: List = []
+        for shard, request_id in enumerate(request_ids):
+            if request_id is None:
+                results.append(None)
+                continue
+            try:
+                results.append(self.collect(shard, request_id))
+            except ShardDiedError:
+                if not skip_dead:
+                    raise
+                results.append(None)
+        return results
+
+    # -------------------------------------------------------------- streams
+    def stream_open(self, shard: int, doc_id, chunk_size: int, credit: int = STREAM_CREDIT) -> ShardStream:
+        """Open a push stream over a document's answers on its shard."""
+        state = self._check_shard(shard)
+        request_id = next(self._request_ids)
+        stream = ShardStream(shard, request_id)
+        state.streams[request_id] = stream
+        self._send(shard, (request_id, "stream_open", doc_id, chunk_size, credit), "opening a stream")
+        state.stream_round_trips += 1
+        return stream
+
+    def stream_next_chunk(self, stream: ShardStream):
+        """The next ``(answers, exhausted)`` chunk of a stream (blocking).
+
+        Returns ``None`` when the stream ended; raises the stream's error
+        (with its original type) when the worker reported one.  Consuming a
+        chunk replenishes the worker's credit window in half-window grants,
+        so a long stream costs one round trip per ``STREAM_CREDIT // 2``
+        chunks instead of one per page.
+        """
+        state = self._shards[stream.shard]
+        while not stream.chunks:
+            if stream.error is not None:
+                error, stream.error = stream.error, None
+                stream.done = True
+                raise error
+            if stream.done:
+                return None
+            if state.dead:
+                raise self._death(stream.shard, "streaming answers", None)
+            self._recv_one(stream.shard, "streaming answers")
+        chunk = stream.chunks.pop(0)
+        stream.to_grant += 1
+        _answers, exhausted = chunk
+        if not exhausted and not stream.done and stream.to_grant >= max(1, STREAM_CREDIT // 2):
+            if not state.dead:
+                self._send(
+                    stream.shard,
+                    (stream.request_id, "stream_credit", stream.to_grant),
+                    "granting stream credit",
+                )
+                state.stream_round_trips += 1
+            stream.to_grant = 0
+        return chunk
+
+    def stream_close(self, stream: ShardStream) -> None:
+        """Abandon a stream.  Safe to call from generator finalizers.
+
+        The actual ``stream_close`` message is *deferred* to the next send on
+        the same shard (or to :meth:`close`): a finalizer may run at any
+        point — including mid-send on the same pipe — so it must not write to
+        the pipe itself.  Chunks still in flight are dropped on receipt.
+        """
+        if stream.closed:
+            return
+        stream.closed = True
+        if self._closed or stream.shard >= len(self._shards):
+            return
+        state = self._shards[stream.shard]
+        live = state.streams.pop(stream.request_id, None)
+        if live is not None and not state.dead and not stream.done:
+            state.deferred_closes.append(stream.request_id)
+
+    # ---------------------------------------------------------------- stats
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard protocol counters (queue depth, in-flight, streaming)."""
+        return [
+            {
+                "alive": not state.dead and state.process.is_alive(),
+                "inflight_requests": len(state.inflight),
+                "queued_replies": len(state.pending),
+                "streams_open": len(state.streams),
+                "requests_sent": state.requests_sent,
+                "replies_received": state.replies_received,
+                "stream_chunks": state.stream_chunks,
+                "stream_round_trips": state.stream_round_trips,
+            }
+            for state in self._shards
+        ]
+
+    # ---------------------------------------------------------------- close
     def close(self, timeout: float = 5.0) -> None:
         """Shut every worker down (graceful close, then terminate stragglers)."""
         self._closed = True
-        for conn in self._conns:
+        for state in self._shards:
+            if state.dead:
+                continue
             try:
-                conn.send(("close",))
+                state.conn.send((next(self._request_ids), "close"))
             except (BrokenPipeError, OSError):
                 pass
-        for process in self._procs:
-            process.join(timeout=timeout)
-            if process.is_alive():  # pragma: no cover — stuck worker
-                process.terminate()
-                process.join(timeout=1.0)
-        for conn in self._conns:
-            conn.close()
+        for state in self._shards:
+            state.process.join(timeout=timeout)
+            if state.process.is_alive():  # pragma: no cover — stuck worker
+                state.process.terminate()
+                state.process.join(timeout=1.0)
+        for state in self._shards:
+            state.conn.close()

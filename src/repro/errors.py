@@ -22,6 +22,7 @@ __all__ = [
     "StaleIteratorError",
     "UnsupportedUpdateError",
     "EngineError",
+    "ShardDiedError",
     "ServingError",
     "CatalogError",
     "CatalogVersionError",
@@ -95,6 +96,16 @@ class EngineError(ReproError):
     """A request to an :class:`repro.Engine` is invalid or cannot be served
     (unknown document id, closed engine, a sharding worker process died,
     mismatched document/query kinds, ...)."""
+
+
+class ShardDiedError(EngineError):
+    """A shard worker process died (broken pipe / unexpected exit) while the
+    engine was talking to it.  The message names the shard, its pid and exit
+    code, and what the engine was doing — for a batch ingest, the document
+    ids that were in flight.  Raised parent-side by the shard pool, which is
+    what distinguishes it from application errors a *live* worker sent back
+    (those are re-raised with their original types).  The surviving shards
+    stay usable."""
 
 
 class ServingError(EngineError):

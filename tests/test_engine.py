@@ -36,6 +36,7 @@ import pytest
 import repro
 from repro import (
     BackendError,
+    CatalogError,
     CatalogVersionError,
     CursorInvalidatedError,
     Engine,
@@ -43,6 +44,7 @@ from repro import (
     InvalidEditError,
     ReproError,
     ServingError,
+    ShardDiedError,
     StaleIteratorError,
 )
 from repro.automata.queries import select_descendant_pairs, select_labeled
@@ -404,6 +406,399 @@ class TestSharding:
             single_answers = canonical(doc.stream())
         with Engine() as local:
             assert canonical(local.add_word("abaa", word_query()).stream()) == single_answers
+
+
+# ================================================== pipelined shard protocol
+class TestPipelinedIngest:
+    """`add_documents`: one batch per shard, all batches in flight at once."""
+
+    def test_batch_matches_sequential_adds_and_order(self, tmp_path):
+        trees = [random_tree(40, LABELS, seed) for seed in range(5)]
+        query = tree_query()
+        with Engine(catalog=tmp_path / "a", workers=2) as engine:
+            docs = engine.add_documents(trees, query, doc_ids=[10, 11, 12, 13, 14])
+            assert [doc.doc_id for doc in docs] == [10, 11, 12, 13, 14]
+            batched = [canonical(doc.stream()) for doc in docs]
+            assert all(doc.epoch == 0 for doc in docs)
+        with Engine(catalog=tmp_path / "b", workers=2) as engine:
+            docs = [engine.add_tree(tree, query) for tree in trees]
+            assert batched == [canonical(doc.stream()) for doc in docs]
+        with Engine() as engine:
+            docs = engine.add_documents(trees, query)  # LocalStore facade
+            assert batched == [canonical(doc.stream()) for doc in docs]
+
+    def test_mixed_kinds_and_per_item_queries(self):
+        with Engine(workers=2) as engine:
+            docs = engine.add_documents(
+                [random_tree(20, LABELS, 1), "abaab", list("aabb")],
+                queries=[tree_query(), word_query(), word_query()],
+            )
+            assert [doc.kind for doc in docs] == ["tree", "word", "word"]
+            with Engine() as single:
+                singles = single.add_documents(
+                    [random_tree(20, LABELS, 1), "abaab", list("aabb")],
+                    queries=[tree_query(), word_query(), word_query()],
+                )
+                for sharded_doc, local_doc in zip(docs, singles):
+                    assert canonical(sharded_doc.stream()) == canonical(local_doc.stream())
+
+    def test_duplicate_ids_fail_fast_before_any_work(self):
+        trees = [random_tree(20, LABELS, seed) for seed in range(3)]
+        with Engine(workers=1) as engine:
+            engine.add_tree(trees[0], tree_query(), doc_id="taken")
+            with pytest.raises(ServingError, match="already in use"):
+                engine.add_documents(trees, tree_query(), doc_ids=["x", "taken", "y"])
+            # parent-side validation rejects the batch before shipping it
+            assert engine.doc_ids() == ["taken"]
+
+    def test_worker_side_item_failure_keeps_earlier_documents(self):
+        """A failure only the worker can see: the batch reply names it,
+        earlier items stay registered, the original type is re-raised."""
+        trees = [random_tree(20, LABELS, seed) for seed in range(3)]
+        with Engine(workers=1) as engine:
+            compiled = engine.compile(tree_query())
+            # plant a document in the worker the parent does not know about
+            engine._pool.request(
+                0,
+                "add_batch",
+                [("ghost", "tree", trees[0], compiled.source, compiled.digest)],
+            )
+            with pytest.raises(ServingError, match="already in use"):
+                engine.add_documents(trees, compiled, doc_ids=["x", "ghost", "y"])
+            # the item before the collision was added and is usable
+            assert "x" in engine
+            assert canonical(engine.document("x").stream())
+            assert "y" not in engine and "ghost" not in engine
+
+    def test_bad_arguments(self):
+        with Engine() as engine:
+            with pytest.raises(EngineError, match="needs a query"):
+                engine.add_documents(["ab"])
+            with pytest.raises(EngineError, match="differ in length"):
+                engine.add_documents(["ab"], word_query(), doc_ids=[1, 2])
+            with pytest.raises(EngineError, match="differ in length"):
+                engine.add_documents(["ab"], queries=[word_query(), word_query()])
+
+    def test_local_store_batch_facade(self):
+        """LocalStore.add_documents: the same batch entry point a worker has."""
+        from repro.engine.local import LocalStore
+
+        store = LocalStore()
+        docs = store.add_documents(
+            [random_tree(20, LABELS, 1), "abaab"],
+            queries=[tree_query(), word_query()],
+            doc_ids=["t", "w"],
+        )
+        assert [doc.doc_id for doc in docs] == ["t", "w"]
+        assert [doc.kind for doc in docs] == ["tree", "word"]
+        with pytest.raises(ServingError, match="needs a query"):
+            store.add_documents(["ab"])
+        with pytest.raises(ServingError, match="differ in length"):
+            store.add_documents(["ab"], word_query(), doc_ids=[1, 2])
+
+    def test_remove_invalidates_live_streams_in_both_modes(self):
+        tree = random_tree(80, LABELS, 3)
+        for workers in (0, 1):
+            with Engine(workers=workers) as engine:
+                doc = engine.add_tree(tree, tree_query())
+                stream = doc.stream()
+                next(stream)
+                doc.remove()
+                with pytest.raises(StaleIteratorError):
+                    list(stream)
+
+    def test_remove_invalidates_unadvanced_streams_too(self):
+        """The base epoch/version is captured at stream *creation*: a stream
+        never advanced before the removal must not serve the dropped
+        document's answers — identically in both modes."""
+        tree = random_tree(80, LABELS, 3)
+        for workers in (0, 1):
+            with Engine(workers=workers) as engine:
+                doc = engine.add_tree(tree, tree_query())
+                stream = doc.stream()  # created, never advanced
+                doc.remove()
+                with pytest.raises(StaleIteratorError):
+                    next(stream)
+
+
+class TestStreamingProtocol:
+    """Sharded stream(): worker-pushed chunks under credit, not page loops."""
+
+    def test_large_stream_fewer_round_trips_than_chunks(self):
+        tree = random_tree(300, LABELS, 3)
+        query = select_descendant_pairs(LABELS)
+        with Engine(workers=1) as engine:
+            doc = engine.add_tree(tree, query)
+            answers = list(doc.stream())
+            stats = engine.stats()
+        streaming = stats["streaming"]
+        assert len(answers) > 4 * streaming["chunk_size"]  # a genuinely big set
+        assert streaming["chunks"] >= 5
+        # the acceptance gate: pushed chunks beat one round trip per page
+        assert streaming["round_trips"] < streaming["chunks"]
+        with Engine() as single:
+            assert canonical(answers) == canonical(single.add_tree(tree, query).stream())
+
+    def test_stream_stale_after_any_edit_matches_local_semantics(self):
+        tree = random_tree(120, LABELS, 4)
+        leaf = next(n for n in tree.nodes() if n.is_leaf())
+        for workers in (0, 1):
+            with Engine(workers=workers) as engine:
+                doc = engine.add_tree(tree, tree_query())
+                stream = doc.stream()
+                first = next(stream)
+                doc.apply_edits([Relabel(leaf.node_id, "b")])
+                with pytest.raises(StaleIteratorError):
+                    list(stream)
+                # a fresh stream serves the updated document
+                fresh = list(doc.stream())
+                assert first is not None and fresh is not None
+
+    def test_concurrent_streams_demultiplex_by_request_id(self):
+        """Chunks of two streams on one shard interleave; answers must not mix."""
+        trees = [random_tree(200, LABELS, seed) for seed in (7, 8)]
+        query = select_descendant_pairs(LABELS)
+        with Engine() as single:
+            expected = [canonical(single.add_tree(t, query).stream()) for t in trees]
+        with Engine(workers=1) as engine:  # both documents on the same shard
+            doc_a, doc_b = engine.add_documents(trees, query)
+            stream_a = doc_a.stream()
+            stream_b = doc_b.stream()
+            first_a = next(stream_a)  # opens A, worker pushes A-chunks
+            # B opened second, read first: its chunks arrive behind A's
+            collected_b = list(stream_b)
+            collected_a = [first_a, *stream_a]
+            assert canonical(collected_a) == expected[0]
+            assert canonical(collected_b) == expected[1]
+
+    def test_out_of_order_reply_collection(self):
+        with Engine(workers=2) as engine:
+            docs = engine.add_documents(
+                [random_tree(30, LABELS, seed) for seed in range(4)], tree_query()
+            )
+            pool = engine._pool
+            # same shard: two requests in flight, collected in reverse order
+            shard = engine._shard_of[docs[0].doc_id]
+            doc_on_shard = [d.doc_id for d in docs if engine._shard_of[d.doc_id] == shard]
+            first = pool.submit(shard, "epoch", doc_on_shard[0])
+            second = pool.submit(shard, "stats")
+            stats_payload = pool.collect(shard, second)  # buffers the epoch reply
+            assert stats_payload["documents"] == len(doc_on_shard)
+            assert pool.collect(shard, first) == 0
+            # across shards: submit everywhere, collect in reverse shard order
+            ids = [pool.submit(s, "stats") for s in range(len(pool))]
+            payloads = [pool.collect(s, rid) for s, rid in reversed(list(enumerate(ids)))]
+            assert sum(p["documents"] for p in payloads) == len(docs)
+
+
+class TestProtocolFaults:
+    """Worker death: precise errors, no hangs, surviving shards stay usable."""
+
+    @staticmethod
+    def _kill_worker(engine, shard):
+        process = engine._pool._shards[shard].process
+        process.kill()
+        process.join(timeout=5.0)
+
+    def test_kill_mid_stream_raises_precise_error_no_hang(self):
+        tree = random_tree(400, LABELS, 5)
+        query = select_descendant_pairs(LABELS)
+        with Engine(workers=1) as engine:
+            doc = engine.add_tree(tree, query)
+            stream = doc.stream()
+            next(stream)
+            self._kill_worker(engine, 0)
+            with pytest.raises(ShardDiedError, match="shard worker 0"):
+                list(stream)  # buffered chunks may drain; then the death error
+            with pytest.raises(ShardDiedError, match="dead"):
+                doc.count()  # the dead shard stays precisely unusable
+
+    def test_kill_mid_batch_add_names_document_ids(self):
+        trees = [random_tree(25, LABELS, seed) for seed in range(4)]
+        with Engine(workers=2) as engine:
+            engine.add_tree(random_tree(10, LABELS, 0), tree_query())  # warm shard 0
+            self._kill_worker(engine, 1)
+            with pytest.raises(ShardDiedError, match=r"document ids") as excinfo:
+                engine.add_documents(trees, tree_query(), doc_ids=["a", "b", "c", "d"])
+            # round-robin placement after the warm-up add: the dead shard 1
+            # held exactly the documents 'a' and 'c'
+            assert "'a'" in str(excinfo.value) and "'c'" in str(excinfo.value)
+            # the other half of the batch landed on the living shard
+            assert "b" in engine and "d" in engine
+
+    def test_pool_survives_one_dead_worker(self):
+        alive_tree = random_tree(30, LABELS, 1)
+        with Engine(workers=2) as engine:
+            alive = engine.add_tree(alive_tree, tree_query())  # shard 0
+            victim = engine.add_tree(random_tree(30, LABELS, 2), tree_query())  # shard 1
+            before = canonical(alive.stream())
+            self._kill_worker(engine, 1)
+            with pytest.raises(ShardDiedError):
+                victim.count()
+            # the surviving shard still serves, edits and pages
+            assert canonical(alive.stream()) == before
+            leaf = next(n.node_id for n in alive_tree.nodes() if n.is_leaf())
+            assert alive.apply_edits([Relabel(leaf, "b")]).epoch == 1
+            page = alive.page(page_size=5)
+            assert len(page.answers) <= 5
+            # new documents route around the dead shard
+            rerouted = engine.add_documents(
+                [random_tree(15, LABELS, seed) for seed in range(3)], tree_query()
+            )
+            assert [engine._shard_of[d.doc_id] for d in rerouted] == [0, 0, 0]
+            stats = engine.stats()
+            assert stats["per_shard"][1] is None  # dead shard: numbers gone
+            assert stats["shards"][1]["alive"] is False
+            # no phantom in-flight work left behind by the dead shard
+            assert stats["shards"][1]["inflight_requests"] == 0
+            assert stats["queue_depth"] == 0
+
+    def test_failed_edit_batch_resyncs_epoch_mirror(self):
+        tree = tree_of_shape("random", 60, LABELS, 9)
+        with Engine(workers=1) as engine:
+            doc = engine.add_tree(tree, tree_query())
+            leaf = next(n for n in tree.nodes() if n.is_leaf())
+            root_id = tree.root.node_id
+            stream = doc.stream()
+            next(stream)
+            with pytest.raises(InvalidEditError):
+                # first edit applies, second is invalid: a *partial* batch —
+                # the epoch still advances inside the worker
+                doc.apply_edits([Relabel(leaf.node_id, "b"), Delete(root_id)])
+            assert doc.epoch == 1  # mirror resynced from the worker
+            with pytest.raises(StaleIteratorError):
+                list(stream)  # the partial batch made the stream stale
+
+
+def _isolated_answers_tree():
+    """A document whose 'a'-answers all live in one region (the c-subtree)."""
+    nested = (
+        "r",
+        [
+            ("c", [("a", ["a", "a"]), ("a", ["a", "a", "a"]), ("a", ["a"])]),
+            ("d", [("b", ["b", "b"]), ("b", ["b", "b"]), ("b", ["b"]), "b"]),
+        ],
+    )
+    return UnrankedTree.from_nested(nested)
+
+
+ISOLATED_LABELS = ("r", "c", "d", "a", "b")
+
+
+class TestResumeRateCounter:
+    """`cursors_resumed_across_edit_batches`: the measured cursor resume rate."""
+
+    @staticmethod
+    def _probe_targets(tree, query):
+        """Find, in a scratch local store, (resume_target, invalidate_target):
+        a b-node whose relabel trunk is provably disjoint from a freshly
+        fetched page-3 cursor, and an a-leaf (whose trunk always conflicts
+        with the answers the cursor still has to read)."""
+        from repro.engine.local import LocalStore
+
+        store = LocalStore()
+        doc = store.add_tree(tree.copy(), query)
+        cursor = doc.open_cursor(page_size=3)
+        cursor.fetch()
+        resume_target = next(
+            node.node_id
+            for node in doc.enumerator.tree.nodes()
+            if not node.is_root()
+            and node.label == "b"
+            and not store.would_invalidate(doc.doc_id, cursor, node.node_id)
+        )
+        invalidate_target = next(
+            node.node_id
+            for node in doc.enumerator.tree.nodes()
+            if node.label == "a" and node.is_leaf()
+        )
+        return resume_target, invalidate_target
+
+    def _orchestrate(self, engine):
+        """One resume + one invalidation, deterministically; returns reports."""
+        tree = _isolated_answers_tree()
+        query = select_labeled("a", ISOLATED_LABELS)
+        resume_target, invalidate_target = self._probe_targets(tree, query)
+        doc = engine.add_tree(tree, query)
+        page = doc.page(page_size=3)
+        resumed = invalidated = 0
+        report = doc.apply_edits([Relabel(resume_target, "b")])
+        resumed += report.cursors_resumed
+        invalidated += report.cursors_invalidated
+        page = doc.page(cursor=page)  # the resumed cursor keeps paging
+        report = doc.apply_edits([Relabel(invalidate_target, "a")])
+        resumed += report.cursors_resumed
+        invalidated += report.cursors_invalidated
+        with pytest.raises(CursorInvalidatedError):
+            doc.page(cursor=page)
+        return resumed, invalidated
+
+    def test_counter_matches_orchestrated_reports_local(self):
+        with Engine() as engine:
+            resumed, invalidated = self._orchestrate(engine)
+            stats = engine.stats()
+        assert (resumed, invalidated) == (1, 1)  # the scenario exercises both
+        assert stats["cursors_resumed_across_edit_batches"] == resumed
+        assert stats["cursors_invalidated"] == invalidated
+
+    def test_counter_merges_across_shards(self):
+        with Engine(workers=2) as engine:
+            totals = [self._orchestrate(engine) for _ in range(2)]  # one per shard
+            stats = engine.stats()
+        assert totals == [(1, 1), (1, 1)]
+        assert stats["cursors_resumed_across_edit_batches"] == 2
+        assert stats["cursors_invalidated"] == 2
+
+
+# ============================================================ catalog gc race
+class TestCatalogGcRace:
+    def test_truncated_entry_raises_catalog_error_not_json_crash(self, tmp_path):
+        catalog = QueryCatalog(os.fspath(tmp_path))
+        query = tree_query()
+        catalog.save(query)
+        digest = catalog.digest_of(query)
+        with open(catalog.path_of(digest), "w", encoding="utf8") as handle:
+            handle.write('{"format": 1, "kind": "tre')  # a torn write
+        fresh = QueryCatalog(os.fspath(tmp_path))
+        with pytest.raises(CatalogError, match="corrupt"):
+            fresh.load(digest)
+        with pytest.raises(CatalogError, match="corrupt"):
+            fresh.get(query)  # corrupt entries never silently recompile
+
+    def test_entry_collected_by_concurrent_gc_compiles_instead(self, tmp_path):
+        catalog = QueryCatalog(os.fspath(tmp_path))
+        query = tree_query()
+        catalog.save(query)
+        digest = catalog.digest_of(query)
+        fresh = QueryCatalog(os.fspath(tmp_path))
+        os.unlink(fresh.path_of(digest))  # another process gc'd it just now
+        entry = fresh.get(query)  # no exists-probe race left: compiles
+        assert entry.kind == "tree"
+        with pytest.raises(CatalogError, match="concurrent gc"):
+            QueryCatalog(os.fspath(tmp_path)).load(digest)
+
+    def test_gc_on_pre_manifest_catalog(self, tmp_path):
+        catalog = QueryCatalog(os.fspath(tmp_path))
+        keep_query = tree_query()
+        drop_query = select_descendant_pairs(LABELS)
+        catalog.save(keep_query)
+        catalog.save(drop_query)
+        os.unlink(catalog.manifest_path)  # a PR-3-era catalog
+        reopened = QueryCatalog(os.fspath(tmp_path))
+        removed = reopened.gc(keep=[keep_query])
+        assert removed == [reopened.digest_of(drop_query)]
+        assert reopened.load(reopened.digest_of(keep_query), use_cache=False).kind == "tree"
+
+    def test_worker_survives_parent_gc_of_standing_query(self, tmp_path):
+        query = select_descendant_pairs(LABELS)
+        tree = random_tree(40, LABELS, 6)
+        with Engine(catalog=tmp_path / "cat", workers=1) as engine:
+            compiled = engine.compile(query)
+            engine.catalog.gc(keep=[])  # parent collects the digest ...
+            doc = engine.add_tree(tree, compiled)  # ... while the worker needs it
+            sharded = canonical(doc.stream())
+        with Engine() as single:
+            assert sharded == canonical(single.add_tree(tree, query).stream())
 
 
 # =================================================================== catalog

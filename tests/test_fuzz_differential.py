@@ -19,11 +19,32 @@ all three backends at every checkpoint — ``N_SCENARIOS × (N_EDITS + 1) × 3``
 randomized backend-checkpoint cases (288 with the defaults, ≥ 200 required).
 ``TestCircuitLevelDifferential`` adds circuit-level cases comparing the
 mask-native iterator against the generic path, provenance included.
+``TestShardedDifferential`` pins the pipelined shard protocol (PR 5):
+randomized ``Engine(workers=2–3)`` serving scenarios — several documents,
+standing queries, interleaved batched edits, concurrent streams and cursor
+pages — whose full transcripts must be byte-identical to a single-process
+engine, under both the ``fork`` and ``spawn`` start methods.
+
+Environment knobs (used by the scheduled extended-fuzz CI job):
+
+* ``REPRO_FUZZ_SCENARIOS`` — end-to-end scenario count (default 24);
+* ``REPRO_FUZZ_SHARDED_SCENARIOS`` — sharded fork-scenario count (default 4;
+  spawn runs a third of it, minimum one, because each spawn worker boots a
+  fresh interpreter);
+* ``REPRO_FUZZ_SEED`` — base seed offset, rotated by the scheduled job so
+  every week explores fresh cases;
+* ``REPRO_FUZZ_ARTIFACTS`` — when set, a failing sharded scenario is
+  *minimized* (greedy op-dropping while the divergence persists) and written
+  to ``tests/fuzz_artifacts/`` as a self-contained JSON repro.
 """
 
 from __future__ import annotations
 
+import json
+import multiprocessing
+import os
 import random
+import sys
 
 import pytest
 
@@ -49,13 +70,16 @@ from repro.trees.generators import random_tree
 BACKENDS = ("pairs", "matrix", "bitset")
 LABELS = ("a", "b", "c")
 
-N_SCENARIOS = 24
+N_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "24"))
 N_EDITS = 3
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+N_SHARDED = int(os.environ.get("REPRO_FUZZ_SHARDED_SCENARIOS", "4"))
+ARTIFACT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fuzz_artifacts")
 
 
 def _scenario(case: int):
     """A reproducible random (tree, query, edits) triple for one case seed."""
-    rng = random.Random(7000 + case)
+    rng = random.Random(7000 + FUZZ_SEED + case)
     n_vars = rng.choice((1, 1, 2))
     query = random_unranked_tva(
         rng.randrange(10_000),
@@ -103,7 +127,7 @@ class TestCircuitLevelDifferential:
 
     @pytest.mark.parametrize("case", range(15))
     def test_mask_path_matches_generic_with_provenance(self, case):
-        rng = random.Random(9000 + case)
+        rng = random.Random(9000 + FUZZ_SEED + case)
         automaton = homogenize(
             random_binary_tva(
                 rng.randrange(10_000),
@@ -139,7 +163,7 @@ class TestCircuitLevelDifferential:
 
     @pytest.mark.parametrize("case", range(8))
     def test_root_enumeration_matches_dp_oracle(self, case):
-        rng = random.Random(9900 + case)
+        rng = random.Random(9900 + FUZZ_SEED + case)
         automaton = homogenize(
             random_binary_tva(rng.randrange(10_000), n_states=3, variables=("x",))
         )
@@ -151,3 +175,253 @@ class TestCircuitLevelDifferential:
         produced = list(CircuitEnumerator(circuit, build=False).assignments())
         assert len(produced) == len(set(produced))
         assert set(produced) == binary_satisfying_assignments(automaton, tree)
+
+
+# ===================================================== sharded differential
+def _ordered_answers(answers):
+    """Order-preserving canonical text of an answer sequence.
+
+    Unlike a sorted canonicalization, this pins the *order* the engine
+    produced the answers in — the sharded engine must reproduce the
+    single-process stream byte for byte, not just as a set.
+    """
+    return json.dumps(
+        [sorted([str(var), pos] for var, pos in answer) for answer in answers],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _sharded_scenario(case_seed: int):
+    """Build one reproducible sharded serving scenario from its seed.
+
+    Returns ``(workers, trees, queries, doc_query, ops)`` where ``ops`` is a
+    replayable schedule of ``("edits", doc, batch)``, ``("page", doc)`` and
+    ``("stream", doc, n)`` events.  Edit batches are generated against
+    reference copies that evolve alongside, so every edit is valid at its
+    point in the schedule whatever engine replays it.
+    """
+    rng = random.Random(31000 + case_seed)
+    workers = rng.choice((2, 3))
+    n_docs = rng.randint(3, 5)
+    queries = [
+        random_unranked_tva(
+            rng.randrange(10_000),
+            n_states=rng.choice((2, 3)),
+            variables=("x", "y")[: rng.choice((1, 1, 2))],
+            initial_density=rng.uniform(0.3, 0.7),
+            delta_density=rng.uniform(0.2, 0.5),
+        )
+        for _ in range(rng.choice((1, 2)))
+    ]
+    trees = [
+        random_tree(rng.randint(5, 10), LABELS, seed=rng.randrange(10_000))
+        for _ in range(n_docs)
+    ]
+    doc_query = [rng.randrange(len(queries)) for _ in range(n_docs)]
+    references = [tree.copy() for tree in trees]
+    ops = []
+    for _ in range(rng.randint(10, 16)):
+        kind = rng.choice(("edits", "page", "page", "stream", "stream"))
+        doc = rng.randrange(n_docs)
+        if kind == "edits":
+            batch = random_edit_sequence(
+                references[doc], LABELS, rng.randint(1, 2), seed=rng.randrange(10_000)
+            )
+            for edit in batch:
+                edit.apply_to_tree(references[doc])
+            ops.append(("edits", doc, batch))
+        elif kind == "page":
+            ops.append(("page", doc))
+        else:
+            ops.append(("stream", doc, rng.randint(1, 6)))
+    return workers, trees, queries, doc_query, ops
+
+
+def _replay_transcript(trees, queries, doc_query, ops, keep=None, **engine_kwargs):
+    """Replay a scenario schedule on one engine; return the full transcript.
+
+    The transcript records every observable: epochs, per-batch rebuild and
+    cursor-resume/invalidate counts, page contents/offsets/exhaustion,
+    cursor invalidation reports, stream segments in production order with
+    their end status, and the final answers + epoch of every document.
+    """
+    from repro import CursorInvalidatedError, Engine, ReproError, StaleIteratorError
+
+    transcript = []
+    with Engine(**engine_kwargs) as engine:
+        docs = engine.add_documents(
+            trees,
+            queries=[queries[index] for index in doc_query],
+            doc_ids=list(range(len(trees))),
+        )
+        pages = {}
+        streams = {}
+        for op_index, op in enumerate(ops):
+            if keep is not None and op_index not in keep:
+                continue
+            kind, doc_index = op[0], op[1]
+            doc = docs[doc_index]
+            if kind == "edits":
+                try:
+                    report = doc.apply_edits(op[2])
+                except ReproError as exc:
+                    # Minimization may drop a batch whose Insert created the
+                    # node a later batch edits; the failure is deterministic
+                    # (both engines replay the same schedule), so record it
+                    # as a transcript event instead of aborting the replay.
+                    transcript.append(
+                        ("edits-error", doc_index, type(exc).__name__, doc.epoch)
+                    )
+                    continue
+                transcript.append(
+                    (
+                        "edits",
+                        doc_index,
+                        report.epoch,
+                        report.boxes_rebuilt,
+                        report.cursors_resumed,
+                        report.cursors_invalidated,
+                    )
+                )
+            elif kind == "page":
+                previous = pages.get(doc_index)
+                try:
+                    if previous is None or previous.exhausted:
+                        page = doc.page(page_size=3)
+                    else:
+                        page = doc.page(cursor=previous)
+                    transcript.append(
+                        (
+                            "page",
+                            doc_index,
+                            _ordered_answers(page.answers),
+                            page.offset,
+                            page.exhausted,
+                            page.epoch,
+                        )
+                    )
+                    pages[doc_index] = page
+                except CursorInvalidatedError as exc:
+                    transcript.append(
+                        ("cursor-invalidated", doc_index, exc.report.answers_delivered)
+                    )
+                    pages[doc_index] = None
+            else:
+                wanted = op[2]
+                iterator = streams.get(doc_index)
+                if iterator is None:
+                    iterator = iter(doc.stream())
+                    streams[doc_index] = iterator
+                collected = []
+                status = "open"
+                try:
+                    for _ in range(wanted):
+                        collected.append(next(iterator))
+                except StopIteration:
+                    status = "end"
+                    streams[doc_index] = None
+                except StaleIteratorError:
+                    status = "stale"
+                    streams[doc_index] = None
+                transcript.append(
+                    ("stream", doc_index, _ordered_answers(collected), status)
+                )
+        for doc_index, doc in enumerate(docs):
+            transcript.append(
+                ("final", doc_index, _ordered_answers(doc.stream()), doc.epoch)
+            )
+    return transcript
+
+
+def _transcripts(case_seed: int, start_method, keep=None):
+    workers, trees, queries, doc_query, ops = _sharded_scenario(case_seed)
+    sharded = _replay_transcript(
+        trees, queries, doc_query, ops, keep=keep,
+        workers=workers, start_method=start_method,
+    )
+    single = _replay_transcript(trees, queries, doc_query, ops, keep=keep)
+    return sharded, single, len(ops)
+
+
+def _minimize_failing_ops(case_seed: int, start_method, n_ops: int, budget: int = 40):
+    """Greedy ddmin-lite: drop ops one by one while the divergence persists."""
+    keep = list(range(n_ops))
+    changed = True
+    while changed and budget > 0:
+        changed = False
+        for op_index in list(keep):
+            if budget <= 0:
+                break
+            trial = [k for k in keep if k != op_index]
+            budget -= 1
+            sharded, single, _ = _transcripts(case_seed, start_method, keep=trial)
+            if sharded != single:
+                keep = trial
+                changed = True
+    return keep
+
+
+def _write_repro_artifact(case_seed: int, start_method, keep, sharded, single) -> str:
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    workers, trees, _queries, doc_query, ops = _sharded_scenario(case_seed)
+    first_diff = next(
+        (i for i, (a, b) in enumerate(zip(sharded, single)) if a != b),
+        min(len(sharded), len(single)),
+    )
+    path = os.path.join(ARTIFACT_DIR, f"sharded_case_{case_seed}_{start_method}.json")
+    with open(path, "w", encoding="utf8") as handle:
+        json.dump(
+            {
+                "case_seed": case_seed,
+                "start_method": start_method,
+                "workers": workers,
+                "doc_sizes": [tree.size() for tree in trees],
+                "doc_query": doc_query,
+                "kept_op_indices": keep,
+                "kept_ops": [
+                    (op[0], op[1]) + ((len(op[2]),) if op[0] == "edits" else op[2:])
+                    for i, op in enumerate(ops)
+                    if i in set(keep)
+                ],
+                "first_divergent_entry": first_diff,
+                "sharded_entry": sharded[first_diff] if first_diff < len(sharded) else None,
+                "single_entry": single[first_diff] if first_diff < len(single) else None,
+                "repro": (
+                    "PYTHONPATH=src python -c \"import sys; sys.path.insert(0, 'tests'); "
+                    "import test_fuzz_differential as f; "
+                    f"print(f._transcripts({case_seed}, {start_method!r}, keep={keep})[0])\""
+                ),
+            },
+            handle,
+            indent=2,
+        )
+    return path
+
+
+def _sharded_cases():
+    fork_cases = [("fork", index) for index in range(N_SHARDED)]
+    spawn_cases = [("spawn", index) for index in range(max(1, N_SHARDED // 3))]
+    return fork_cases + spawn_cases
+
+
+class TestShardedDifferential:
+    """Pipelined shard protocol vs the single-process oracle, transcript-exact."""
+
+    @pytest.mark.parametrize("start_method,case", _sharded_cases())
+    def test_sharded_transcript_matches_single_process(self, start_method, case):
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {start_method} unavailable on {sys.platform}")
+        case_seed = FUZZ_SEED + case
+        sharded, single, n_ops = _transcripts(case_seed, start_method)
+        if sharded != single and os.environ.get("REPRO_FUZZ_ARTIFACTS"):
+            keep = _minimize_failing_ops(case_seed, start_method, n_ops)
+            sharded_min, single_min, _ = _transcripts(case_seed, start_method, keep=keep)
+            path = _write_repro_artifact(
+                case_seed, start_method, keep, sharded_min, single_min
+            )
+            pytest.fail(
+                f"sharded transcript diverged from single-process "
+                f"(seed {case_seed}, {start_method}); minimized repro: {path}"
+            )
+        assert sharded == single
