@@ -7,16 +7,22 @@
 PYTHON ?= python
 PYPATH := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
+# When pytest-timeout is installed (CI always installs it), cap every test:
+# a protocol wait that ignores its deadline must fail loudly, not hang the
+# run.  Without the plugin, tests/conftest.py still enforces the explicit
+# @pytest.mark.timeout markers via SIGALRM.
+PYTEST_TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=300 --timeout-method=thread")
+
 .PHONY: check test test-engine-strict lint bench-smoke bench
 
 test:
-	$(PYPATH) $(PYTHON) -m pytest -x -q
+	$(PYPATH) $(PYTHON) -m pytest -x -q $(PYTEST_TIMEOUT_FLAGS)
 
 # The engine test module runs a second time with DeprecationWarning promoted
 # to an error: new code cannot silently call the deprecated shims
 # (TreeEnumerator / WordEnumerator / DocumentStore).
 test-engine-strict:
-	$(PYPATH) $(PYTHON) -m pytest tests/test_engine.py -q -W error::DeprecationWarning
+	$(PYPATH) $(PYTHON) -m pytest tests/test_engine.py -q -W error::DeprecationWarning $(PYTEST_TIMEOUT_FLAGS)
 
 # Lint (requires ruff; CI installs it — locally skipped when absent, but a
 # real ruff failure propagates).

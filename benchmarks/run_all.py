@@ -268,7 +268,7 @@ HEAVY_SERVING_QUERY = "nondet-6"
 
 def _serving_traffic_run(
     engine, trees, queries, doc_edits, rounds, page_size, pages_per_round, edits_per_batch,
-    batched_ingest=False,
+    batched_ingest=False, kill_shard_after=None,
 ):
     """Drive one engine (local or sharded) through the serving traffic.
 
@@ -281,6 +281,11 @@ def _serving_traffic_run(
     ``engine.add_documents`` call (the pipelined path: one batch per shard,
     every batch in flight at once) instead of one synchronous ``add_tree``
     round trip per document; ``ingest_total_s`` measures whichever path ran.
+
+    ``kill_shard_after=(n, shard)`` SIGKILLs one worker after the n-th
+    traffic event (failover measurement for replicated engines): the
+    schedule, and the final answers, must be unaffected — only the wall
+    clock (``traffic_total_s``) may pay for the failover and rebuild.
     """
     from repro.errors import CursorInvalidatedError
 
@@ -311,7 +316,14 @@ def _serving_traffic_run(
     page_times = []
     edit_pos = {doc.doc_id: 0 for doc in docs}
     n_docs = len(docs)
-    for kind, doc_index in serving_traffic(n_docs, rounds, seed=SEED + 5):
+    traffic_start = time.perf_counter()
+    for event_index, (kind, doc_index) in enumerate(
+        serving_traffic(n_docs, rounds, seed=SEED + 5)
+    ):
+        if kill_shard_after is not None and event_index == kill_shard_after[0]:
+            process = engine._pool._shards[kill_shard_after[1]].process
+            process.kill()
+            process.join(timeout=10.0)
         doc = docs[doc_index]
         if kind == "edit":
             pos = edit_pos[doc.doc_id]
@@ -341,6 +353,7 @@ def _serving_traffic_run(
                 if reopened:
                     opened += 1
                 pages[doc.doc_id] = page
+    traffic_total_s = time.perf_counter() - traffic_start
     final_answers = {
         doc.doc_id: sorted(
             sorted([str(var), str(pos)] for var, pos in answer) for answer in doc.stream()
@@ -350,6 +363,7 @@ def _serving_traffic_run(
     return {
         "doc_build_median_s": statistics.median(build_times),
         "ingest_total_s": ingest_total_s,
+        "traffic_total_s": traffic_total_s,
         "edit_batch_median_s": statistics.median(edit_times) if edit_times else None,
         "page_fetch_median_s": statistics.median(page_times) if page_times else None,
         "cursors": {
@@ -493,9 +507,41 @@ def bench_serving(
                 "chunks": after["chunks"] - before["chunks"],
                 "round_trips": after["round_trips"] - before["round_trips"],
             }
+        # -- replicated variant (PR 6): the same traffic on a fault-tolerant
+        #    fleet (replicas=2), once clean and once with a worker SIGKILL'd
+        #    mid-traffic — the failover/rebuild cost shows up only as wall
+        #    clock, never in the answers.
+        replica_workers = max(3, shard_workers)
+        _clear_query_caches()
+        with Engine(catalog=catalog_dir, workers=replica_workers, replicas=2) as engine:
+            replicated = _serving_traffic_run(
+                engine, trees, queries, doc_edits, rounds, page_size, pages_per_round,
+                edits_per_batch, batched_ingest=True,
+            )
+        _clear_query_caches()
+        n_events = rounds * 2  # edit + page events per round, roughly
+        with Engine(catalog=catalog_dir, workers=replica_workers, replicas=2) as engine:
+            failover = _serving_traffic_run(
+                engine, trees, queries, doc_edits, rounds, page_size, pages_per_round,
+                edits_per_batch, batched_ingest=True,
+                kill_shard_after=(max(1, n_events // 3), 0),
+            )
+            engine.await_repairs()
+            fleet_stats = engine.stats()
+            failover_counters = {
+                key: fleet_stats[key]
+                for key in (
+                    "deaths_total",
+                    "failovers_total",
+                    "migrations_total",
+                    "timeouts_total",
+                )
+            }
         single_final = single.pop("final_answers")
         answers_match = single_final == sharded.pop("final_answers")
         pipelined_match = single_final == pipelined.pop("final_answers")
+        replicated_match = single_final == replicated.pop("final_answers")
+        failover_match = single_final == failover.pop("final_answers")
     finally:
         shutil.rmtree(catalog_dir, ignore_errors=True)
 
@@ -564,6 +610,29 @@ def bench_serving(
             },
             "answers_match_single_process": pipelined_match,
         },
+        "replicated": {
+            "workers": replica_workers,
+            "replicas": 2,
+            "ingest_total_s": replicated["ingest_total_s"],
+            "traffic_total_s": replicated["traffic_total_s"],
+            "edit_batch_median_s": replicated["edit_batch_median_s"],
+            "page_fetch_median_s": replicated["page_fetch_median_s"],
+            "answers_match_single_process": replicated_match,
+            # one worker SIGKILL'd a third of the way through the schedule:
+            # the overhead ratio is the failover + background-rebuild cost
+            # relative to the clean replicated run (gated by the smoke)
+            "failover": {
+                "killed_shard": 0,
+                "traffic_total_s": failover["traffic_total_s"],
+                "overhead_vs_clean": (
+                    failover["traffic_total_s"] / replicated["traffic_total_s"]
+                    if replicated["traffic_total_s"]
+                    else float("inf")
+                ),
+                "answers_match_single_process": failover_match,
+                **failover_counters,
+            },
+        },
     }
 
 
@@ -612,6 +681,16 @@ DELAY_REGRESSION_SLACK = 2.0
 #: of the bitset delay median (it hands back the runtime's own iterator, so
 #: the honest expectation is ~0%).
 ENGINE_FACADE_SLACK = 1.05
+
+#: Killing one worker of the replicated fleet mid-traffic may cost failover
+#: retries and the background rebuild, but must not balloon the traffic wall
+#: clock: the with-kill run is budgeted at this factor over the clean
+#: replicated run...
+FAILOVER_OVERHEAD_SLACK = 1.15
+#: ...with an absolute floor, because the quick-smoke clean run is only a few
+#: hundred ms and a single worker respawn (fork + catalog load) is a fixed
+#: cost that would dominate any pure ratio at that scale.
+FAILOVER_TRAFFIC_FLOOR_S = 0.75
 
 
 def _delay_regression_gate(payload, out_dir):
@@ -686,6 +765,25 @@ def _speedup_lines(payload):
                 f"  pipelined stream: {stream['answers']} answers in {stream['seconds']*1e3:.1f}ms "
                 f"({stream['chunks']} chunks / {stream['round_trips']} round trips, "
                 f"credit {stream['credit']} x {stream['chunk_size']})"
+            )
+        replicated = payload.get("replicated")
+        if replicated:
+            failover = replicated["failover"]
+            lines.append(
+                f"  replicated ({replicated['workers']} workers x "
+                f"{replicated['replicas']} replicas): traffic "
+                f"{replicated['traffic_total_s']*1e3:.1f}ms, edit batch "
+                f"{replicated['edit_batch_median_s']*1e3:.2f}ms, answers match "
+                f"single-process: {replicated['answers_match_single_process']}"
+            )
+            lines.append(
+                f"  failover (1 worker killed mid-traffic): traffic "
+                f"{failover['traffic_total_s']*1e3:.1f}ms "
+                f"({(failover['overhead_vs_clean'] - 1) * 100:+.1f}% vs clean), "
+                f"{failover['deaths_total']} death(s), "
+                f"{failover['failovers_total']} failover(s), "
+                f"{failover['migrations_total']} migration(s), answers match "
+                f"single-process: {failover['answers_match_single_process']}"
             )
         return lines
     pairs = payload["backends"]["pairs"]
@@ -815,6 +913,37 @@ def main(argv=None) -> int:
                     print(
                         f"  pipelined stream paid {stream['round_trips']} round trips "
                         f"for {stream['chunks']} chunks (credit window not working)"
+                    )
+                    ok = False
+                # Failover smoke (PR 6): the replicated fleet — clean and with
+                # one worker SIGKILL'd mid-traffic — must serve byte-identical
+                # answers to the single-process engine, and the kill may not
+                # blow up the traffic wall clock.  The absolute floor keeps
+                # the ratio meaningful on quick workloads where the clean run
+                # is only a few hundred ms (respawn noise would dominate).
+                replicated = payload["replicated"]
+                failover = replicated["failover"]
+                if not replicated["answers_match_single_process"]:
+                    print("  replicated answers DIVERGED from single-process answers")
+                    ok = False
+                if not failover["answers_match_single_process"]:
+                    print("  failover answers DIVERGED from single-process answers")
+                    ok = False
+                if failover["deaths_total"] != 1:
+                    print(
+                        f"  failover leg saw {failover['deaths_total']} deaths "
+                        f"(expected exactly the 1 injected kill)"
+                    )
+                    ok = False
+                budget = max(FAILOVER_TRAFFIC_FLOOR_S,
+                             replicated["traffic_total_s"] * FAILOVER_OVERHEAD_SLACK)
+                if failover["traffic_total_s"] > budget:
+                    print(
+                        f"  failover traffic {failover['traffic_total_s']*1e3:.0f}ms "
+                        f"exceeded its budget {budget*1e3:.0f}ms "
+                        f"(clean {replicated['traffic_total_s']*1e3:.0f}ms x "
+                        f"{FAILOVER_OVERHEAD_SLACK} with a "
+                        f"{FAILOVER_TRAFFIC_FLOOR_S*1e3:.0f}ms floor)"
                     )
                     ok = False
             else:

@@ -47,6 +47,8 @@ from repro.errors import (
     ReproError,
     ServingError,
     ShardDiedError,
+    ShardProtocolError,
+    ShardTimeoutError,
     StaleIteratorError,
     UnsupportedUpdateError,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "RegexSyntaxError",
     "ServingError",
     "ShardDiedError",
+    "ShardProtocolError",
+    "ShardTimeoutError",
     "StaleIteratorError",
     "UnsupportedUpdateError",
     "__version__",

@@ -26,15 +26,43 @@ batch in flight at once, so per-document builds overlap across workers, and
 sharded :meth:`~repro.engine.document.Document.stream` consumes result
 chunks the worker pushes under a bounded credit window instead of paying one
 round trip per page.
+
+``Engine(workers=N, replicas=R)`` additionally makes the fleet fault
+tolerant (PR 6):
+
+* **replicated placement.**  Each document is placed on ``R`` shards,
+  load-aware over the live in-flight/document counters instead of blind
+  round-robin.  Writes (ingest, ``apply_edits``, cursor opens and page
+  fetches — cursor state is deterministic, so mirroring keeps cursor ids
+  and positions in lockstep) go to *every* live replica; plain reads
+  (``stream``, ``count``, ``epoch``) go to the least-loaded live replica.
+* **failover + rebuild.**  When a shard dies (crash, hang past the
+  ``deadline``, or protocol violation — all surface as
+  :class:`~repro.errors.ShardDiedError` subtypes), in-flight reads retry
+  transparently on a surviving replica, a replacement worker is respawned
+  in the background, and every under-replicated document is re-migrated
+  onto it: the engine keeps each document's original content plus its edit
+  log, and the replacement *replays* them, reproducing node/position ids,
+  epochs and enumeration order byte-identically.
+  :class:`~repro.errors.ShardDiedError` reaches the caller only when every
+  replica of a document is gone.
+* **observability.**  :meth:`Engine.stats` reports ``deaths_total``,
+  ``timeouts_total``, ``failovers_total``, ``migrations_total``,
+  ``repairs_pending`` and, per shard, ``generation`` and ``replica_of``.
+
+With ``replicas=1`` (the default) none of this machinery engages: a dead
+shard stays dead and its documents are precisely unreachable, exactly the
+PR-4/5 behavior.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import pickle
 import shutil
 import tempfile
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.catalog import QueryCatalog
 from repro.engine.codec import CompiledQuery
@@ -65,8 +93,24 @@ class Engine:
         for every document; ``None`` = the library default.
     workers:
         ``0`` (default) serves in-process; ``N >= 1`` partitions documents
-        across ``N`` worker processes (round-robin by arrival, routed by
+        across ``N`` worker processes (load-aware placement, routed by
         document id afterwards).
+    replicas:
+        Copies of each document across distinct shards (default 1).  With
+        ``replicas >= 2`` the engine survives any single shard death with
+        zero document and zero in-flight-answer loss: reads fail over to a
+        surviving replica and a replacement worker is respawned and
+        re-populated in the background.  Requires ``replicas <= workers``.
+    deadline:
+        Seconds any single protocol wait (request reply, stream chunk) may
+        block (default ``None`` = unbounded).  On expiry the hung worker is
+        killed and the wait raises :class:`~repro.errors.ShardTimeoutError`
+        — which, with replicas, fails over like a crash.
+    fault_plan:
+        A :class:`~repro.engine.faults.FaultPlan` (or spec string) injected
+        into the workers for robustness testing; defaults to the
+        ``REPRO_FAULTS`` environment variable.  See
+        :mod:`repro.engine.faults`.
     start_method:
         Optional :mod:`multiprocessing` start method (``"fork"``,
         ``"spawn"``, ``"forkserver"``); ``None`` = the platform default.
@@ -81,6 +125,9 @@ class Engine:
         *,
         backend: Optional[str] = None,
         workers: int = 0,
+        replicas: int = 1,
+        deadline: Optional[float] = None,
+        fault_plan=None,
         start_method: Optional[str] = None,
         page_size: int = 50,
     ):
@@ -92,8 +139,18 @@ class Engine:
             raise EngineError("page_size must be >= 1")
         if workers < 0:
             raise EngineError(f"workers must be >= 0, got {workers}")
+        if replicas < 1:
+            raise EngineError(f"replicas must be >= 1, got {replicas}")
+        if replicas > 1 and not workers:
+            raise EngineError("replication requires a sharded engine (workers >= 1)")
+        if workers and replicas > workers:
+            raise EngineError(
+                f"replicas={replicas} needs at least that many workers, got {workers}"
+            )
         self.backend = backend
         self.page_size = page_size
+        self.replicas = replicas
+        self.deadline = deadline
         # Everything close() touches exists before any step that can raise,
         # so a failed construction cleans up (and __del__ stays safe).
         self._closed = False
@@ -101,16 +158,46 @@ class Engine:
         self._store: Optional[LocalStore] = None
         self._owned_catalog_dir: Optional[str] = None
         self._documents: Dict[object, Document] = {}
-        self._shard_of: Dict[object, int] = {}
+        #: live replica shards of each document, in placement order
+        self._replicas_of: Dict[object, List[int]] = {}
         #: parent-side epoch mirror: every edit flows through this engine, so
         #: the mirror is exact without a per-read round trip; sharded streams
         #: use it for the stale-on-edit check at the answer boundary
         self._epochs: Dict[object, int] = {}
+        #: (doc_id, cursor_id) → shards holding that cursor.  Cursor state is
+        #: deterministic and page fetches are mirrored, so every holder's
+        #: copy of a cursor stays in lockstep; a replica rebuilt *after* the
+        #: cursor was opened never joins (it only holds cursors opened since
+        #: its restore).
+        self._cursor_holders: Dict[Tuple[object, int], Set[int]] = {}
+        #: per document, the next cursor id the workers will assign (mirrors
+        #: ``LocalDocument._next_cursor_id`` — shipped on restore so rebuilt
+        #: replicas keep assigning the same ids as the survivors)
+        self._next_cursor_ids: Dict[object, int] = {}
+        #: doc_id → (kind, pickled original content, query digest); retained
+        #: only under replication, it is the "move bytes" half of migration
+        self._ingest_blobs: Dict[object, tuple] = {}
+        #: doc_id → every edit batch ever attempted, the "replay" half
+        self._edit_logs: Dict[object, List[list]] = {}
+        #: in-flight restore requests: {shard, generation, doc_id, request_id}
+        self._repairs: List[dict] = []
+        #: documents placed per shard (replica-counted), for load-aware placement
+        self._placed: Dict[int, int] = {}
+        self.failovers_total = 0
+        self.migrations_total = 0
         self._queries: Dict[str, Query] = {}
         #: per shard, the query digests whose source was already shipped
         self._queries_sent: Dict[int, set] = {}
         self._doc_ids = itertools.count()
-        self._round_robin = itertools.count()
+
+        if workers and fault_plan is None:
+            from repro.engine.faults import plan_from_env
+
+            fault_plan = plan_from_env()
+        if isinstance(fault_plan, str):
+            from repro.engine.faults import parse_fault_spec
+
+            fault_plan = parse_fault_spec(fault_plan)
 
         if isinstance(catalog, QueryCatalog):
             self.catalog: Optional[QueryCatalog] = catalog
@@ -127,7 +214,12 @@ class Engine:
         try:
             if workers:
                 self._pool = ShardPool(
-                    workers, self.catalog.root, relation_backend=backend, start_method=start_method
+                    workers,
+                    self.catalog.root,
+                    relation_backend=backend,
+                    start_method=start_method,
+                    deadline=deadline,
+                    fault_plan=fault_plan,
                 )
             else:
                 self._store = LocalStore(catalog=self.catalog, relation_backend=backend)
@@ -140,6 +232,15 @@ class Engine:
     def workers(self) -> int:
         """Number of shard worker processes (0 = in-process engine)."""
         return len(self._pool) if self._pool is not None else 0
+
+    @property
+    def _shard_of(self) -> Dict[object, int]:
+        """doc_id → primary (first-replica) shard, for introspection/tests."""
+        return {
+            doc_id: replicas[0]
+            for doc_id, replicas in self._replicas_of.items()
+            if replicas
+        }
 
     def _check_open(self) -> None:
         if self._closed:
@@ -229,8 +330,8 @@ class Engine:
         the standing query they share, or ``queries`` gives one per document.
         ``doc_ids`` optionally fixes ids (``None`` entries auto-assign).
 
-        On a sharded engine the documents are grouped per shard (round-robin
-        by arrival, same placement a loop of :meth:`add` would produce) and
+        On a sharded engine the documents are grouped per shard (load-aware
+        placement over the live shards, ``replicas`` shards per document) and
         shipped as **one pickled batch per worker, all batches in flight
         before any reply is collected** — so the per-document builds, the
         dominant serving cost, overlap across the worker processes instead of
@@ -240,9 +341,11 @@ class Engine:
 
         If an item fails inside a live worker, the documents the batch had
         already added stay registered and the item's original exception is
-        re-raised.  If a worker process dies mid-batch, a precise
-        :class:`~repro.errors.ShardDiedError` names the document ids that
-        were in flight on it; surviving shards keep their documents.
+        re-raised.  If a worker process dies mid-batch, the documents that
+        landed on no other replica are reported in a precise
+        :class:`~repro.errors.ShardDiedError`; documents with at least one
+        surviving replica stay registered (and are re-replicated in the
+        background when ``replicas >= 2``).
         """
         self._check_open()
         contents = list(contents)
@@ -307,32 +410,49 @@ class Engine:
         document = Document(self, doc_id, kind, compiled)
         self._documents[doc_id] = document
         self._epochs[doc_id] = 0
+        self._next_cursor_ids[doc_id] = 0
         return document
 
-    def _pick_shard(self) -> int:
-        """Round-robin placement over the shards still observed alive."""
-        for _ in range(len(self._pool)):
-            shard = next(self._round_robin) % len(self._pool)
-            if self._pool.is_alive(shard):
-                return shard
-        raise EngineError(
-            "every shard worker of this engine is dead; close the engine"
+    def _pick_shards(self, count: int) -> List[int]:
+        """Load-aware placement: the ``count`` least-loaded live shards.
+
+        Load is (in-flight requests, documents placed), with the shard index
+        as a deterministic tie-break — so an idle fleet fills round-robin,
+        but a shard bogged down in slow builds (or briefly absent while
+        respawning) stops attracting new documents.  Returns fewer than
+        ``count`` shards when fewer are live (degraded placement); raises
+        only when no shard is live at all.
+        """
+        pool = self._pool
+        live = [shard for shard in range(len(pool)) if pool.is_alive(shard)]
+        if not live:
+            raise EngineError(
+                "every shard worker of this engine is dead; close the engine"
+            )
+        ranked = sorted(
+            live, key=lambda s: (pool.inflight(s), self._placed.get(s, 0), s)
         )
+        chosen = ranked[: min(count, len(ranked))]
+        for shard in chosen:
+            self._placed[shard] = self._placed.get(shard, 0) + 1
+        return chosen
 
     def _add_documents_sharded(self, items) -> List[Document]:
+        self._reap_repairs()
         # Group per shard; ship each query's source to a shard once (later
         # adds of the same content carry only the digest).
+        placements: Dict[object, List[int]] = {}
         batches: Dict[int, List] = {}
-        batch_meta: Dict[int, List] = {}
         for doc_id, kind, content, compiled in items:
-            shard = self._pick_shard()
-            sent = self._queries_sent.setdefault(shard, set())
-            source = None if compiled.digest in sent else compiled.source
-            sent.add(compiled.digest)
-            batches.setdefault(shard, []).append(
-                (doc_id, kind, content, source, compiled.digest)
-            )
-            batch_meta.setdefault(shard, []).append((doc_id, kind, compiled))
+            shards = self._pick_shards(self.replicas)
+            placements[doc_id] = shards
+            for shard in shards:
+                sent = self._queries_sent.setdefault(shard, set())
+                source = None if compiled.digest in sent else compiled.source
+                sent.add(compiled.digest)
+                batches.setdefault(shard, []).append(
+                    (doc_id, kind, content, source, compiled.digest)
+                )
         # Issue every batch before collecting any reply: builds overlap
         # across the worker processes.
         request_ids: Dict[int, int] = {}
@@ -343,33 +463,59 @@ class Engine:
                 request_ids[shard] = self._pool.submit(shard, "add_batch", batch)
             except ShardDiedError as exc:
                 died.append((shard, [entry[0] for entry in batch], exc))
-        registered: Dict[object, Document] = {}
+        added_on: Dict[object, List[int]] = {}
         for shard, request_id in request_ids.items():
             try:
                 payload = self._pool.collect(shard, request_id)
             except ShardDiedError as exc:
                 died.append((shard, [entry[0] for entry in batches[shard]], exc))
                 continue
-            for _summary, (doc_id, kind, compiled) in zip(payload["added"], batch_meta[shard]):
-                self._shard_of[doc_id] = shard
-                registered[doc_id] = self._register(doc_id, kind, compiled)
+            for summary in payload["added"]:
+                added_on.setdefault(summary["doc_id"], []).append(shard)
             if payload["error"] is not None and item_failure is None:
                 item_failure = (shard, payload["failed_doc_id"], payload["error"])
-        # handles come back in the caller's order, not in shard order
-        documents = [
-            registered[doc_id] for doc_id, _kind, _content, _compiled in items
-            if doc_id in registered
-        ]
+        # Register every document that landed on at least one replica, its
+        # replica list in placement order; reconcile the placement counters
+        # for replicas that never materialized.
+        registered: Dict[object, Document] = {}
+        for doc_id, kind, content, compiled in items:
+            landed = added_on.get(doc_id, ())
+            shards = [shard for shard in placements[doc_id] if shard in landed]
+            for shard in placements[doc_id]:
+                if shard not in shards:
+                    self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+            if not shards:
+                continue
+            self._replicas_of[doc_id] = shards
+            registered[doc_id] = self._register(doc_id, kind, compiled)
+            if self.replicas > 1:
+                self._ingest_blobs[doc_id] = (kind, pickle.dumps(content), compiled.digest)
+                self._edit_logs[doc_id] = []
+        # Failover: respawn dead shards and re-replicate before reporting, so
+        # a partially-lost batch is already being repaired when the caller
+        # handles the error (no-op with replicas=1).
+        for shard in {shard for shard, _ids, _exc in died}:
+            self._after_death(shard)
         if died:
-            detail = "; ".join(
-                f"shard {shard} died with document ids {doc_ids!r} in flight"
-                for shard, doc_ids, _exc in died
-            )
-            raise ShardDiedError(f"batch ingest failed: {detail}") from died[0][2]
+            lost = [
+                (shard, [d for d in doc_ids if d not in registered], exc)
+                for shard, doc_ids, exc in died
+            ]
+            lost = [(shard, ids, exc) for shard, ids, exc in lost if ids]
+            if lost:
+                detail = "; ".join(
+                    f"shard {shard} died with document ids {doc_ids!r} in flight"
+                    for shard, doc_ids, _exc in lost
+                )
+                raise ShardDiedError(f"batch ingest failed: {detail}") from lost[0][2]
         if item_failure is not None:
             _shard, _doc_id, error = item_failure
             raise error
-        return documents
+        # handles come back in the caller's order, not in shard order
+        return [
+            registered[doc_id] for doc_id, _kind, _content, _compiled in items
+            if doc_id in registered
+        ]
 
     def document(self, doc_id) -> Document:
         """The handle of a served document."""
@@ -383,8 +529,42 @@ class Engine:
         self.document(doc_id)  # raises on unknown ids
         self._check_open()
         if self._pool is not None:
-            self._pool.request(self._shard_of[doc_id], "remove", doc_id)
-            del self._shard_of[doc_id]
+            self._reap_repairs()
+            targets = self._write_targets(doc_id)
+            submitted, dead_seen = [], []
+            death_error: Optional[BaseException] = None
+            removed = 0
+            for shard in targets:
+                try:
+                    submitted.append((shard, self._pool.submit(shard, "remove", doc_id)))
+                except ShardDiedError as exc:
+                    dead_seen.append(shard)
+                    death_error = exc
+            for shard, request_id in submitted:
+                try:
+                    self._pool.collect(shard, request_id)
+                    removed += 1
+                except ShardDiedError as exc:
+                    dead_seen.append(shard)
+                    death_error = exc
+            if removed == 0 and death_error is not None:
+                # No replica acknowledged: the document is *not* removed
+                # (with replicas=1 this is the PR-5 dead-shard behavior).
+                for shard in set(dead_seen):
+                    self._after_death(shard)
+                raise death_error
+            # Forget the document before handling deaths so it is not
+            # re-migrated onto the respawned worker.
+            replicas = self._replicas_of.pop(doc_id, [])
+            for shard in replicas:
+                self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+            self._ingest_blobs.pop(doc_id, None)
+            self._edit_logs.pop(doc_id, None)
+            self._next_cursor_ids.pop(doc_id, None)
+            for key in [key for key in self._cursor_holders if key[0] == doc_id]:
+                del self._cursor_holders[key]
+            for shard in set(dead_seen):
+                self._after_death(shard)
         else:
             self._store.remove(doc_id)
         del self._documents[doc_id]
@@ -399,27 +579,258 @@ class Engine:
     def __contains__(self, doc_id) -> bool:
         return doc_id in self._documents
 
+    # ----------------------------------------------------------- fault repair
+    def _write_targets(self, doc_id) -> List[int]:
+        """The shards a write (edits, cursor open, remove) must reach.
+
+        Replicated writes go to every live replica in lockstep; with
+        ``replicas=1`` the single home shard is returned even when dead, so
+        the pool raises its precise dead-shard error (PR-5 behavior).
+        """
+        replicas = self._replicas_of[doc_id]
+        if self.replicas == 1:
+            return [replicas[0]]
+        targets = [shard for shard in replicas if self._pool.is_alive(shard)]
+        if not targets:
+            raise ShardDiedError(
+                f"every replica of document {doc_id!r} is gone "
+                f"(all shard workers holding it died)"
+            )
+        return targets
+
+    def _pick_read_replica(self, doc_id) -> int:
+        """The least-loaded live replica (reads); the home shard if R=1."""
+        replicas = self._replicas_of[doc_id]
+        if self.replicas == 1:
+            return replicas[0]
+        pool = self._pool
+        live = [shard for shard in replicas if pool.is_alive(shard)]
+        if not live:
+            raise ShardDiedError(
+                f"every replica of document {doc_id!r} is gone "
+                f"(all shard workers holding it died)"
+            )
+        return min(live, key=lambda s: (pool.inflight(s), s))
+
+    def _after_death(self, shard: int) -> None:
+        """Failover bookkeeping once a shard's death has been observed.
+
+        With ``replicas=1`` this is a no-op: the PR-5 contract (a dead
+        shard's documents are precisely unreachable, surviving shards stay
+        usable) is preserved exactly.  With replication: the dead shard is
+        retired from every replica set and cursor-holder set, a replacement
+        worker is respawned at the same index, and every document now below
+        its replication factor is re-migrated onto it in the background —
+        restore requests are pipelined and collected lazily
+        (:meth:`_reap_repairs` / :meth:`await_repairs`), and the pipe's FIFO
+        ordering guarantees any later write or read routed to the new worker
+        observes the fully rebuilt document.
+        """
+        if self.replicas == 1:
+            return
+        pool = self._pool
+        if pool.is_alive(shard):
+            return  # already respawned (a stale observation of an old death)
+        for doc_id, replicas in self._replicas_of.items():
+            if shard in replicas:
+                replicas.remove(shard)
+                self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+        for key in list(self._cursor_holders):
+            holders = self._cursor_holders[key]
+            holders.discard(shard)
+            if not holders:
+                del self._cursor_holders[key]
+        dead_generation = pool.generation(shard)
+        self._repairs = [
+            repair
+            for repair in self._repairs
+            if not (repair["shard"] == shard and repair["generation"] == dead_generation)
+        ]
+        pool.respawn(shard)
+        generation = pool.generation(shard)
+        self._queries_sent[shard] = set()
+        sent = self._queries_sent[shard]
+        for doc_id, replicas in self._replicas_of.items():
+            if len(replicas) >= self.replicas or shard in replicas:
+                continue
+            blob = self._ingest_blobs.get(doc_id)
+            if blob is None:
+                continue
+            kind, content_bytes, digest = blob
+            query = self._queries.get(digest)
+            source = None if digest in sent or query is None else query.source
+            sent.add(digest)
+            try:
+                request_id = self._pool.submit(
+                    shard,
+                    "restore",
+                    doc_id,
+                    kind,
+                    pickle.loads(content_bytes),
+                    source,
+                    digest,
+                    list(self._edit_logs.get(doc_id, ())),
+                    self._next_cursor_ids.get(doc_id, 0),
+                )
+            except ShardDiedError:
+                # The replacement died instantly; the next observation of
+                # this death respawns and re-migrates again.
+                break
+            replicas.append(shard)
+            self._placed[shard] = self._placed.get(shard, 0) + 1
+            self.migrations_total += 1
+            self._repairs.append(
+                {
+                    "shard": shard,
+                    "generation": generation,
+                    "doc_id": doc_id,
+                    "request_id": request_id,
+                }
+            )
+
+    def _reap_repairs(self) -> None:
+        """Collect finished background restores without blocking."""
+        if not self._repairs:
+            return
+        pool = self._pool
+        still: List[dict] = []
+        dead_seen: List[int] = []
+        for repair in self._repairs:
+            shard = repair["shard"]
+            if pool.generation(shard) != repair["generation"]:
+                continue  # that worker died; its death handling re-migrated
+            try:
+                if not pool.poll_reply(shard, repair["request_id"]):
+                    still.append(repair)
+                    continue
+                pool.collect(shard, repair["request_id"])
+            except ShardDiedError:
+                dead_seen.append(shard)
+            except EngineError:
+                # The restore itself failed on a live worker: treat it as a
+                # replica loss (availability shrinks; nothing is corrupted).
+                replicas = self._replicas_of.get(repair["doc_id"])
+                if replicas and shard in replicas:
+                    replicas.remove(shard)
+                    self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+        self._repairs = still
+        for shard in set(dead_seen):
+            self._after_death(shard)
+
+    def await_repairs(self) -> None:
+        """Block until every background re-migration has been acknowledged.
+
+        Deterministic tests and benchmarks call this to pin down "the fleet
+        is back at full replication"; regular traffic never needs to — the
+        pipe's FIFO ordering already hides rebuild latency.
+        """
+        self._check_open()
+        if self._pool is None:
+            return
+        while self._repairs:
+            repairs, self._repairs = self._repairs, []
+            dead_seen: List[int] = []
+            for repair in repairs:
+                shard = repair["shard"]
+                if self._pool.generation(shard) != repair["generation"]:
+                    continue
+                try:
+                    self._pool.collect(shard, repair["request_id"])
+                except ShardDiedError:
+                    dead_seen.append(shard)
+                except EngineError:
+                    replicas = self._replicas_of.get(repair["doc_id"])
+                    if replicas and shard in replicas:
+                        replicas.remove(shard)
+                        self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+            for shard in set(dead_seen):
+                self._after_death(shard)
+
+    def _read_request(self, doc_id, op: str, *args):
+        """Route one read to a live replica, failing over on shard death."""
+        attempts = 2 * len(self._pool) + 2
+        last_error: Optional[BaseException] = None
+        for _ in range(attempts):
+            shard = self._pick_read_replica(doc_id)
+            try:
+                return self._pool.request(shard, op, doc_id, *args)
+            except ShardDiedError as exc:
+                if self.replicas == 1:
+                    raise
+                last_error = exc
+                self._after_death(shard)
+                self.failovers_total += 1
+        raise last_error
+
     # ---------------------------------------------------------------- traffic
     def apply_edits(self, doc_id, edits) -> BatchUpdateReport:
-        """Apply one edit batch to a document (one epoch step), routed by id."""
+        """Apply one edit batch to a document (one epoch step), routed by id.
+
+        Replicated documents apply the batch on **every live replica in
+        lockstep** (same edits, same order, deterministic outcome), so
+        epochs, cursor decisions and enumeration state stay byte-identical
+        across replicas; the batch is also appended to the document's edit
+        log so a future restore replays it.
+        """
         self.document(doc_id)
         self._check_open()
         if self._pool is None:
             return self._store.document(doc_id).apply_edits(edits)
-        shard = self._shard_of[doc_id]
-        try:
-            report = self._pool.request(shard, "edits", doc_id, list(edits))
-        except ShardDiedError:
-            self._epochs.pop(doc_id, None)  # state unknowable; streams go stale
-            raise
-        except BaseException:
+        self._reap_repairs()
+        edits = list(edits)
+        targets = self._write_targets(doc_id)
+        if self.replicas > 1:
+            log = self._edit_logs.get(doc_id)
+            if log is not None:
+                log.append(list(edits))
+        submitted, dead_seen = [], []
+        death_error: Optional[BaseException] = None
+        for shard in targets:
+            try:
+                submitted.append((shard, self._pool.submit(shard, "edits", doc_id, edits)))
+            except ShardDiedError as exc:
+                dead_seen.append(shard)
+                death_error = exc
+        reports: List[BatchUpdateReport] = []
+        app_error: Optional[BaseException] = None
+        for shard, request_id in submitted:
+            try:
+                reports.append(self._pool.collect(shard, request_id))
+            except ShardDiedError as exc:
+                dead_seen.append(shard)
+                death_error = exc
+            except BaseException as exc:  # noqa: BLE001 — deterministic app error
+                if app_error is None:
+                    app_error = exc
+        for shard in set(dead_seen):
+            self._after_death(shard)
+        if dead_seen and reports:
+            self.failovers_total += 1  # the edit survived a replica death
+        if app_error is not None:
             # The batch may have partially applied (the epoch still advances
             # on a partial batch): resync the mirror so live streams see it.
             try:
-                self._epochs[doc_id] = self._pool.request(shard, "epoch", doc_id)
+                self._epochs[doc_id] = self._read_request(doc_id, "epoch")
             except EngineError:
                 self._epochs.pop(doc_id, None)
-            raise
+            raise app_error
+        if not reports:
+            self._epochs.pop(doc_id, None)  # state unknowable; streams go stale
+            if death_error is not None:
+                raise death_error
+            raise ShardDiedError(f"every replica of document {doc_id!r} is gone")
+        report = reports[0]
+        if len(reports) > 1:
+            if any(other.epoch != report.epoch for other in reports[1:]):
+                raise EngineError(
+                    f"replica divergence on document {doc_id!r}: edit batch produced "
+                    f"epochs {[r.epoch for r in reports]!r} across replicas"
+                )
+            # A replica rebuilt after some cursors were opened holds only a
+            # subset of them, so its per-batch cursor counters can undercount;
+            # the max across replicas is the true per-batch number.
+            report.cursors_resumed = max(r.cursors_resumed for r in reports)
+            report.cursors_invalidated = max(r.cursors_invalidated for r in reports)
         self._epochs[doc_id] = report.epoch
         return report
 
@@ -428,7 +839,7 @@ class Engine:
         if self._pool is not None:
             epoch = self._epochs.get(doc_id)
             if epoch is None:  # mirror lost after a failed batch: resync
-                epoch = self._pool.request(self._shard_of[doc_id], "epoch", doc_id)
+                epoch = self._read_request(doc_id, "epoch")
                 self._epochs[doc_id] = epoch
             return epoch
         return self._store.document(doc_id).epoch
@@ -436,7 +847,8 @@ class Engine:
     def _count(self, doc_id, limit: Optional[int]) -> int:
         self.document(doc_id)
         if self._pool is not None:
-            return self._pool.request(self._shard_of[doc_id], "count", doc_id, limit)
+            self._reap_repairs()
+            return self._read_request(doc_id, "count", limit)
         return self._store.document(doc_id).count(limit=limit)
 
     def _runtime(self, doc_id):
@@ -470,9 +882,15 @@ class Engine:
         epoch is captured *eagerly* (this is not a generator), matching the
         runtime iterator: an edit or removal landing between creating the
         stream and its first answer invalidates it too.
+
+        Replicated documents stream from the least-loaded live replica; if
+        that replica dies mid-stream, the stream transparently reopens on a
+        survivor and skips the answers already yielded — enumeration order
+        is deterministic and identical across replicas, so no in-flight
+        answer is lost, duplicated or reordered by the failover.
         """
+        self._reap_repairs()
         start_epoch = self._doc_epoch(doc_id)  # resyncs a lost mirror
-        shard = self._shard_of[doc_id]
 
         def check_fresh():
             if self._epochs.get(doc_id) != start_epoch:
@@ -484,23 +902,42 @@ class Engine:
 
         def iterate():
             check_fresh()
-            stream = self._pool.stream_open(shard, doc_id, STREAM_PAGE_SIZE)
-            try:
-                while True:
-                    chunk = self._pool.stream_next_chunk(stream)
-                    if chunk is None:
-                        return
-                    answers, exhausted = chunk
-                    # Staleness is checked only before *yielding an answer* —
-                    # an edit landing after the final answer ends the stream
-                    # with StopIteration, like the runtime's own iterator.
-                    for answer in answers:
-                        check_fresh()
-                        yield answer
-                    if exhausted:
-                        return
-            finally:
-                self._pool.stream_close(stream)
+            yielded = 0
+            attempts = 2 * len(self._pool) + 2
+            while True:
+                shard = self._pick_read_replica(doc_id)
+                stream = None
+                try:
+                    stream = self._pool.stream_open(shard, doc_id, STREAM_PAGE_SIZE)
+                    replay = yielded  # answers already served before this (re)open
+                    skipped = 0
+                    while True:
+                        chunk = self._pool.stream_next_chunk(stream)
+                        if chunk is None:
+                            return
+                        answers, exhausted = chunk
+                        # Staleness is checked only before *yielding an
+                        # answer* — an edit landing after the final answer
+                        # ends the stream with StopIteration, like the
+                        # runtime's own iterator.
+                        for answer in answers:
+                            if skipped < replay:
+                                skipped += 1  # failover replay: already served
+                                continue
+                            check_fresh()
+                            yield answer
+                            yielded += 1
+                        if exhausted:
+                            return
+                except ShardDiedError:
+                    attempts -= 1
+                    if self.replicas == 1 or attempts <= 0:
+                        raise
+                    self._after_death(shard)
+                    self.failovers_total += 1
+                finally:
+                    if stream is not None:
+                        self._pool.stream_close(stream)
 
         return iterate()
 
@@ -525,17 +962,7 @@ class Engine:
         if size < 1:
             raise EngineError("page_size must be >= 1")
         if self._pool is not None:
-            payload = self._pool.request(
-                self._shard_of[doc_id], "page", doc_id, cursor_id, size
-            )
-            return ResultPage(
-                answers=tuple(payload["answers"]),
-                offset=payload["offset"],
-                exhausted=payload["exhausted"],
-                cursor_id=payload["cursor_id"],
-                document_id=doc_id,
-                epoch=payload["epoch"],
-            )
+            return self._page_sharded(doc_id, cursor_id, size)
         document = self._store.document(doc_id)
         cursor_obj, page = document.fetch_page(cursor_id, size)
         return ResultPage(
@@ -547,25 +974,123 @@ class Engine:
             epoch=document.epoch,
         )
 
+    def _page_sharded(self, doc_id, cursor_id: Optional[int], size: int) -> ResultPage:
+        """One page request, mirrored to every replica that holds the cursor.
+
+        Cursor opens and fetches are **writes** (they advance worker-side
+        cursor state), so they go to all live holders in lockstep; cursor
+        behavior is deterministic, so every holder returns the same page and
+        the first reply is served.  A holder dying mid-fetch costs nothing:
+        the surviving holders advanced identically.
+        """
+        self._reap_repairs()
+        pool = self._pool
+        key = None if cursor_id is None else (doc_id, cursor_id)
+        if cursor_id is None:
+            targets = self._write_targets(doc_id)
+        else:
+            holders = self._cursor_holders.get(key)
+            targets = []
+            if holders:
+                targets = [
+                    shard
+                    for shard in self._replicas_of[doc_id]
+                    if shard in holders and pool.is_alive(shard)
+                ]
+            if not targets:
+                # Unknown / released / orphaned cursor: one replica produces
+                # the precise worker-side error (or dead-shard error).
+                targets = [self._pick_read_replica(doc_id)]
+        submitted, dead_seen = [], []
+        death_error: Optional[BaseException] = None
+        for shard in targets:
+            try:
+                submitted.append(
+                    (shard, pool.submit(shard, "page", doc_id, cursor_id, size))
+                )
+            except ShardDiedError as exc:
+                dead_seen.append(shard)
+                death_error = exc
+        payload = None
+        succeeded: List[int] = []
+        app_error: Optional[BaseException] = None
+        for shard, request_id in submitted:
+            try:
+                reply = pool.collect(shard, request_id)
+            except ShardDiedError as exc:
+                dead_seen.append(shard)
+                death_error = exc
+                continue
+            except BaseException as exc:  # noqa: BLE001 — deterministic app error
+                if app_error is None:
+                    app_error = exc
+                continue
+            succeeded.append(shard)
+            if payload is None:
+                payload = reply
+        for shard in set(dead_seen):
+            self._after_death(shard)
+        if dead_seen and (succeeded or app_error is not None):
+            self.failovers_total += 1  # the answer survived a replica death
+        if payload is None:
+            if app_error is not None:
+                # Deterministic across replicas (invalidation, released id,
+                # ...): the worker-side cursor is released everywhere.
+                if key is not None:
+                    self._cursor_holders.pop(key, None)
+                raise app_error
+            if death_error is not None:
+                raise death_error
+            raise ShardDiedError(f"every replica of document {doc_id!r} is gone")
+        if cursor_id is None:
+            self._next_cursor_ids[doc_id] = self._next_cursor_ids.get(doc_id, 0) + 1
+            if not payload["exhausted"]:
+                self._cursor_holders[(doc_id, payload["cursor_id"])] = set(succeeded)
+        elif payload["exhausted"]:
+            self._cursor_holders.pop(key, None)
+        else:
+            self._cursor_holders[key] = set(succeeded)
+        return ResultPage(
+            answers=tuple(payload["answers"]),
+            offset=payload["offset"],
+            exhausted=payload["exhausted"],
+            cursor_id=payload["cursor_id"],
+            document_id=doc_id,
+            epoch=payload["epoch"],
+        )
+
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, object]:
         """A monitoring snapshot; sharded engines merge per-shard stats.
 
         Sharded engines additionally report the protocol counters of the
-        pipelined shard pool: ``shards`` (per shard: liveness, in-flight
-        request count, queued replies, open streams, message totals),
+        pipelined shard pool: ``shards`` (per shard: liveness, respawn
+        ``generation``, ``replica_of`` document ids, in-flight request
+        count, queued replies, open streams, message totals),
         ``queue_depth`` (total in-flight requests at snapshot time) and
         ``streaming`` (result chunks received vs round trips paid — with
         credit-based streaming the round trips stay well under one per
-        chunk).  The ``cursors_resumed_across_edit_batches`` counter (from
-        the per-shard stores) measures the cursor resume rate the ROADMAP
-        asks for.
+        chunk).  The failover machinery is observable through
+        ``deaths_total`` / ``timeouts_total`` (from the pool),
+        ``failovers_total`` / ``migrations_total`` / ``repairs_pending``
+        (from the engine) and ``replicas``.  The
+        ``cursors_resumed_across_edit_batches`` counter (from the per-shard
+        stores) measures the cursor resume rate the ROADMAP asks for; under
+        replication the cursor counters are replica-inclusive (each replica
+        counts its own copy of every mirrored cursor event).
         """
         self._check_open()
         if self._pool is None:
             merged = self._store.stats()
             merged["workers"] = 0
+            merged["replicas"] = 1
+            merged["deaths_total"] = 0
+            merged["timeouts_total"] = 0
+            merged["failovers_total"] = 0
+            merged["migrations_total"] = 0
+            merged["repairs_pending"] = 0
         else:
+            self._reap_repairs()
             # Pipelined gather (all shards asked before any reply is read);
             # a dead shard reports None instead of failing the snapshot.
             per_shard = self._pool.broadcast("stats", skip_dead=True)
@@ -582,10 +1107,21 @@ class Engine:
                         merged[key] = max(merged.get(key, 0), value)
                     else:
                         merged[key] = merged.get(key, 0) + value
+            if self.replicas > 1:
+                # Summing per-shard document counts would count every
+                # replica; report logical documents instead.
+                merged["documents"] = len(self._documents)
             merged["relation_backend"] = self.backend
             merged["workers"] = len(self._pool)
+            merged["replicas"] = self.replicas
             merged["per_shard"] = per_shard
             shard_counters = self._pool.shard_stats()
+            for index, entry in enumerate(shard_counters):
+                entry["replica_of"] = [
+                    doc_id
+                    for doc_id, replicas in self._replicas_of.items()
+                    if index in replicas
+                ]
             merged["shards"] = shard_counters
             merged["queue_depth"] = sum(s["inflight_requests"] for s in shard_counters)
             merged["streams_open"] = sum(s["streams_open"] for s in shard_counters)
@@ -595,6 +1131,11 @@ class Engine:
                 "chunk_size": STREAM_PAGE_SIZE,
                 "credit": STREAM_CREDIT,
             }
+            merged["deaths_total"] = self._pool.deaths_total
+            merged["timeouts_total"] = self._pool.timeouts_total
+            merged["failovers_total"] = self.failovers_total
+            merged["migrations_total"] = self.migrations_total
+            merged["repairs_pending"] = len(self._repairs)
         merged["queries_compiled"] = len(self._queries)
         merged["catalog_entries"] = len(self.catalog) if self.catalog is not None else 0
         return merged
@@ -609,8 +1150,13 @@ class Engine:
             self._pool.close()
         self._store = None
         self._documents.clear()
-        self._shard_of.clear()
+        self._replicas_of.clear()
         self._epochs.clear()
+        self._cursor_holders.clear()
+        self._next_cursor_ids.clear()
+        self._ingest_blobs.clear()
+        self._edit_logs.clear()
+        self._repairs.clear()
         if self._owned_catalog_dir is not None:
             shutil.rmtree(self._owned_catalog_dir, ignore_errors=True)
 
@@ -627,7 +1173,12 @@ class Engine:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover
-        mode = f"workers={self.workers}" if self.workers else "in-process"
+        if self.workers:
+            mode = f"workers={self.workers}"
+            if self.replicas > 1:
+                mode += f", replicas={self.replicas}"
+        else:
+            mode = "in-process"
         return (
             f"Engine({mode}, backend={self.backend!r}, "
             f"documents={len(self._documents)}, queries={len(self._queries)})"

@@ -1,0 +1,228 @@
+"""Deterministic fault injection for the shard worker protocol.
+
+The replicated engine (``Engine(workers=N, replicas=R)``) promises that a
+single shard death or hang loses no documents and no in-flight answers.  The
+only honest way to test that promise is to *make* workers crash and hang at
+precisely-chosen protocol points and check the transcript against the
+single-process oracle — which is what this module enables.
+
+A :class:`FaultPlan` is a picklable list of :class:`FaultRule` objects shipped
+to every shard worker at spawn time (``Engine(fault_plan=...)`` or the
+``REPRO_FAULTS`` environment variable).  Inside the worker, the request loop
+asks the plan before and after handling each request; a matching rule fires
+one of four actions:
+
+``crash``
+    handle the request normally, then ``os._exit(1)`` *before* sending the
+    reply — the parent sees a broken pipe with the request still in flight,
+    the worst-case crash window for replication (the write may or may not
+    have landed on this replica).
+``hang``
+    sleep (default: ten minutes) *before* handling — the parent's deadline
+    machinery must kill the worker and fail over.
+``slow``
+    sleep ``param`` seconds before replying — exercises deadline margins
+    without killing anyone.
+``garbage``
+    send a malformed reply tuple instead of the real one — exercises the
+    parent's protocol validation (:class:`repro.errors.ShardProtocolError`).
+
+Rules are matched on ``(shard, op, nth)`` where ``nth`` counts matching
+requests *per rule* starting at 0, so a plan is deterministic for a
+deterministic workload.  The textual spec format (one rule per
+``;``-separated clause)::
+
+    shard:op:nth:action[:param]
+
+with ``*`` as a wildcard for ``shard``, ``op`` or ``nth``.  Examples::
+
+    1:edits:0:crash          # shard 1 crashes before replying to its 1st edits request
+    *:page:2:hang            # every shard hangs on its 3rd page request
+    0:add_batch:*:slow:0.05  # shard 0 delays every ingest reply by 50 ms
+    2:stream_chunk:1:garbage # shard 2 garbles its 2nd pushed stream chunk
+
+The pseudo-op ``stream_chunk`` names the push-streaming send path (there is
+no request message for pushed chunks, but they are protocol sends and can be
+garbled or crashed on like any reply).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "parse_fault_spec",
+    "plan_from_env",
+    "FAULTS_ENV_VAR",
+]
+
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+_ACTIONS = ("crash", "hang", "slow", "garbage")
+
+#: How long a "hang" sleeps.  Long enough that any un-deadlined wait in the
+#: parent shows up as a hung test (pytest-timeout kills it loudly), short
+#: enough that a leaked worker cannot outlive a CI job by much.
+HANG_SECONDS = 600.0
+
+#: The malformed reply sent by the ``garbage`` action.  Deliberately a tuple
+#: with an unknown status tag — the shape `_recv_one` historically mis-filed
+#: into ``pending`` instead of rejecting.
+GARBAGE_REPLY = ("garbage", "not-a-request-id", {"junk": True})
+
+
+class FaultRule:
+    """One match-and-fire rule: ``(shard, op, nth) -> action(param)``.
+
+    ``shard``/``op``/``nth`` may each be ``None`` meaning "any".  ``nth``
+    counts matching requests seen by *this rule* (0-based), so two rules for
+    the same op keep independent counters.  ``one_shot`` rules (any rule with
+    a concrete ``nth``) disarm after firing.
+    """
+
+    __slots__ = ("shard", "op", "nth", "action", "param", "_seen", "_fired")
+
+    def __init__(
+        self,
+        shard: Optional[int],
+        op: Optional[str],
+        nth: Optional[int],
+        action: str,
+        param: Optional[float] = None,
+    ):
+        if action not in _ACTIONS:
+            raise EngineError(
+                f"unknown fault action {action!r} (expected one of {', '.join(_ACTIONS)})"
+            )
+        self.shard = shard
+        self.op = op
+        self.nth = nth
+        self.action = action
+        self.param = param
+        self._seen = 0
+        self._fired = False
+
+    def __getstate__(self):
+        return (self.shard, self.op, self.nth, self.action, self.param)
+
+    def __setstate__(self, state):
+        self.shard, self.op, self.nth, self.action, self.param = state
+        self._seen = 0
+        self._fired = False
+
+    def matches(self, shard: int, op: str) -> bool:
+        """Advance this rule's counter for ``(shard, op)``; True if it fires now."""
+        if self._fired and self.nth is not None:
+            return False
+        if self.shard is not None and self.shard != shard:
+            return False
+        if self.op is not None and self.op != op:
+            return False
+        seen = self._seen
+        self._seen += 1
+        if self.nth is not None and seen != self.nth:
+            return False
+        self._fired = True
+        return True
+
+    def __repr__(self):
+        def star(value):
+            return "*" if value is None else value
+
+        spec = f"{star(self.shard)}:{star(self.op)}:{star(self.nth)}:{self.action}"
+        if self.param is not None:
+            spec += f":{self.param}"
+        return f"FaultRule({spec!r})"
+
+
+class FaultPlan:
+    """A picklable bundle of :class:`FaultRule` objects plus the firing logic.
+
+    The worker calls :meth:`before` as soon as it decodes a request (where
+    ``hang`` and ``slow`` sleep) and :meth:`action_for_reply` just before
+    sending the reply (where ``crash`` exits and ``garbage`` substitutes the
+    payload).  Splitting the two keeps the crash window honest: a ``crash``
+    happens *after* the worker mutated its local store, so the parent cannot
+    tell whether the write landed — replication must cope either way.
+    """
+
+    __slots__ = ("rules",)
+
+    def __init__(self, rules: Sequence[FaultRule] = ()):
+        self.rules = list(rules)
+
+    def __bool__(self):
+        return bool(self.rules)
+
+    def _fire(self, shard: int, op: str) -> Optional[FaultRule]:
+        for rule in self.rules:
+            if rule.matches(shard, op):
+                return rule
+        return None
+
+    def before(self, shard: int, op: str) -> Optional[str]:
+        """Called when a request is decoded.  Sleeps for hang/slow; returns
+        the pending reply-time action (``"crash"``/``"garbage"``) or None."""
+        rule = self._fire(shard, op)
+        if rule is None:
+            return None
+        if rule.action == "hang":
+            time.sleep(HANG_SECONDS if rule.param is None else rule.param)
+            return None
+        if rule.action == "slow":
+            time.sleep(0.0 if rule.param is None else rule.param)
+            return None
+        return rule.action
+
+    @staticmethod
+    def apply_reply_action(action: Optional[str], reply: Tuple) -> Tuple:
+        """Transform/abort the reply for a pending ``before`` action."""
+        if action == "crash":
+            # os._exit, not sys.exit: skip atexit/finalizers so the pipe
+            # breaks exactly as a SIGKILL'd worker's would.
+            os._exit(1)
+        if action == "garbage":
+            return GARBAGE_REPLY
+        return reply
+
+    def __repr__(self):
+        return f"FaultPlan({self.rules!r})"
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse ``shard:op:nth:action[:param]`` clauses (``;``-separated)."""
+    rules: List[FaultRule] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if len(parts) not in (4, 5):
+            raise EngineError(
+                f"bad fault clause {clause!r}: expected shard:op:nth:action[:param]"
+            )
+        shard_s, op_s, nth_s, action = parts[:4]
+        param = float(parts[4]) if len(parts) == 5 else None
+        try:
+            shard = None if shard_s == "*" else int(shard_s)
+            nth = None if nth_s == "*" else int(nth_s)
+        except ValueError as exc:
+            raise EngineError(f"bad fault clause {clause!r}: {exc}") from None
+        op = None if op_s == "*" else op_s
+        rules.append(FaultRule(shard, op, nth, action, param))
+    return FaultPlan(rules)
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """Build a plan from ``$REPRO_FAULTS``; None when unset/empty."""
+    spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+    if not spec:
+        return None
+    plan = parse_fault_spec(spec)
+    return plan if plan else None

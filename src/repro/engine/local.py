@@ -80,7 +80,11 @@ class LocalDocument:
         #: exhaust, invalidate or close, so long-lived documents don't
         #: accumulate dead cursor objects)
         self._cursors: List[Cursor] = []
-        self._cursor_ids = itertools.count()
+        #: next cursor id to hand out.  A plain int (not itertools.count) so
+        #: a restored replica can re-synchronize it (``sync_cursor_ids``):
+        #: replicated engines mirror every cursor open to every replica, and
+        #: ids must agree across replicas for failover to be transparent.
+        self._next_cursor_id = 0
         #: cursors addressable by id for ``Engine``-style paging.  Bounded:
         #: an entry is evicted as soon as its stream can never produce
         #: another useful page — when a fetch exhausts it, or right after
@@ -139,11 +143,28 @@ class LocalDocument:
     # ----------------------------------------------------------------- cursors
     def open_cursor(self, page_size: int = 50) -> Cursor:
         """Open a paginated cursor over the document's current answers."""
-        cursor = Cursor(self, next(self._cursor_ids), page_size)
+        cursor = Cursor(self, self._next_cursor_id, page_size)
+        self._next_cursor_id += 1
         self._cursors.append(cursor)
         self._cursors_by_id[cursor.cursor_id] = cursor
         self.cursors_opened_total += 1
         return cursor
+
+    def sync_cursor_ids(self, next_cursor_id: int) -> None:
+        """Fast-forward the cursor-id counter (restore-after-failover only).
+
+        A document rebuilt on a respawned shard starts with no cursors, but
+        other replicas may already have handed out ids ``0..n-1``; syncing
+        the counter keeps ids identical across replicas for every cursor
+        opened from now on.  Rewinding is refused — reusing a live id would
+        corrupt the replica's addressing.
+        """
+        if next_cursor_id < self._next_cursor_id:
+            raise ServingError(
+                f"cannot rewind cursor ids of document {self.doc_id!r} "
+                f"({self._next_cursor_id} -> {next_cursor_id})"
+            )
+        self._next_cursor_id = next_cursor_id
 
     def cursor_by_id(self, cursor_id: int) -> Cursor:
         """The cursor with the given id, for paging by id (live cursors only)."""

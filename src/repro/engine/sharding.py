@@ -31,6 +31,38 @@ worker** at once:
   interleave on the pipe; the parent buffers whatever it receives under the
   request id it belongs to, so out-of-order collection is safe.
 
+Fault tolerance (PR 6) turns shard death from data loss into a recoverable
+event:
+
+* **bounded waits.**  Every blocking wait (:meth:`ShardPool.collect`,
+  :meth:`ShardPool.stream_next_chunk`, and :meth:`ShardPool.ping`) honors a
+  configurable ``deadline``: the parent waits on ``Connection.poll`` and, on
+  expiry, kills the hung worker, marks it dead, and raises
+  :class:`~repro.errors.ShardTimeoutError` naming the shard, the op and the
+  elapsed time — a hang is promoted to a death instead of blocking the
+  engine forever.
+* **strict protocol validation.**  A reply that is not a well-formed
+  ``(request_id, status, *payload)`` tuple with a known status is rejected
+  on receipt with :class:`~repro.errors.ShardProtocolError` (naming the
+  shard and the malformed message's shape) and the worker is killed:
+  nothing on that pipe can be trusted after a framing violation.
+* **respawn + restore.**  :meth:`ShardPool.respawn` replaces a dead worker
+  with a fresh process at the same index (bumping its ``generation``); the
+  ``restore`` op rebuilds a document on it from its original content by
+  *replaying* the recorded edit batches, which reproduces node/position ids
+  and answer order byte-identically (a fresh build of the edited tree could
+  balance the forest-algebra term differently).  The replicated engine
+  (:mod:`repro.engine.engine`) drives both to re-establish the replication
+  factor after a death.
+* **fault injection.**  Workers accept an optional
+  :class:`~repro.engine.faults.FaultPlan` that deterministically injects
+  crash-before-reply / hang / slow / garbage faults at named protocol
+  points; the sharded fuzz harness uses it to prove the failover machinery
+  keeps transcripts byte-identical to the single-process oracle.  Respawned
+  workers (generation > 0) never inherit the plan — a repaired worker is a
+  healthy worker, and re-arming one-shot rules in a fresh process would
+  turn a single injected crash into a crash loop.
+
 Design constraints kept from PR 4:
 
 * **fork/spawn safety.**  The worker entry point
@@ -45,7 +77,7 @@ Design constraints kept from PR 4:
   (``InvalidEditError``, ``CursorInvalidatedError`` with its report, ...)
   matches local behavior and correlates to the right request.
 * **death detection.**  A broken pipe surfaces as
-  :class:`~repro.errors.EngineError` naming the shard (and, for a batch
+  :class:`~repro.errors.ShardDiedError` naming the shard (and, for a batch
   ingest, the document ids that were in flight), never a hang; the
   surviving shards stay usable.
 """
@@ -54,14 +86,23 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import time
 from typing import Dict, List, Optional
 
-from repro.errors import EngineError, ShardDiedError
+from repro.errors import (
+    EngineError,
+    ShardDiedError,
+    ShardProtocolError,
+    ShardTimeoutError,
+)
 
 __all__ = ["ShardPool", "ShardStream", "STREAM_CREDIT"]
 
 #: chunks a worker may push ahead of the parent's consumption (per stream)
 STREAM_CREDIT = 4
+
+#: reply statuses the parent accepts; anything else is a protocol violation
+_VALID_STATUSES = ("ok", "err", "chunk")
 
 
 # ============================================================== worker side
@@ -107,6 +148,43 @@ def _handle_add_batch(store, queries_by_digest, items):
     return {"added": added, "failed_doc_id": None, "error": None}
 
 
+def _handle_restore(store, queries_by_digest, args):
+    """Rebuild one document from its original content plus its edit log.
+
+    The engine's failover path re-migrates every document a dead shard held
+    onto its respawned replacement.  The rebuild *replays* the recorded edit
+    batches rather than shipping the edited tree: replaying reproduces the
+    incremental forest-algebra term — and therefore node ids, position ids
+    and enumeration order — byte-identically, where a fresh build of the
+    final tree could balance differently.  Batches that failed originally
+    fail identically on replay (including partial application), which is
+    exactly what keeps the replica's state in lockstep; their errors are
+    swallowed here because they were already reported to the caller once.
+    ``next_cursor_id`` re-synchronizes the cursor-id counter so cursors
+    opened *after* the restore get the same ids on every replica.
+    """
+    from repro.errors import ReproError
+
+    doc_id, kind, content, query, digest, edit_batches, next_cursor_id = args
+    if query is None:
+        query = queries_by_digest.get(digest)
+        if query is None:
+            raise EngineError(f"shard has no cached query for digest {digest[:12]}...")
+    else:
+        queries_by_digest[digest] = query
+    if kind == "tree":
+        document = store.add_tree(content, query, doc_id=doc_id)
+    else:
+        document = store.add_word(content, query, doc_id=doc_id)
+    for batch in edit_batches:
+        try:
+            document.apply_edits(batch)
+        except ReproError:
+            pass  # replayed failures re-apply their original partial effects
+    document.sync_cursor_ids(next_cursor_id)
+    return {"doc_id": doc_id, "epoch": document.epoch}
+
+
 def _handle_request(store, queries_by_digest, op, args):
     """Execute one non-stream request against the worker's LocalStore."""
     if op == "add_batch":
@@ -133,12 +211,16 @@ def _handle_request(store, queries_by_digest, op, args):
     if op == "remove":
         store.remove(args[0])
         return None
+    if op == "restore":
+        return _handle_restore(store, queries_by_digest, args)
+    if op == "ping":
+        return "pong"
     if op == "stats":
         return store.stats()
     raise EngineError(f"unknown shard request {op!r}")
 
 
-def _pump_stream(conn, streams: Dict[int, _WorkerStream], request_id: int) -> None:
+def _pump_stream(conn, streams: Dict[int, _WorkerStream], request_id: int, inject) -> None:
     """Push chunks of one stream while it has credit; drop it when done.
 
     The per-answer iterator is the runtime's own (`LocalDocument.answers`),
@@ -165,7 +247,7 @@ def _pump_stream(conn, streams: Dict[int, _WorkerStream], request_id: int) -> No
         if exhausted:
             del streams[request_id]
             stream = None
-        conn.send((request_id, "chunk", tuple(answers), exhausted))
+        conn.send(inject("stream_chunk", (request_id, "chunk", tuple(answers), exhausted)))
 
 
 def _send_err(conn, request_id: int, exc: BaseException) -> None:
@@ -178,14 +260,23 @@ def _send_err(conn, request_id: int, exc: BaseException) -> None:
         )
 
 
-def _shard_worker_main(conn, catalog_root: Optional[str], relation_backend: Optional[str]) -> None:
+def _shard_worker_main(
+    conn,
+    catalog_root: Optional[str],
+    relation_backend: Optional[str],
+    shard_index: int = 0,
+    fault_plan=None,
+) -> None:
     """Entry point of one shard worker process.
 
     Module-level (importable) so it works under the ``spawn`` start method;
     receives only picklable arguments so it also works under ``fork`` and
     ``forkserver``.  Messages are handled strictly in arrival order; stream
-    chunks are pushed eagerly up to each stream's credit.
+    chunks are pushed eagerly up to each stream's credit.  When a
+    ``fault_plan`` is given, every decoded request and every outgoing stream
+    chunk is offered to it (see :mod:`repro.engine.faults`).
     """
+    from repro.engine.faults import FaultPlan
     from repro.engine.local import LocalStore
     from repro.engine.catalog import QueryCatalog
 
@@ -193,12 +284,21 @@ def _shard_worker_main(conn, catalog_root: Optional[str], relation_backend: Opti
     store = LocalStore(catalog=catalog, relation_backend=relation_backend)
     queries_by_digest: Dict[str, object] = {}
     streams: Dict[int, _WorkerStream] = {}
+
+    def inject(op: str, reply: tuple) -> tuple:
+        """Offer one outgoing protocol send to the fault plan."""
+        if fault_plan is None:
+            return reply
+        action = fault_plan.before(shard_index, op)
+        return FaultPlan.apply_reply_action(action, reply)
+
     while True:
         try:
             message = conn.recv()
         except (EOFError, KeyboardInterrupt):
             break
         request_id, op = message[0], message[1]
+        reply_action = fault_plan.before(shard_index, op) if fault_plan is not None else None
         if op == "close":
             try:
                 conn.send((request_id, "ok", None))
@@ -215,19 +315,21 @@ def _shard_worker_main(conn, catalog_root: Optional[str], relation_backend: Opti
             stream = _WorkerStream(iterator, chunk_size)
             stream.credit = credit
             streams[request_id] = stream
-            _pump_stream(conn, streams, request_id)
+            _pump_stream(conn, streams, request_id, inject)
         elif op == "stream_credit":
             stream = streams.get(request_id)
             if stream is not None:  # closed/errored streams ignore late credit
                 stream.credit += message[2]
-                _pump_stream(conn, streams, request_id)
+                _pump_stream(conn, streams, request_id, inject)
         elif op == "stream_close":
             streams.pop(request_id, None)  # no reply: close is fire-and-forget
         else:
             try:
-                conn.send((request_id, "ok", _handle_request(store, queries_by_digest, op, message[2:])))
+                reply = (request_id, "ok", _handle_request(store, queries_by_digest, op, message[2:]))
             except BaseException as exc:  # noqa: BLE001 — every failure travels back
                 _send_err(conn, request_id, exc)
+                continue
+            conn.send(FaultPlan.apply_reply_action(reply_action, reply))
     conn.close()
 
 
@@ -253,6 +355,7 @@ class _ShardState:
     __slots__ = (
         "conn",
         "process",
+        "generation",
         "pending",
         "inflight",
         "streams",
@@ -264,9 +367,10 @@ class _ShardState:
         "stream_round_trips",
     )
 
-    def __init__(self, conn, process):
+    def __init__(self, conn, process, generation: int = 0):
         self.conn = conn
         self.process = process
+        self.generation = generation  #: respawn count of this index (0 = original)
         self.pending: Dict[int, tuple] = {}  #: request_id → (status, payload)
         self.inflight: Dict[int, str] = {}  #: request_id → op (awaiting reply)
         self.streams: Dict[int, ShardStream] = {}
@@ -288,6 +392,12 @@ class ShardPool:
     :meth:`stream_open` and consumed chunk by chunk with
     :meth:`stream_next_chunk`, which replenishes the worker's credit window
     as chunks are consumed.
+
+    Every blocking wait honors ``deadline`` (seconds, ``None`` = wait
+    forever): on expiry the worker is killed, marked dead, and
+    :class:`~repro.errors.ShardTimeoutError` is raised.  Dead workers can be
+    replaced in place with :meth:`respawn`; the pool-level ``deaths_total``
+    and ``timeouts_total`` counters make both observable.
     """
 
     def __init__(
@@ -296,29 +406,55 @@ class ShardPool:
         catalog_root: Optional[str],
         relation_backend: Optional[str] = None,
         start_method: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fault_plan=None,
     ):
         if workers < 1:
             raise EngineError(f"a shard pool needs at least one worker, got {workers}")
-        context = multiprocessing.get_context(start_method)
-        self.start_method = context.get_start_method()
+        if deadline is not None and deadline <= 0:
+            raise EngineError(f"the shard deadline must be positive, got {deadline}")
+        self._context = multiprocessing.get_context(start_method)
+        self.start_method = self._context.get_start_method()
+        self._catalog_root = catalog_root
+        self._relation_backend = relation_backend
+        self._fault_plan = fault_plan
+        self.deadline = deadline
+        self.deaths_total = 0
+        self.timeouts_total = 0
         self._shards: List[_ShardState] = []
         self._request_ids = itertools.count()
         try:
             for index in range(workers):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_shard_worker_main,
-                    args=(child_conn, catalog_root, relation_backend),
-                    name=f"repro-shard-{index}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._shards.append(_ShardState(parent_conn, process))
+                self._shards.append(self._spawn(index, generation=0))
         except BaseException:
             self.close()
             raise
         self._closed = False
+
+    def _spawn(self, index: int, generation: int) -> _ShardState:
+        """Start one worker process for shard ``index``.
+
+        Only generation 0 receives the fault plan: a respawned worker is the
+        *repair* of an injected fault, and re-arming the plan's one-shot
+        rules in a fresh process would turn one injected crash into a crash
+        loop that defeats the repair.
+        """
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                self._catalog_root,
+                self._relation_backend,
+                index,
+                self._fault_plan if generation == 0 else None,
+            ),
+            name=f"repro-shard-{index}" + (f".{generation}" if generation else ""),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _ShardState(parent_conn, process, generation)
 
     def __len__(self) -> int:
         return len(self._shards)
@@ -331,19 +467,33 @@ class ShardPool:
         """
         return not self._shards[shard].dead
 
+    def inflight(self, shard: int) -> int:
+        """Requests awaiting a reply on a shard (the load-balancing signal)."""
+        return len(self._shards[shard].inflight)
+
+    def generation(self, shard: int) -> int:
+        """How many times the worker at this index has been respawned."""
+        return self._shards[shard].generation
+
     # ----------------------------------------------------------- plumbing
     def _death(self, shard: int, doing: str, cause: Optional[BaseException]) -> ShardDiedError:
         """Mark a shard dead and build the precise error for it."""
         state = self._shards[shard]
-        state.dead = True
-        # In-flight requests can never be answered now; dropping them keeps
-        # the queue-depth counters honest (already-received replies stay
-        # collectable from ``pending``).
-        state.inflight.clear()
-        for stream in state.streams.values():
-            stream.done = True
-            if stream.error is None:
-                stream.error = ShardDiedError(f"shard worker {shard} died mid-stream")
+        if not state.dead:
+            state.dead = True
+            self.deaths_total += 1
+            # In-flight requests can never be answered now; dropping them
+            # keeps the queue-depth counters honest (already-received replies
+            # stay collectable from ``pending``).  Deferred stream closes are
+            # worker-side bookkeeping of a worker that no longer exists —
+            # clearing them here is what lets a respawned worker at this
+            # index start with no leaked stream ids.
+            state.inflight.clear()
+            state.deferred_closes.clear()
+            for stream in state.streams.values():
+                stream.done = True
+                if stream.error is None:
+                    stream.error = ShardDiedError(f"shard worker {shard} died mid-stream")
         process = state.process
         error = ShardDiedError(
             f"shard worker {shard} (pid {process.pid}, exitcode {process.exitcode}) "
@@ -352,6 +502,43 @@ class ShardPool:
         if cause is not None:
             error.__cause__ = cause
         return error
+
+    def _kill(self, shard: int) -> None:
+        """Forcibly terminate a worker process (hung or untrustworthy)."""
+        process = self._shards[shard].process
+        try:
+            process.kill()
+        except Exception:  # already gone
+            pass
+
+    def _timeout(self, shard: int, op: str, waited: float, deadline: float) -> ShardTimeoutError:
+        """Promote a hung worker to a dead one and build the timeout error."""
+        self._kill(shard)
+        self._death(shard, f"handling {op!r}", None)
+        self.timeouts_total += 1
+        return ShardTimeoutError(
+            f"shard worker {shard} did not answer {op!r} within its deadline "
+            f"({deadline:.3f}s, waited {waited:.3f}s); the worker was "
+            f"killed and marked dead",
+            shard=shard,
+            op=op,
+            elapsed=waited,
+            deadline=deadline,
+        )
+
+    def _protocol_error(self, shard: int, message) -> ShardProtocolError:
+        """Reject a malformed reply: kill the worker, mark it dead, report."""
+        shape = repr(message)
+        if len(shape) > 160:
+            shape = shape[:160] + "..."
+        self._kill(shard)
+        self._death(shard, "receiving a reply", None)
+        return ShardProtocolError(
+            f"shard worker {shard} sent a malformed protocol message "
+            f"({type(message).__name__}: {shape}); expected a tuple "
+            f"(request_id, status, *payload) with status in {_VALID_STATUSES}; "
+            f"the worker was killed and marked dead"
+        )
 
     def _check_shard(self, shard: int) -> _ShardState:
         if getattr(self, "_closed", True):
@@ -371,22 +558,54 @@ class ShardPool:
             for request_id in closes:
                 try:
                     state.conn.send((request_id, "stream_close"))
-                except (BrokenPipeError, OSError):
-                    break  # the real send below reports the death precisely
+                except (BrokenPipeError, OSError) as exc:
+                    # The worker is gone: every deferred close (this one and
+                    # the rest of ``closes``) dies with it — ``_death``
+                    # already cleared the bookkeeping, nothing leaks.
+                    raise self._death(shard, doing, exc) from exc
         try:
             state.conn.send(message)
         except (BrokenPipeError, OSError) as exc:
             raise self._death(shard, doing, exc) from exc
 
-    def _recv_one(self, shard: int, doing: str) -> None:
-        """Receive one message from a shard and file it where it belongs."""
+    def _recv_one(
+        self,
+        shard: int,
+        doing: str,
+        deadline_at: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        """Receive one message from a shard and file it where it belongs.
+
+        With a ``deadline_at`` (monotonic timestamp, derived from
+        ``deadline`` seconds), waits at most until then: a worker that has
+        not produced a message by the deadline is killed and
+        :class:`~repro.errors.ShardTimeoutError` raised.
+        """
         state = self._shards[shard]
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            try:
+                ready = remaining > 0 and state.conn.poll(remaining)
+            except (EOFError, OSError) as exc:
+                raise self._death(shard, doing, exc) from exc
+            if not ready:
+                waited = (deadline or 0.0) - max(0.0, deadline_at - time.monotonic())
+                raise self._timeout(shard, doing, waited, deadline or 0.0)
         try:
             message = state.conn.recv()
         except (EOFError, OSError) as exc:
             raise self._death(shard, doing, exc) from exc
+        if not (
+            isinstance(message, tuple)
+            and len(message) >= 2
+            and message[1] in _VALID_STATUSES
+        ):
+            raise self._protocol_error(shard, message)
         request_id, status = message[0], message[1]
         if status == "chunk":
+            if len(message) != 4:
+                raise self._protocol_error(shard, message)
             stream = state.streams.get(request_id)
             state.stream_chunks += 1
             if stream is None or stream.closed:
@@ -397,6 +616,8 @@ class ShardPool:
                 stream.done = True
                 state.streams.pop(request_id, None)
             return
+        if status == "err" and not (len(message) > 2 and isinstance(message[2], BaseException)):
+            raise self._protocol_error(shard, message)
         if request_id in state.streams:
             # an error reply addressed to a stream (StaleIteratorError, death
             # of the underlying document, ...): terminate the stream with it
@@ -420,14 +641,21 @@ class ShardPool:
         state.requests_sent += 1
         return request_id
 
-    def collect(self, shard: int, request_id: int):
-        """Block until the reply with ``request_id`` arrives; return or raise it."""
+    def collect(self, shard: int, request_id: int, deadline: Optional[float] = -1.0):
+        """Block until the reply with ``request_id`` arrives; return or raise it.
+
+        ``deadline`` overrides the pool deadline for this wait (``-1.0``, the
+        default, means "use the pool's"; ``None`` means wait forever).
+        """
+        if deadline == -1.0:
+            deadline = self.deadline
         state = self._shards[shard]
         op = state.inflight.get(request_id, "?")  # before a death clears it
+        deadline_at = time.monotonic() + deadline if deadline is not None else None
         while request_id not in state.pending:
             if state.dead:
                 raise self._death(shard, f"handling {op!r}", None)
-            self._recv_one(shard, f"handling {op!r}")
+            self._recv_one(shard, f"handling {op!r}", deadline_at, deadline)
         status, payload = state.pending.pop(request_id)
         if status == "err":
             raise payload
@@ -436,6 +664,37 @@ class ShardPool:
     def request(self, shard: int, op: str, *args):
         """Send one request and wait for its reply (the synchronous path)."""
         return self.collect(shard, self.submit(shard, op, *args))
+
+    def poll_reply(self, shard: int, request_id: int) -> bool:
+        """True when :meth:`collect` for this request would not block.
+
+        Drains already-arrived messages without waiting; a dead shard (or
+        one dying during the drain) reads as ready, because ``collect``
+        would immediately raise for it rather than block.
+        """
+        state = self._shards[shard]
+        while request_id not in state.pending:
+            if state.dead:
+                return True
+            try:
+                if not state.conn.poll(0):
+                    return False
+                self._recv_one(shard, "draining replies")
+            except ShardDiedError:
+                return True
+        return True
+
+    def ping(self, shard: int, deadline: Optional[float] = -1.0) -> bool:
+        """Health probe: True iff the worker answers a ping within the deadline.
+
+        A worker that is already dead, dies, or times out reads as unhealthy;
+        the timeout path kills the hung process and marks it dead, so a
+        failed ping leaves the shard in the same state a crash would.
+        """
+        try:
+            return self.collect(shard, self.submit(shard, "ping"), deadline=deadline) == "pong"
+        except ShardDiedError:
+            return False
 
     def broadcast(self, op: str, *args, skip_dead: bool = False) -> List:
         """The same request to every shard, pipelined, answers in shard order.
@@ -467,6 +726,27 @@ class ShardPool:
                 results.append(None)
         return results
 
+    # -------------------------------------------------------------- respawn
+    def respawn(self, shard: int) -> None:
+        """Replace a dead worker with a fresh process at the same index.
+
+        The replacement starts empty (a new ``LocalStore``) with a bumped
+        ``generation``; the engine re-migrates documents onto it with
+        ``restore`` requests.  Respawning a live shard is refused — kill it
+        (or let a deadline do so) first.
+        """
+        old = self._shards[shard]
+        if not old.dead:
+            raise EngineError(f"shard worker {shard} is alive; refusing to respawn over it")
+        try:
+            old.conn.close()
+        except Exception:
+            pass
+        if old.process.is_alive():
+            old.process.terminate()
+            old.process.join(timeout=1.0)
+        self._shards[shard] = self._spawn(shard, generation=old.generation + 1)
+
     # -------------------------------------------------------------- streams
     def stream_open(self, shard: int, doc_id, chunk_size: int, credit: int = STREAM_CREDIT) -> ShardStream:
         """Open a push stream over a document's answers on its shard."""
@@ -485,9 +765,11 @@ class ShardPool:
         (with its original type) when the worker reported one.  Consuming a
         chunk replenishes the worker's credit window in half-window grants,
         so a long stream costs one round trip per ``STREAM_CREDIT // 2``
-        chunks instead of one per page.
+        chunks instead of one per page.  The wait for each chunk is bounded
+        by the pool deadline.
         """
         state = self._shards[stream.shard]
+        deadline_at = time.monotonic() + self.deadline if self.deadline is not None else None
         while not stream.chunks:
             if stream.error is not None:
                 error, stream.error = stream.error, None
@@ -497,7 +779,7 @@ class ShardPool:
                 return None
             if state.dead:
                 raise self._death(stream.shard, "streaming answers", None)
-            self._recv_one(stream.shard, "streaming answers")
+            self._recv_one(stream.shard, "streaming answers", deadline_at, self.deadline)
         chunk = stream.chunks.pop(0)
         stream.to_grant += 1
         _answers, exhausted = chunk
@@ -536,6 +818,7 @@ class ShardPool:
         return [
             {
                 "alive": not state.dead and state.process.is_alive(),
+                "generation": state.generation,
                 "inflight_requests": len(state.inflight),
                 "queued_replies": len(state.pending),
                 "streams_open": len(state.streams),

@@ -23,6 +23,8 @@ __all__ = [
     "UnsupportedUpdateError",
     "EngineError",
     "ShardDiedError",
+    "ShardTimeoutError",
+    "ShardProtocolError",
     "ServingError",
     "CatalogError",
     "CatalogVersionError",
@@ -106,6 +108,32 @@ class ShardDiedError(EngineError):
     what distinguishes it from application errors a *live* worker sent back
     (those are re-raised with their original types).  The surviving shards
     stay usable."""
+
+
+class ShardTimeoutError(ShardDiedError):
+    """A shard worker failed to answer within the engine's deadline.  The
+    worker may be hung rather than dead, so the pool kills it and marks it
+    dead before raising — from the caller's point of view a timeout *is* a
+    death (hence the subclassing), and the replicated engine fails the
+    request over to a surviving replica exactly as it would after a crash.
+    Carries ``shard``, ``op``, ``elapsed`` and ``deadline`` attributes so
+    operators can tell which wait expired."""
+
+    def __init__(self, message: str, *, shard=None, op=None, elapsed=None, deadline=None):
+        super().__init__(message)
+        self.shard = shard
+        self.op = op
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class ShardProtocolError(ShardDiedError):
+    """A shard worker sent a malformed protocol message (wrong container
+    type, unknown status tag, bad arity).  The pool cannot trust anything
+    further from that pipe, so the worker is killed and marked dead before
+    raising — like :class:`ShardTimeoutError`, a protocol violation is
+    treated as a death and failed over.  The message names the shard and the
+    (truncated) shape of the offending reply."""
 
 
 class ServingError(EngineError):

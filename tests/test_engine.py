@@ -45,6 +45,8 @@ from repro import (
     ReproError,
     ServingError,
     ShardDiedError,
+    ShardProtocolError,
+    ShardTimeoutError,
     StaleIteratorError,
 )
 from repro.automata.queries import select_descendant_pairs, select_labeled
@@ -748,6 +750,303 @@ class TestResumeRateCounter:
         assert totals == [(1, 1), (1, 1)]
         assert stats["cursors_resumed_across_edit_batches"] == 2
         assert stats["cursors_invalidated"] == 2
+
+
+# ======================================================= replication/failover
+class TestReplication:
+    """``Engine(workers=N, replicas=R)``: placement, mirroring, validation."""
+
+    def test_replication_parameter_validation(self):
+        with pytest.raises(EngineError, match="replication"):
+            Engine(replicas=2)  # replication needs a sharded engine
+        with pytest.raises(EngineError, match="replicas"):
+            Engine(workers=2, replicas=3)  # more copies than workers
+        with pytest.raises(EngineError, match="replicas"):
+            Engine(workers=2, replicas=0)
+
+    def test_every_document_lands_on_r_distinct_shards(self):
+        with Engine(workers=3, replicas=2) as engine:
+            docs = engine.add_documents(
+                [random_tree(15, LABELS, seed) for seed in range(5)], tree_query()
+            )
+            for doc in docs:
+                replicas = engine._replicas_of[doc.doc_id]
+                assert len(replicas) == 2
+                assert len(set(replicas)) == 2
+            stats = engine.stats()
+            assert stats["replicas"] == 2
+            assert stats["documents"] == 5  # logical documents, not copies
+            replica_rows = [row["replica_of"] for row in stats["shards"]]
+            assert sum(len(row) for row in replica_rows) == 10  # 5 docs x 2
+
+    def test_replicated_traffic_matches_single_process(self, tmp_path):
+        """The replicated fleet's transcript is byte-identical to one process."""
+        trees = [tree_of_shape("random", 60, LABELS, seed) for seed in range(3)]
+        query = select_descendant_pairs(LABELS)
+        edits = {}
+        for doc_index, tree in enumerate(trees):
+            leaves = [n.node_id for n in tree.nodes() if n.is_leaf()]
+            edits[doc_index] = [
+                Relabel(leaves[0], "b"),
+                Insert(tree.root.node_id, "c"),
+                Relabel(leaves[1], "a"),
+                Delete(leaves[2]),
+            ]
+        with Engine(catalog=tmp_path / "cat", workers=3, replicas=2) as replicated:
+            docs = [replicated.add_tree(t, query, doc_id=i) for i, t in enumerate(trees)]
+            replicated_transcript = _run_traffic(replicated, docs, edits)
+        with Engine(catalog=tmp_path / "cat2") as single:
+            docs = [single.add_tree(t, query, doc_id=i) for i, t in enumerate(trees)]
+            single_transcript = _run_traffic(single, docs, edits)
+        assert replicated_transcript == single_transcript
+
+
+class TestFailover:
+    """Kill any single worker mid-workload: zero documents, zero answers lost."""
+
+    @pytest.mark.timeout(60)
+    def test_single_kill_loses_nothing(self):
+        trees = [tree_of_shape("random", 50, LABELS, seed) for seed in range(4)]
+        with Engine(workers=3, replicas=2) as engine:
+            docs = [engine.add_tree(t, tree_query(), doc_id=i) for i, t in enumerate(trees)]
+            baseline = {d.doc_id: canonical(d.stream()) for d in docs}
+            pages = {d.doc_id: d.page(page_size=2) for d in docs}
+            TestProtocolFaults._kill_worker(engine, 0)
+            # every read, page continuation and edit keeps working
+            for doc in docs:
+                follow_up = doc.page(cursor=pages[doc.doc_id])
+                both = list(pages[doc.doc_id].answers) + list(follow_up.answers)
+                assert both == list(doc.page(page_size=4).answers)
+            assert {d.doc_id: canonical(d.stream()) for d in docs} == baseline
+            for doc in docs:
+                leaf = next(n.node_id for n in trees[doc.doc_id].nodes() if n.is_leaf())
+                assert doc.apply_edits([Relabel(leaf, doc.doc_id % 2 and "a" or "b")]).epoch == 1
+            # background repair brings every document back to 2 replicas
+            engine.await_repairs()
+            for doc in docs:
+                assert len(engine._replicas_of[doc.doc_id]) == 2
+            stats = engine.stats()
+            assert stats["deaths_total"] == 1
+            assert stats["failovers_total"] >= 1
+            assert stats["migrations_total"] >= 1
+            assert stats["repairs_pending"] == 0
+            assert stats["shards"][0]["generation"] == 1  # respawned worker
+            # the rebuilt replica serves identical bytes: kill the *other*
+            # original copy, forcing reads onto the restored one
+            post_edit = {d.doc_id: canonical(d.stream()) for d in docs}
+            TestProtocolFaults._kill_worker(engine, 1)
+            assert {d.doc_id: canonical(d.stream()) for d in docs} == post_edit
+            engine.await_repairs()
+            for doc in docs:
+                assert len(engine._replicas_of[doc.doc_id]) == 2
+
+    @pytest.mark.timeout(60)
+    def test_crash_mid_batch_with_replicas_keeps_every_document(self):
+        """A worker crashing before its ingest reply loses no documents: each
+        one also landed on its other replica (and is re-replicated after)."""
+        trees = [random_tree(20, LABELS, seed) for seed in range(6)]
+        with Engine(workers=3, replicas=2, fault_plan="1:add_batch:0:crash") as engine:
+            docs = engine.add_documents(trees, tree_query())  # shard 1 dies mid-batch
+            assert len(docs) == 6
+            for doc in docs:
+                assert doc.count() >= 0  # every document is reachable
+            engine.await_repairs()
+            for doc in docs:
+                assert len(engine._replicas_of[doc.doc_id]) == 2
+            assert engine.stats()["deaths_total"] == 1
+
+    @pytest.mark.timeout(60)
+    def test_stream_fails_over_mid_flight_without_loss(self):
+        """A replica dying mid-stream is invisible: the stream reopens on a
+        survivor and replays past the answers already yielded.  The answer
+        set deliberately exceeds the push-stream credit window (4 x 256), so
+        the kill lands while chunks are still owed."""
+        tree = tree_of_shape("random", 100, LABELS, 7)
+        query = select_descendant_pairs(LABELS)
+        with Engine(workers=2, replicas=2) as engine:
+            doc = engine.add_tree(tree, query)
+            expected = canonical(doc.stream())
+            assert doc.count() > 4 * 256  # must outrun the buffered window
+            stream = doc.stream()
+            first = [next(stream) for _ in range(3)]
+            victim = engine._pick_read_replica(doc.doc_id)
+            TestProtocolFaults._kill_worker(engine, victim)
+            collected = canonical(first + list(stream))
+            assert collected == expected
+            assert engine.failovers_total >= 1
+
+    def test_orchestrated_replicated_stats(self):
+        """The failover counters, end to end, in one deterministic scenario."""
+        with Engine(workers=3, replicas=2, deadline=5.0) as engine:
+            docs = [
+                engine.add_tree(random_tree(20, LABELS, seed), tree_query(), doc_id=seed)
+                for seed in range(3)
+            ]
+            stats = engine.stats()
+            assert stats["deaths_total"] == 0
+            assert stats["timeouts_total"] == 0
+            assert stats["failovers_total"] == 0
+            assert stats["migrations_total"] == 0
+            assert stats["repairs_pending"] == 0
+            assert all(row["generation"] == 0 for row in stats["shards"])
+            victim_docs = [
+                d.doc_id for d in docs if 0 in engine._replicas_of[d.doc_id]
+            ]
+            TestProtocolFaults._kill_worker(engine, 0)
+            for doc in docs:
+                doc.count()  # reads fail over; the death is observed here
+            engine.await_repairs()
+            stats = engine.stats()
+            assert stats["deaths_total"] == 1
+            assert stats["timeouts_total"] == 0
+            assert stats["failovers_total"] >= 1
+            # exactly the dead shard's documents were re-migrated
+            assert stats["migrations_total"] == len(victim_docs)
+            assert stats["repairs_pending"] == 0
+            assert [row["generation"] for row in stats["shards"]] == [1, 0, 0]
+            # replica_of names every document twice across the fleet
+            placed = sorted(
+                doc_id for row in stats["shards"] for doc_id in row["replica_of"]
+            )
+            assert placed == sorted(list(range(3)) * 2)
+
+
+class TestDeadlines:
+    """No protocol wait may outlive its deadline; hung workers are failed over."""
+
+    @pytest.mark.timeout(30)
+    def test_hung_worker_mid_request_raises_timeout(self):
+        with Engine(workers=1, deadline=0.5, fault_plan="0:count:0:hang") as engine:
+            doc = engine.add_tree(random_tree(20, LABELS, 3), tree_query())
+            with pytest.raises(ShardTimeoutError, match="count") as excinfo:
+                doc.count()
+            assert excinfo.value.shard == 0
+            assert excinfo.value.deadline == 0.5
+            assert excinfo.value.elapsed >= 0.4
+            stats = engine.stats()
+            assert stats["timeouts_total"] == 1
+            assert stats["deaths_total"] == 1  # a timeout *is* a death
+            assert stats["shards"][0]["alive"] is False
+
+    @pytest.mark.timeout(30)
+    def test_hung_worker_mid_stream_raises_timeout(self):
+        # the document needs > STREAM_PAGE_SIZE answers so the stream spans
+        # several chunks; the worker hangs pushing the second one
+        tree = tree_of_shape("random", 100, LABELS, 7)
+        with Engine(
+            workers=1, deadline=0.5, fault_plan="0:stream_chunk:1:hang"
+        ) as engine:
+            doc = engine.add_tree(tree, select_descendant_pairs(LABELS))
+            stream = doc.stream()
+            with pytest.raises(ShardTimeoutError):
+                list(stream)
+            assert engine.stats()["timeouts_total"] == 1
+
+    @pytest.mark.timeout(30)
+    def test_hung_worker_fails_over_under_replication(self):
+        """With replicas, a hang is just a slow crash: reads keep answering."""
+        with Engine(
+            workers=3, replicas=2, deadline=0.5, fault_plan="*:count:0:hang"
+        ) as engine:
+            doc = engine.add_tree(random_tree(20, LABELS, 3), tree_query())
+            answers = list(doc.stream())
+            assert doc.count() == len(answers)  # first count hangs, fails over
+            stats = engine.stats()
+            assert stats["timeouts_total"] >= 1
+            assert stats["failovers_total"] >= 1
+            engine.await_repairs()
+            assert len(engine._replicas_of[doc.doc_id]) == 2
+
+
+class TestFaultInjection:
+    """The fault plan itself, and the parent's protocol hardening."""
+
+    def test_garbage_reply_is_rejected_with_precise_error(self):
+        with Engine(workers=1, fault_plan="0:count:0:garbage") as engine:
+            doc = engine.add_tree(random_tree(20, LABELS, 3), tree_query())
+            with pytest.raises(ShardProtocolError, match="shard worker 0") as excinfo:
+                doc.count()
+            message = str(excinfo.value)
+            assert "garbage" in message  # names the malformed message shape
+            assert "request_id, status" in message  # and the expected shape
+            # the lying worker is dead, not trusted further
+            with pytest.raises(ShardDiedError):
+                doc.count()
+
+    def test_garbage_reply_is_a_death_for_failover_purposes(self):
+        with Engine(workers=2, replicas=2, fault_plan="0:count:0:garbage") as engine:
+            doc = engine.add_tree(random_tree(20, LABELS, 3), tree_query())
+            answers = list(doc.stream())
+            assert doc.count() == len(answers)  # ShardProtocolError -> failover
+            engine.await_repairs()
+            assert canonical(doc.stream()) == canonical(answers)
+
+    def test_crash_before_edit_reply_keeps_replicas_consistent(self):
+        """The worst crash window: the edit may or may not have landed on the
+        crashed replica.  Survivors agree, and the rebuilt replica replays
+        the full edit log, so the fleet converges either way."""
+        tree = tree_of_shape("random", 60, LABELS, 9)
+        leaf = next(n.node_id for n in tree.nodes() if n.is_leaf())
+        with Engine(workers=2, replicas=2, fault_plan="1:edits:0:crash") as engine:
+            doc = engine.add_tree(tree, tree_query())
+            report = doc.apply_edits([Relabel(leaf, "b")])
+            assert report.epoch == 1
+            after_edit = canonical(doc.stream())
+            engine.await_repairs()
+            assert len(engine._replicas_of[doc.doc_id]) == 2
+            # force reads onto the rebuilt replica: kill the survivor
+            survivor = next(
+                s for s in engine._replicas_of[doc.doc_id]
+                if engine._pool.generation(s) == 0
+            )
+            TestProtocolFaults._kill_worker(engine, survivor)
+            assert canonical(doc.stream()) == after_edit
+            assert doc.apply_edits([Relabel(leaf, "a")]).epoch == 2
+
+    def test_fault_spec_parsing(self):
+        from repro.engine.faults import FaultRule, parse_fault_spec
+
+        plan = parse_fault_spec("1:edits:0:crash; *:page:2:hang; 0:add_batch:*:slow:0.05")
+        assert [r.action for r in plan.rules] == ["crash", "hang", "slow"]
+        assert plan.rules[1].shard is None and plan.rules[1].nth == 2
+        assert plan.rules[2].nth is None and plan.rules[2].param == 0.05
+        with pytest.raises(EngineError, match="fault clause"):
+            parse_fault_spec("1:edits:crash")
+        with pytest.raises(EngineError, match="action"):
+            parse_fault_spec("1:edits:0:explode")
+        # one-shot rules disarm; wildcard-nth rules keep firing
+        rule = FaultRule(None, "page", 1, "crash")
+        assert [rule.matches(0, "page") for _ in range(3)] == [False, True, False]
+        always = FaultRule(None, "page", None, "slow", 0.0)
+        assert [always.matches(0, "page") for _ in range(3)] == [True, True, True]
+
+    def test_fault_plan_from_environment(self, monkeypatch):
+        from repro.engine.faults import FAULTS_ENV_VAR
+
+        monkeypatch.setenv(FAULTS_ENV_VAR, "0:count:0:garbage")
+        with Engine(workers=1) as engine:
+            doc = engine.add_tree(random_tree(15, LABELS, 2), tree_query())
+            with pytest.raises(ShardProtocolError):
+                doc.count()
+
+    def test_deferred_stream_closes_cleared_on_shard_death(self):
+        """Regression: deferred stream closes queued for a worker that dies
+        before flushing them must be dropped with the death — a leak here
+        poisoned the respawned worker's stream bookkeeping."""
+        # > 4 x 256 answers: the stream is still owed chunks when abandoned,
+        # so the close is genuinely deferred
+        tree = tree_of_shape("random", 100, LABELS, 7)
+        with Engine(workers=1) as engine:
+            doc = engine.add_tree(tree, select_descendant_pairs(LABELS))
+            stream = doc.stream()
+            next(stream)
+            stream.close()  # abandoning mid-stream defers the close message
+            state = engine._pool._shards[0]
+            assert state.deferred_closes  # the close is parked, not yet sent
+            TestProtocolFaults._kill_worker(engine, 0)
+            with pytest.raises(ShardDiedError):
+                doc.count()  # the send observes the death
+            assert state.deferred_closes == []  # nothing leaked past the death
 
 
 # ============================================================ catalog gc race

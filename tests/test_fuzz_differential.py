@@ -24,6 +24,11 @@ randomized ``Engine(workers=2–3)`` serving scenarios — several documents,
 standing queries, interleaved batched edits, concurrent streams and cursor
 pages — whose full transcripts must be byte-identical to a single-process
 engine, under both the ``fork`` and ``spawn`` start methods.
+``TestFaultInjectedDifferential`` (PR 6) runs the same kind of schedule on a
+replicated fleet (``workers=3, replicas=2``) with exactly one injected fault
+per scenario — a SIGKILL'd worker or a one-shot worker hang the deadline
+machinery must catch — and requires the transcript to stay byte-identical to
+a fault-free single-process oracle.
 
 Environment knobs (used by the scheduled extended-fuzz CI job):
 
@@ -31,11 +36,17 @@ Environment knobs (used by the scheduled extended-fuzz CI job):
 * ``REPRO_FUZZ_SHARDED_SCENARIOS`` — sharded fork-scenario count (default 4;
   spawn runs a third of it, minimum one, because each spawn worker boots a
   fresh interpreter);
+* ``REPRO_FUZZ_FAULT_SCENARIOS`` — fault-injected replicated scenario count
+  (default 3);
 * ``REPRO_FUZZ_SEED`` — base seed offset, rotated by the scheduled job so
   every week explores fresh cases;
 * ``REPRO_FUZZ_ARTIFACTS`` — when set, a failing sharded scenario is
   *minimized* (greedy op-dropping while the divergence persists) and written
   to ``tests/fuzz_artifacts/`` as a self-contained JSON repro.
+
+(The separate ``REPRO_FAULTS`` engine knob composes with the plain sharded
+differential: CI runs a leg with blanket slow-reply noise injected into
+every worker, which must never alter a transcript.)
 """
 
 from __future__ import annotations
@@ -74,6 +85,11 @@ N_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "24"))
 N_EDITS = 3
 FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 N_SHARDED = int(os.environ.get("REPRO_FUZZ_SHARDED_SCENARIOS", "4"))
+N_FAULT = int(os.environ.get("REPRO_FUZZ_FAULT_SCENARIOS", "3"))
+#: deadline of the fault-injected replicated engine: long enough that no
+#: healthy op ever trips it, short enough that each injected hang costs the
+#: suite about this many seconds
+FAULT_DEADLINE = 2.0
 ARTIFACT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fuzz_artifacts")
 
 
@@ -238,6 +254,32 @@ def _sharded_scenario(case_seed: int):
     return workers, trees, queries, doc_query, ops
 
 
+def _fault_scenario(case_seed: int):
+    """A sharded scenario plus exactly **one** injected fault.
+
+    The fault is either a parent-side ``("kill", shard)`` op spliced into the
+    schedule (SIGKILL mid-workload) or a worker-side one-shot hang rule (the
+    deadline machinery must kill and fail over).  One fault per scenario is
+    the contract under test — ``replicas=2`` survives any *single* shard loss
+    with zero document/answer loss; two concurrent losses may legitimately
+    lose cursors.  Returns ``(workers, trees, queries, doc_query, ops,
+    fault_plan)``.
+    """
+    _workers, trees, queries, doc_query, ops = _sharded_scenario(case_seed)
+    workers = 3  # replicas=2 always leaves a survivor to fail over to
+    rng = random.Random(47000 + case_seed)
+    ops = list(ops)
+    fault_plan = None
+    if rng.random() < 0.5:
+        ops.insert(rng.randrange(len(ops) + 1), ("kill", rng.randrange(workers)))
+    else:
+        # a concrete (shard, op, nth) so the one-shot rule fires on at most
+        # one worker: hang exactly once, somewhere plausible in the schedule
+        target_op = rng.choice(("edits", "page", "add_batch", "stream_chunk"))
+        fault_plan = f"{rng.randrange(workers)}:{target_op}:{rng.randrange(2)}:hang"
+    return workers, trees, queries, doc_query, ops, fault_plan
+
+
 def _replay_transcript(trees, queries, doc_query, ops, keep=None, **engine_kwargs):
     """Replay a scenario schedule on one engine; return the full transcript.
 
@@ -261,6 +303,16 @@ def _replay_transcript(trees, queries, doc_query, ops, keep=None, **engine_kwarg
             if keep is not None and op_index not in keep:
                 continue
             kind, doc_index = op[0], op[1]
+            if kind == "kill":
+                # Fault-injection schedules only: SIGKILL one worker of the
+                # replicated engine, mid-workload.  A no-op on the
+                # single-process oracle — the transcripts must stay
+                # byte-identical regardless.
+                if engine.workers:
+                    process = engine._pool._shards[op[1]].process
+                    process.kill()
+                    process.join(timeout=10.0)
+                continue
             doc = docs[doc_index]
             if kind == "edits":
                 try:
@@ -334,17 +386,27 @@ def _replay_transcript(trees, queries, doc_query, ops, keep=None, **engine_kwarg
     return transcript
 
 
-def _transcripts(case_seed: int, start_method, keep=None):
-    workers, trees, queries, doc_query, ops = _sharded_scenario(case_seed)
-    sharded = _replay_transcript(
-        trees, queries, doc_query, ops, keep=keep,
-        workers=workers, start_method=start_method,
-    )
+def _transcripts(case_seed: int, start_method, keep=None, fault=False):
+    if fault:
+        workers, trees, queries, doc_query, ops, fault_plan = _fault_scenario(case_seed)
+        sharded = _replay_transcript(
+            trees, queries, doc_query, ops, keep=keep,
+            workers=workers, replicas=2, deadline=FAULT_DEADLINE,
+            fault_plan=fault_plan, start_method=start_method,
+        )
+    else:
+        workers, trees, queries, doc_query, ops = _sharded_scenario(case_seed)
+        sharded = _replay_transcript(
+            trees, queries, doc_query, ops, keep=keep,
+            workers=workers, start_method=start_method,
+        )
     single = _replay_transcript(trees, queries, doc_query, ops, keep=keep)
     return sharded, single, len(ops)
 
 
-def _minimize_failing_ops(case_seed: int, start_method, n_ops: int, budget: int = 40):
+def _minimize_failing_ops(
+    case_seed: int, start_method, n_ops: int, budget: int = 40, fault=False
+):
     """Greedy ddmin-lite: drop ops one by one while the divergence persists."""
     keep = list(range(n_ops))
     changed = True
@@ -355,27 +417,40 @@ def _minimize_failing_ops(case_seed: int, start_method, n_ops: int, budget: int 
                 break
             trial = [k for k in keep if k != op_index]
             budget -= 1
-            sharded, single, _ = _transcripts(case_seed, start_method, keep=trial)
+            sharded, single, _ = _transcripts(
+                case_seed, start_method, keep=trial, fault=fault
+            )
             if sharded != single:
                 keep = trial
                 changed = True
     return keep
 
 
-def _write_repro_artifact(case_seed: int, start_method, keep, sharded, single) -> str:
+def _write_repro_artifact(
+    case_seed: int, start_method, keep, sharded, single, fault=False
+) -> str:
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
-    workers, trees, _queries, doc_query, ops = _sharded_scenario(case_seed)
+    if fault:
+        workers, trees, _queries, doc_query, ops, fault_plan = _fault_scenario(case_seed)
+    else:
+        workers, trees, _queries, doc_query, ops = _sharded_scenario(case_seed)
+        fault_plan = None
     first_diff = next(
         (i for i, (a, b) in enumerate(zip(sharded, single)) if a != b),
         min(len(sharded), len(single)),
     )
-    path = os.path.join(ARTIFACT_DIR, f"sharded_case_{case_seed}_{start_method}.json")
+    tag = "fault_" if fault else ""
+    path = os.path.join(
+        ARTIFACT_DIR, f"sharded_{tag}case_{case_seed}_{start_method}.json"
+    )
     with open(path, "w", encoding="utf8") as handle:
         json.dump(
             {
                 "case_seed": case_seed,
                 "start_method": start_method,
                 "workers": workers,
+                "fault": fault,
+                "fault_plan": fault_plan,
                 "doc_sizes": [tree.size() for tree in trees],
                 "doc_query": doc_query,
                 "kept_op_indices": keep,
@@ -390,7 +465,8 @@ def _write_repro_artifact(case_seed: int, start_method, keep, sharded, single) -
                 "repro": (
                     "PYTHONPATH=src python -c \"import sys; sys.path.insert(0, 'tests'); "
                     "import test_fuzz_differential as f; "
-                    f"print(f._transcripts({case_seed}, {start_method!r}, keep={keep})[0])\""
+                    f"print(f._transcripts({case_seed}, {start_method!r}, keep={keep}, "
+                    f"fault={fault})[0])\""
                 ),
             },
             handle,
@@ -423,5 +499,39 @@ class TestShardedDifferential:
             pytest.fail(
                 f"sharded transcript diverged from single-process "
                 f"(seed {case_seed}, {start_method}); minimized repro: {path}"
+            )
+        assert sharded == single
+
+
+class TestFaultInjectedDifferential:
+    """The replicated fleet under injected kills and hangs, transcript-exact.
+
+    Each scenario runs ``Engine(workers=3, replicas=2, deadline=...)`` through
+    a randomized serving schedule with exactly one injected fault — a
+    SIGKILL'd worker mid-workload or a one-shot worker hang the deadline
+    machinery must catch — and requires the full transcript (epochs, page
+    bytes, cursor invalidations, stream segments, final answers) to stay
+    byte-identical to a fault-free single-process engine: a single shard
+    loss may cost latency, never an answer.
+    """
+
+    @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("case", range(N_FAULT))
+    def test_faulted_replicated_transcript_matches_single_process(self, case):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"fork start method unavailable on {sys.platform}")
+        case_seed = FUZZ_SEED + case
+        sharded, single, n_ops = _transcripts(case_seed, "fork", fault=True)
+        if sharded != single and os.environ.get("REPRO_FUZZ_ARTIFACTS"):
+            keep = _minimize_failing_ops(case_seed, "fork", n_ops, fault=True)
+            sharded_min, single_min, _ = _transcripts(
+                case_seed, "fork", keep=keep, fault=True
+            )
+            path = _write_repro_artifact(
+                case_seed, "fork", keep, sharded_min, single_min, fault=True
+            )
+            pytest.fail(
+                f"fault-injected replicated transcript diverged from "
+                f"single-process (seed {case_seed}); minimized repro: {path}"
             )
         assert sharded == single
