@@ -37,7 +37,7 @@ from repro.bench.workloads import (
 )
 from repro.core.enumerator import TreeRuntime
 
-BACKENDS = ("pairs", "matrix", "bitset")
+BACKENDS = ("pairs", "matrix", "bitset", "numpy")
 
 
 @contextlib.contextmanager
@@ -537,6 +537,66 @@ def bench_serving(
                     "timeouts_total",
                 )
             }
+        # -- build-cache variant (PR 7): a duplicated-structure ingest — the
+        #    same document added n_docs times — once with the cross-document
+        #    build cache disabled and once enabled.  The cache hash-conses
+        #    whole built subtrees (box + enumeration index), so with the
+        #    cache on every document after the first builds from the cache.
+        #    The descendant query makes the leg build-dominated (its box and
+        #    index construction dwarfs the per-document fixed costs — tree
+        #    copy, term construction, content hashing — that the cache cannot
+        #    remove), so the measured ratio is robust on small quick sweeps.
+        dup_tree = tree_for_experiment(size, "random", seed=SEED)
+        dup_query_name = "descendant"
+
+        def _dup_ingest(engine):
+            times = []
+            docs = []
+            for index in range(n_docs):
+                query = query_for_name(dup_query_name)
+                with _gc_paused():
+                    start = time.perf_counter()
+                    docs.append(engine.add_tree(dup_tree.copy(), query, doc_id=f"dup-{index}"))
+                    times.append(time.perf_counter() - start)
+            answers = {
+                doc.doc_id: sorted(
+                    sorted([str(var), str(pos)] for var, pos in answer)
+                    for answer in doc.stream()
+                )
+                for doc in docs
+            }
+            return times, answers
+
+        _clear_query_caches()
+        with Engine(catalog=catalog_dir, build_cache_size=0) as engine:
+            cold_times, cold_answers = _dup_ingest(engine)
+        _clear_query_caches()
+        with Engine(catalog=catalog_dir) as engine:
+            warm_times, warm_answers = _dup_ingest(engine)
+            cache_counters = {
+                key: value
+                for key, value in engine.stats().items()
+                if key.startswith("build_cache_")
+            }
+        build_cache_section = {
+            "n_docs": n_docs,
+            "doc_size": size,
+            "query": dup_query_name,
+            "cold": {  # cache disabled: every document pays the full build
+                "ingest_total_s": sum(cold_times),
+                "doc_build_median_s": statistics.median(cold_times),
+            },
+            "warm": {  # cache enabled: documents 2..n build from the cache
+                "ingest_total_s": sum(warm_times),
+                "doc_build_median_s": statistics.median(warm_times),
+                **cache_counters,
+            },
+            "ingest_speedup": (
+                sum(cold_times) / sum(warm_times) if sum(warm_times) else float("inf")
+            ),
+            "answers_match_cache_disabled": cold_answers == warm_answers,
+        }
+
         single_final = single.pop("final_answers")
         answers_match = single_final == sharded.pop("final_answers")
         pipelined_match = single_final == pipelined.pop("final_answers")
@@ -610,6 +670,7 @@ def bench_serving(
             },
             "answers_match_single_process": pipelined_match,
         },
+        "build_cache": build_cache_section,
         "replicated": {
             "workers": replica_workers,
             "replicas": 2,
@@ -687,10 +748,12 @@ ENGINE_FACADE_SLACK = 1.05
 #: clock: the with-kill run is budgeted at this factor over the clean
 #: replicated run...
 FAILOVER_OVERHEAD_SLACK = 1.15
-#: ...with an absolute floor, because the quick-smoke clean run is only a few
-#: hundred ms and a single worker respawn (fork + catalog load) is a fixed
-#: cost that would dominate any pure ratio at that scale.
-FAILOVER_TRAFFIC_FLOOR_S = 0.75
+#: ...plus an absolute allowance for the one injected death, because a
+#: single worker respawn (fork + catalog load + replay-rebuild of the
+#: migrated documents) is a fixed cost: on quick sweeps, where the clean run
+#: is only a second or two, it would otherwise eat the whole 15% ratio
+#: budget by itself.
+FAILOVER_RESPAWN_ALLOWANCE_S = 0.75
 
 
 def _delay_regression_gate(payload, out_dir):
@@ -765,6 +828,17 @@ def _speedup_lines(payload):
                 f"  pipelined stream: {stream['answers']} answers in {stream['seconds']*1e3:.1f}ms "
                 f"({stream['chunks']} chunks / {stream['round_trips']} round trips, "
                 f"credit {stream['credit']} x {stream['chunk_size']})"
+            )
+        cache = payload.get("build_cache")
+        if cache:
+            lines.append(
+                f"  build cache (duplicated ingest, {cache['n_docs']} docs): cold "
+                f"{cache['cold']['ingest_total_s']*1e3:.1f}ms -> warm "
+                f"{cache['warm']['ingest_total_s']*1e3:.1f}ms "
+                f"({cache['ingest_speedup']:.2f}x), "
+                f"{cache['warm']['build_cache_hits']} hits / "
+                f"{cache['warm']['build_cache_misses']} misses, answers match "
+                f"cache-disabled: {cache['answers_match_cache_disabled']}"
             )
         replicated = payload.get("replicated")
         if replicated:
@@ -915,6 +989,23 @@ def main(argv=None) -> int:
                         f"for {stream['chunks']} chunks (credit window not working)"
                     )
                     ok = False
+                # Build-cache smoke (PR 7): on the duplicated-structure
+                # ingest the warm (cache-enabled) leg must beat the cold
+                # (cache-disabled) leg with real hits, and disabling the
+                # cache must not change a single answer byte.
+                cache = payload["build_cache"]
+                if not cache["answers_match_cache_disabled"]:
+                    print("  build-cache answers DIVERGED from cache-disabled answers")
+                    ok = False
+                if cache["warm"]["build_cache_hits"] == 0:
+                    print("  build cache recorded zero hits on a duplicated-structure ingest")
+                    ok = False
+                if cache["ingest_speedup"] <= 1.2:
+                    print(
+                        f"  build cache not paying off on duplicated ingest "
+                        f"({cache['ingest_speedup']:.2f}x <= 1.2x)"
+                    )
+                    ok = False
                 # Failover smoke (PR 6): the replicated fleet — clean and with
                 # one worker SIGKILL'd mid-traffic — must serve byte-identical
                 # answers to the single-process engine, and the kill may not
@@ -935,15 +1026,15 @@ def main(argv=None) -> int:
                         f"(expected exactly the 1 injected kill)"
                     )
                     ok = False
-                budget = max(FAILOVER_TRAFFIC_FLOOR_S,
-                             replicated["traffic_total_s"] * FAILOVER_OVERHEAD_SLACK)
+                budget = (replicated["traffic_total_s"] * FAILOVER_OVERHEAD_SLACK
+                          + FAILOVER_RESPAWN_ALLOWANCE_S)
                 if failover["traffic_total_s"] > budget:
                     print(
                         f"  failover traffic {failover['traffic_total_s']*1e3:.0f}ms "
                         f"exceeded its budget {budget*1e3:.0f}ms "
                         f"(clean {replicated['traffic_total_s']*1e3:.0f}ms x "
-                        f"{FAILOVER_OVERHEAD_SLACK} with a "
-                        f"{FAILOVER_TRAFFIC_FLOOR_S*1e3:.0f}ms floor)"
+                        f"{FAILOVER_OVERHEAD_SLACK} + "
+                        f"{FAILOVER_RESPAWN_ALLOWANCE_S*1e3:.0f}ms respawn allowance)"
                     )
                     ok = False
             else:

@@ -37,15 +37,39 @@ cache lookup plus gate instantiation.  The box records its ∪-wiring
 created, which is what lets the index construction (Lemma 6.3) avoid
 rescanning gate inputs.
 
+Plans are stored **struct-of-arrays**: one flat table per gate kind rather
+than one record per gate.  An :class:`_InternalPlan` keeps, in slot order,
+the ∪-gate input descriptors (``slot_inputs``: ``(source, index)`` pairs
+over left/right child ∪-gates and ×-gates), the ×-gate operand slots
+(``prod_pairs``, also split into the two parallel tuples of
+``enum_tables``), the transposed child wiring (``wire_masks``: child slot →
+mask of box slots, lifted lazily into per-backend ``wire_rels`` Relations)
+and the per-slot input masks; a :class:`_LeafPlan` keeps the distinct
+var-gate variable sets (``var_sets``) and a per-∪-slot bitmask over them
+(``slot_var_masks``).  Everything position-independent is computed once per
+plan and *shared* by every box built from it; a freshly built box holds only
+slot-indexed references into these tables, and its gate **objects** are
+materialized lazily (``materialize_unions`` / ``materialize_prods`` /
+``materialize_vars``) the first time something walks the circuit as gates —
+the mask-native enumeration path reads the flat tables directly and never
+creates them.
+
 The two box builders are exposed separately because the incremental
 maintenance of Section 7 (Lemma 7.3) re-invokes them on the trunk of each
 tree hollowing; the plan cache lives on the automaton, so trunk rebuilds hit
 the plans computed during preprocessing.
+
+Above the per-automaton plan cache sits a second, cross-document layer: the
+:class:`BuildCache` (see its section below) hash-conses whole *built*
+subtrees — box plus enumeration index — across the documents of one store,
+keyed by ``(automaton digest, relation backend, subtree content hash)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.automata.binary_tva import BinaryTVA
 from repro.circuits.gates import (
@@ -66,6 +90,12 @@ __all__ = [
     "build_assignment_circuit",
     "export_box_plans",
     "install_box_plans",
+    "BuildCache",
+    "DEFAULT_BUILD_CACHE_SIZE",
+    "automaton_digest",
+    "encode_content",
+    "leaf_content_hash",
+    "internal_content_hash",
 ]
 
 # Input sources of a ∪-gate in an internal-box plan (paired with a slot or
@@ -99,6 +129,8 @@ class _InternalPlan:
         "local_mask",
         "signature",
         "enum_tables",
+        "n_unions",
+        "slot_inputs",
     )
 
     def __init__(
@@ -133,6 +165,39 @@ class _InternalPlan:
             tuple(b for _a, b in prod_pairs),
             slot_prod_masks,
         )
+        self.n_unions = len(left_input_masks)
+        #: per-∪-slot input descriptors, in slot order (the union-state
+        #: subsequence of ``entries``); read by lazy gate materialization.
+        self.slot_inputs = tuple(
+            value for _state, value in entries if value.__class__ is tuple
+        )
+
+    # ----------------------------------------------- lazy gate materialization
+    def materialize_unions(self, box: "Box"):
+        """Create the box's ∪-gates and state_gate mapping (inputs stay lazy)."""
+        return _materialize_unions(self, box)
+
+    def materialize_prods(self, box: "Box"):
+        """Create the box's ×-gates (needs only the children's ∪-gates)."""
+        left_unions = box.left_child.union_gates
+        right_unions = box.right_child.union_gates
+        prods = [
+            ProdGate(box, left_unions[a], right_unions[b]) for a, b in self.prod_pairs
+        ]
+        box._prod_gates = prods
+        return prods
+
+    def materialize_vars(self, box: "Box"):
+        box._var_gates = []
+        return box._var_gates
+
+    def gate_inputs(self, box: "Box", slot: int):
+        """Resolve the (source, index) descriptors of one ∪-slot to gate objects."""
+        sources = (box.left_child.union_gates, box.right_child.union_gates, box.prod_gates)
+        return tuple(sources[source][index] for source, index in self.slot_inputs[slot])
+
+    def gate_counts(self, _box: "Box"):
+        return (self.n_unions, len(self.prod_pairs), 0)
 
 
 class _LeafPlan:
@@ -145,7 +210,15 @@ class _LeafPlan:
     mask-native enumeration of Algorithm 2).
     """
 
-    __slots__ = ("entries", "var_sets", "local_mask", "signature", "slot_var_masks")
+    __slots__ = (
+        "entries",
+        "var_sets",
+        "local_mask",
+        "signature",
+        "slot_var_masks",
+        "n_unions",
+        "slot_inputs",
+    )
 
     def __init__(self, entries, var_sets, local_mask, signature, slot_var_masks):
         self.entries = entries
@@ -153,6 +226,62 @@ class _LeafPlan:
         self.local_mask = local_mask
         self.signature = signature
         self.slot_var_masks = slot_var_masks
+        self.n_unions = len(slot_var_masks)
+        #: per-∪-slot var-gate index tuples, in slot order (the union-state
+        #: subsequence of ``entries``); read by lazy gate materialization.
+        self.slot_inputs = tuple(
+            value for _state, value in entries if value.__class__ is tuple
+        )
+
+    # ----------------------------------------------- lazy gate materialization
+    def materialize_unions(self, box: "Box"):
+        """Create the box's ∪-gates and state_gate mapping (inputs stay lazy)."""
+        return _materialize_unions(self, box)
+
+    def materialize_prods(self, box: "Box"):
+        box._prod_gates = []
+        return box._prod_gates
+
+    def materialize_vars(self, box: "Box"):
+        """Create the box's var-gates from the stamped assignments.
+
+        The assignments live in ``box.enum_tables[0]`` (they embed the
+        per-leaf payload, so they are per-box even though the plan is
+        shared); sharing one VarGate per assignment keeps Svar injective
+        within the circuit (Definition 3.1).
+        """
+        var_gates = [VarGate(box, assignment) for assignment in box.enum_tables[0]]
+        box._var_gates = var_gates
+        return var_gates
+
+    def gate_inputs(self, box: "Box", slot: int):
+        """Resolve one ∪-slot's var-gate index tuple to gate objects."""
+        var_gates = box.var_gates
+        return tuple(var_gates[i] for i in self.slot_inputs[slot])
+
+    def gate_counts(self, _box: "Box"):
+        return (self.n_unions, 0, len(self.var_sets))
+
+
+def _materialize_unions(plan, box):
+    """Shared ∪-gate materialization for both plan kinds.
+
+    Creates one :class:`UnionGate` per union entry (inputs lazy) plus the
+    ``state_gate`` mapping, in ``entries`` order — identical slot numbering
+    to the eager construction.
+    """
+    union_gates = []
+    state_gate = {}
+    for state, value in plan.entries:
+        if value.__class__ is tuple:
+            gate = UnionGate(box, len(union_gates), state)
+            union_gates.append(gate)
+            state_gate[state] = gate
+        else:
+            state_gate[state] = value
+    box._union_gates = union_gates
+    box._state_gate = state_gate
+    return union_gates
 
 
 def _require_homogenized(automaton: BinaryTVA) -> None:
@@ -526,6 +655,163 @@ def install_box_plans(automaton: BinaryTVA, payload: Dict) -> int:
     return installed
 
 
+# --------------------------------------------------------------------------- cross-document build cache
+# Documents in a real fleet share structure, and forest-algebra terms are
+# content-addressable: a subtree's circuit (boxes + enumeration index) is
+# fully determined by (automaton, relation backend, subtree content).  The
+# BuildCache below hash-conses whole built subtrees across documents of one
+# store: the maintainer consults it per term node before building, so the
+# second document with a repeated subtree reuses the first one's boxes and
+# index entries outright.  Sharing is safe because boxes, indexes and
+# relations are immutable once built — updates replace trunk boxes instead of
+# mutating them (Lemma 7.3), so an edit to one document never disturbs
+# another document sharing a subtree.
+
+#: default capacity (entries = cached subtree roots) of the per-store cache;
+#: overridable per engine/store via ``build_cache_size=``.
+DEFAULT_BUILD_CACHE_SIZE = 2048
+
+
+def encode_content(value: object) -> Optional[bytes]:
+    """Canonical byte encoding of a label value, or None if unhashable.
+
+    Supports the payload types documents actually use (str/int/bool/None and
+    tuples thereof).  Exotic label objects return None, which makes the
+    subtree — and every subtree above it — simply uncacheable rather than
+    wrongly shared.
+    """
+    cls = value.__class__
+    if cls is str:
+        return b"s" + value.encode("utf-8") + b"\x00"
+    if cls is bool:
+        return b"b1" if value else b"b0"
+    if cls is int:
+        return b"i%d\x00" % value
+    if value is None:
+        return b"n"
+    if cls is tuple:
+        parts = [b"("]
+        for item in value:
+            encoded = encode_content(item)
+            if encoded is None:
+                return None
+            parts.append(encoded)
+        parts.append(b")")
+        return b"".join(parts)
+    return None
+
+
+def _digest(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=16).digest()
+
+
+def leaf_content_hash(label: object, leaf_payload: object) -> Optional[bytes]:
+    """Content digest of a leaf box: its alphabet label and leaf payload."""
+    encoded = encode_content((label, leaf_payload))
+    if encoded is None:
+        return None
+    return _digest(b"L" + encoded)
+
+
+def internal_content_hash(
+    label: object, left_hash: Optional[bytes], right_hash: Optional[bytes]
+) -> Optional[bytes]:
+    """Content digest of an internal box from its children's digests (O(1))."""
+    if left_hash is None or right_hash is None:
+        return None
+    encoded = encode_content(label)
+    if encoded is None:
+        return None
+    return _digest(b"I" + encoded + left_hash + right_hash)
+
+
+def automaton_digest(automaton: BinaryTVA) -> bytes:
+    """A content digest of the automaton (cached on the instance).
+
+    Uses the canonical serialization of :mod:`repro.automata.serialize`, so
+    two automata with identical content — e.g. the same compiled query loaded
+    in two processes — share cache keys, while any structural difference
+    (states, transitions, finals) changes the digest.
+    """
+    digest = getattr(automaton, "_content_digest", None)
+    if digest is None:
+        from repro.automata.serialize import binary_tva_to_payload, canonical_json
+
+        digest = _digest(canonical_json(binary_tva_to_payload(automaton)).encode("utf-8"))
+        automaton._content_digest = digest
+    return digest
+
+
+class BuildCache:
+    """Bounded LRU cache of built subtrees, shared across documents.
+
+    Keys are ``(automaton digest, relation backend, subtree content hash)``;
+    values are the (immutable) root :class:`Box` of the built subtree, index
+    included.  A capacity of 0 (or None) disables the cache entirely —
+    lookups and inserts become no-ops and no content hashing happens.
+
+    The ``hits`` / ``misses`` / ``evictions`` counters surface through
+    ``LocalStore.stats()`` and ``Engine.stats()`` (summed across shards) as
+    ``build_cache_hits`` / ``build_cache_misses`` / ``build_cache_evictions``.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_BUILD_CACHE_SIZE):
+        self.capacity = int(capacity) if capacity else 0
+        if self.capacity < 0:
+            self.capacity = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Tuple, Box]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[Box]:
+        """Look up a built subtree; counts a hit or a miss."""
+        box = self._entries.get(key)
+        if box is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return box
+
+    def put(self, key: Tuple, box: Box) -> None:
+        """Insert a built subtree, evicting least-recently-used past capacity."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = box
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "build_cache_hits": self.hits,
+            "build_cache_misses": self.misses,
+            "build_cache_evictions": self.evictions,
+            "build_cache_size": len(self._entries),
+            "build_cache_capacity": self.capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BuildCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )
+
+
 def build_leaf_box(label: object, leaf_payload: int, automaton: BinaryTVA) -> Box:
     """Build the box ``B_n`` for a leaf node with the given label.
 
@@ -539,37 +825,28 @@ def build_leaf_box(label: object, leaf_payload: int, automaton: BinaryTVA) -> Bo
         plan = _leaf_plan(automaton, label)
         leaf_plans[label] = plan
 
-    box = Box(label, leaf_payload=leaf_payload)
+    # Struct-of-arrays instantiation: the box is just the plan reference plus
+    # the flat tables (masks shared from the plan, per-leaf assignments).
+    # Gate objects are materialized lazily — the mask-native pipeline never
+    # creates them at all.
+    box = Box(label, leaf_payload=leaf_payload, planned=True)
+    box.build_plan = plan
     box.state_sig = plan.signature
     box.local_mask = plan.local_mask
-    # Var-gates are shared across states: Svar must be injective within the
-    # circuit (Definition 3.1), and sharing is also what makes the
-    # single-var-gate outputs of Algorithm 2 duplicate-free.
-    var_gates = [
-        VarGate(box, frozenset((var, leaf_payload) for var in var_set))
-        for var_set in plan.var_sets
-    ]
-    box.var_gates = var_gates
+    box.n_unions = plan.n_unions
     # Flattened gate tables for mask-native enumeration: leaf boxes have no
-    # ×-gates; the per-slot var masks are shared from the plan.
+    # ×-gates; the per-slot var masks are shared from the plan.  The var
+    # assignments embed the leaf payload, so they are the one per-box part.
     box.enum_tables = (
-        tuple(g.assignment for g in var_gates),
+        tuple(
+            frozenset((var, leaf_payload) for var in var_set)
+            for var_set in plan.var_sets
+        ),
         plan.slot_var_masks,
         (),
         (),
         (),
     )
-    state_gate = box.state_gate
-    union_gates = box.union_gates
-    for state, value in plan.entries:
-        if value.__class__ is tuple:
-            gate = UnionGate(
-                box, len(union_gates), state, tuple(var_gates[i] for i in value)
-            )
-            union_gates.append(gate)
-            state_gate[state] = gate
-        else:
-            state_gate[state] = value
     return box
 
 
@@ -591,38 +868,21 @@ def build_internal_box(
         plan = _internal_plan(automaton, label, left_sig, right_sig)
         internal_plans[key] = plan
 
-    box = Box(label, left_child=left_box, right_child=right_box)
+    # Struct-of-arrays instantiation: every per-slot table (input masks,
+    # enum tables, wiring) is shared from the plan, so building the box is a
+    # handful of attribute stamps.  Gate objects (∪, ×) are materialized
+    # lazily; the mask-native pipeline reads only the flat tables.
+    box = Box(label, left_child=left_box, right_child=right_box, planned=True)
+    box.build_plan = plan
     box.state_sig = plan.signature
     box.wire_plan = plan
     box.local_mask = plan.local_mask
+    box.n_unions = plan.n_unions
     box.enum_tables = plan.enum_tables
     # The per-slot input masks are immutable once built, so every box from
     # this plan shares the plan's tuples.
     box.left_input_masks = plan.left_input_masks
     box.right_input_masks = plan.right_input_masks
-    state_gate = box.state_gate
-    union_gates = box.union_gates
-    left_unions = left_box.union_gates
-    right_unions = right_box.union_gates
-    # ×-gates are shared between target states: the paper defines one gate
-    # д^{q1,q2} per transition source pair.
-    prods = [
-        ProdGate(box, left_unions[a], right_unions[b]) for a, b in plan.prod_pairs
-    ]
-    box.prod_gates = prods
-    sources = (left_unions, right_unions, prods)
-    for state, value in plan.entries:
-        if value.__class__ is tuple:
-            gate = UnionGate(
-                box,
-                len(union_gates),
-                state,
-                tuple(sources[source][slot] for source, slot in value),
-            )
-            union_gates.append(gate)
-            state_gate[state] = gate
-        else:
-            state_gate[state] = value
     return box
 
 

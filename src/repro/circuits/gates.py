@@ -94,15 +94,40 @@ class UnionGate:
     *child* box (this normalization — no ∪→∪ wire within a box — is what the
     construction of Lemma 3.7 produces and what the index of Section 6
     assumes; it is checked by :func:`repro.circuits.dnnf.validate_circuit`).
+
+    For gates of plan-built boxes the ``inputs`` tuple is **lazy**: the box
+    plan knows the wiring as flat (source, index) descriptors, so the input
+    gate objects are only created when something actually walks them (the
+    generic relation-based enumeration, validation, tests).  The mask-native
+    hot paths read the stamped ``Box.enum_tables`` / wiring masks instead and
+    never touch ``inputs``.
     """
 
-    __slots__ = ("box", "slot", "state", "inputs")
+    __slots__ = ("box", "slot", "state", "_inputs")
 
-    def __init__(self, box: "Box", slot: int, state: object, inputs: Tuple[object, ...]):
+    def __init__(
+        self,
+        box: "Box",
+        slot: int,
+        state: object,
+        inputs: Optional[Tuple[object, ...]] = None,
+    ):
         self.box = box
         self.slot = slot
         self.state = state
-        self.inputs = inputs
+        self._inputs = inputs
+
+    @property
+    def inputs(self) -> Tuple[object, ...]:
+        inputs = self._inputs
+        if inputs is None:
+            inputs = self.box.build_plan.gate_inputs(self.box, self.slot)
+            self._inputs = inputs
+        return inputs
+
+    @inputs.setter
+    def inputs(self, value: Tuple[object, ...]) -> None:
+        self._inputs = value
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"UnionGate(slot={self.slot}, state={self.state!r}, fan_in={len(self.inputs)})"
@@ -161,17 +186,20 @@ class Box:
         "leaf_payload",
         "left_child",
         "right_child",
-        "union_gates",
-        "state_gate",
-        "prod_gates",
-        "var_gates",
+        "_union_gates",
+        "_state_gate",
+        "_prod_gates",
+        "_var_gates",
+        "n_unions",
         "left_input_masks",
         "right_input_masks",
         "local_mask",
-        "wire_cache",
+        "_wire_cache",
         "wire_plan",
+        "build_plan",
         "state_sig",
         "enum_tables",
+        "content_hash",
         "index",
     )
 
@@ -181,29 +209,108 @@ class Box:
         leaf_payload: Optional[int] = None,
         left_child: Optional["Box"] = None,
         right_child: Optional["Box"] = None,
+        planned: bool = False,
     ):
         self.label = label
         self.leaf_payload = leaf_payload
         self.left_child = left_child
         self.right_child = right_child
-        self.union_gates: List[UnionGate] = []
-        self.state_gate: Dict[object, object] = {}
-        self.prod_gates: List[ProdGate] = []
-        self.var_gates: List[VarGate] = []
+        if planned:
+            # Struct-of-arrays form: the builder stamps flat tables
+            # (n_unions, masks, enum_tables) and a build plan; the gate
+            # *objects* are materialized lazily by the properties below.
+            self._union_gates: Optional[List[UnionGate]] = None
+            self._state_gate: Optional[Dict[object, object]] = None
+            self._prod_gates: Optional[List[ProdGate]] = None
+            self._var_gates: Optional[List[VarGate]] = None
+        else:
+            self._union_gates = []
+            self._state_gate = {}
+            self._prod_gates = []
+            self._var_gates = []
+        self.n_unions: int = 0
         self.left_input_masks: List[int] = []
         self.right_input_masks: List[int] = []
         self.local_mask: int = 0
-        self.wire_cache: Dict[Tuple[str, str], object] = {}
-        #: the box plan that built this box (carries precomputed transposed
-        #: wire masks and shared wire relations); None when built gate-by-gate.
+        self._wire_cache: Optional[Dict[Tuple[str, str], object]] = None
+        #: the internal box plan that built this box (carries precomputed
+        #: transposed wire masks and shared wire relations); None when built
+        #: gate-by-gate and for leaf boxes.
         self.wire_plan: Optional[object] = None
+        #: the plan (leaf or internal) that can materialize this box's gate
+        #: objects on demand; None for hand-built boxes.
+        self.build_plan: Optional[object] = None
         #: state signature stamped by the box plan that built this box
         #: (see repro.circuits.build); None for hand-built boxes.
         self.state_sig: Optional[Tuple[Tuple[object, bool], ...]] = None
         #: flattened gate tables for mask-native enumeration (see class docs);
         #: None until stamped by the builder or computed by enumeration_tables.
         self.enum_tables: Optional[Tuple] = None
+        #: content digest of the subtree this box was built for, set by the
+        #: cache-aware build of repro.incremental.maintainer; None when the
+        #: cross-document build cache is off or the content is unhashable.
+        #: Stored on the (immutable) box so a trunk rebuild derives the
+        #: parent's hash from the children's in O(1).
+        self.content_hash: Optional[bytes] = None
         self.index = None
+
+    # ----------------------------------------------------- lazy gate storage
+    # Plan-built boxes start as pure struct-of-arrays (flat masks + tables);
+    # the first access to a gate collection materializes just that collection
+    # (union/state gates need nothing, ×-gates need only the children's
+    # ∪-gates — never a deep recursion).  Hand-built boxes get the eager
+    # lists from __init__ and never hit the plan.
+    @property
+    def union_gates(self) -> List[UnionGate]:
+        gates = self._union_gates
+        if gates is None:
+            gates = self.build_plan.materialize_unions(self)
+        return gates
+
+    @union_gates.setter
+    def union_gates(self, value: List[UnionGate]) -> None:
+        self._union_gates = value
+
+    @property
+    def state_gate(self) -> Dict[object, object]:
+        mapping = self._state_gate
+        if mapping is None:
+            self.build_plan.materialize_unions(self)
+            mapping = self._state_gate
+        return mapping
+
+    @state_gate.setter
+    def state_gate(self, value: Dict[object, object]) -> None:
+        self._state_gate = value
+
+    @property
+    def prod_gates(self) -> List[ProdGate]:
+        gates = self._prod_gates
+        if gates is None:
+            gates = self.build_plan.materialize_prods(self)
+        return gates
+
+    @prod_gates.setter
+    def prod_gates(self, value: List[ProdGate]) -> None:
+        self._prod_gates = value
+
+    @property
+    def var_gates(self) -> List[VarGate]:
+        gates = self._var_gates
+        if gates is None:
+            gates = self.build_plan.materialize_vars(self)
+        return gates
+
+    @var_gates.setter
+    def var_gates(self, value: List[VarGate]) -> None:
+        self._var_gates = value
+
+    @property
+    def wire_cache(self) -> Dict[Tuple[str, str], object]:
+        cache = self._wire_cache
+        if cache is None:
+            cache = self._wire_cache = {}
+        return cache
 
     # ------------------------------------------------------------------ api
     def is_leaf_box(self) -> bool:
@@ -222,7 +329,7 @@ class Box:
         inputs = tuple(inputs)
         if not inputs:
             raise CircuitStructureError("∪-gates must have at least one input")
-        if self.state_sig is not None or self.wire_plan is not None:
+        if self.state_sig is not None or self.wire_plan is not None or self.build_plan is not None:
             # Plan-built boxes share their plan's stamped tuples (input masks,
             # enum_tables, state_sig); mutating one would either crash on the
             # shared tuples or silently stale the stamped tables — updates
@@ -249,6 +356,7 @@ class Box:
             else:
                 raise CircuitStructureError(f"unexpected input gate {inp!r}")
         self.union_gates.append(gate)
+        self.n_unions = slot + 1
         if has_local:
             self.local_mask |= 1 << slot
         self.left_input_masks.append(left_mask)
@@ -284,8 +392,24 @@ class Box:
                 stack.append(box.left_child)
 
     def width(self) -> int:
-        """Return the number of ∪-gates of this box (the local width)."""
-        return len(self.union_gates)
+        """Return the number of ∪-gates of this box (the local width).
+
+        Maintained as a plain counter so the hot paths (index construction,
+        Algorithm 3, the mask-native stack) never materialize the gate
+        objects of a plan-built box just to take a length.
+        """
+        return self.n_unions
+
+    def gate_counts(self) -> Tuple[int, int, int]:
+        """Return ``(n_union, n_prod, n_var)`` without materializing gates.
+
+        Plan-built boxes answer from the plan's flat tables; hand-built boxes
+        from their eager gate lists.
+        """
+        plan = self.build_plan
+        if plan is not None:
+            return plan.gate_counts(self)
+        return (len(self._union_gates), len(self._prod_gates), len(self._var_gates))
 
     def enumeration_tables(self) -> Tuple:
         """Return the flattened gate tables used by mask-native enumeration.
@@ -340,7 +464,7 @@ class Box:
 
     def __repr__(self) -> str:  # pragma: no cover
         kind = "leaf" if self.is_leaf_box() else "internal"
-        return f"Box(label={self.label!r}, {kind}, unions={len(self.union_gates)})"
+        return f"Box(label={self.label!r}, {kind}, unions={self.n_unions})"
 
 
 def child_wire_pairs(box: Box, side: str) -> FrozenSet[Tuple[int, int]]:
@@ -411,10 +535,15 @@ class AssignmentCircuit:
         return best
 
     def gate_count(self) -> int:
-        """Return the total number of gates (∪, ×, var) in the circuit."""
+        """Return the total number of gates (∪, ×, var) in the circuit.
+
+        Counts come from the flat per-box tables (:meth:`Box.gate_counts`),
+        so this never materializes the gate objects of plan-built boxes.
+        """
         total = 0
         for box in self.boxes():
-            total += len(box.union_gates) + len(box.prod_gates) + len(box.var_gates)
+            n_union, n_prod, n_var = box.gate_counts()
+            total += n_union + n_prod + n_var
         return total
 
     def root_gates(self, final_states: Optional[Iterable[object]] = None) -> List[object]:

@@ -171,6 +171,7 @@ class TreeRuntime:
         query: UnrankedTVA,
         relation_backend: Optional[str] = None,
         copy_tree: bool = True,
+        build_cache=None,
     ):
         start = time.perf_counter()
         self.query = query
@@ -179,7 +180,10 @@ class TreeRuntime:
         self.binary_automaton = _binary_automaton_for(query, translate_unranked_tva)
         self.term = MaintainedTerm(self.tree)
         self.maintainer = IncrementalCircuitMaintainer(
-            self.term, self.binary_automaton, relation_backend=relation_backend
+            self.term,
+            self.binary_automaton,
+            relation_backend=relation_backend,
+            build_cache=build_cache,
         )
         self._preprocessing_seconds = time.perf_counter() - start
         self._version = 0
@@ -312,6 +316,7 @@ class WordRuntime:
         word: Sequence[object],
         query: WVA,
         relation_backend: Optional[str] = None,
+        build_cache=None,
     ):
         if len(word) == 0:
             raise InvalidEditError("words must be non-empty")
@@ -320,7 +325,10 @@ class WordRuntime:
         self.binary_automaton = _binary_automaton_for(query, translate_wva)
         self.term = MaintainedWordTerm(list(word))
         self.maintainer = IncrementalCircuitMaintainer(
-            self.term, self.binary_automaton, relation_backend=relation_backend
+            self.term,
+            self.binary_automaton,
+            relation_backend=relation_backend,
+            build_cache=build_cache,
         )
         self._preprocessing_seconds = time.perf_counter() - start
         self._version = 0

@@ -117,6 +117,16 @@ class Engine:
         The workers are safe under all of them.
     page_size:
         Default :meth:`Document.page` size.
+    build_cache_size:
+        Capacity (cached subtree roots) of the cross-document build cache
+        each store keeps: documents sharing subtree content (per compiled
+        query) build those subtrees once — boxes and enumeration index
+        included.  ``None`` = the library default
+        (:data:`repro.circuits.build.DEFAULT_BUILD_CACHE_SIZE`), ``0``
+        disables caching.  Sharded engines give every worker its own cache
+        of this capacity; hit/miss/eviction counters surface through
+        :meth:`stats` as ``build_cache_hits`` / ``build_cache_misses`` /
+        ``build_cache_evictions`` (summed across shards).
     """
 
     def __init__(
@@ -130,6 +140,7 @@ class Engine:
         fault_plan=None,
         start_method: Optional[str] = None,
         page_size: int = 50,
+        build_cache_size: Optional[int] = None,
     ):
         if backend is not None:
             from repro.enumeration.relations import validate_backend
@@ -147,7 +158,12 @@ class Engine:
             raise EngineError(
                 f"replicas={replicas} needs at least that many workers, got {workers}"
             )
+        if build_cache_size is not None and build_cache_size < 0:
+            raise EngineError(
+                f"build_cache_size must be >= 0 (0 disables), got {build_cache_size}"
+            )
         self.backend = backend
+        self.build_cache_size = build_cache_size
         self.page_size = page_size
         self.replicas = replicas
         self.deadline = deadline
@@ -185,6 +201,13 @@ class Engine:
         self._placed: Dict[int, int] = {}
         self.failovers_total = 0
         self.migrations_total = 0
+        #: monotonic logical cursor counters, accumulated per edit batch at
+        #: the parent.  Shard-side per-document totals reset when a failover
+        #: rebuilds a replica, so summing them across shards undercounts
+        #: (and replication over-counts by ~R); every edit batch flows
+        #: through this engine, so these parent-side sums are exact.
+        self.cursors_resumed_total = 0
+        self.cursors_invalidated_total = 0
         self._queries: Dict[str, Query] = {}
         #: per shard, the query digests whose source was already shipped
         self._queries_sent: Dict[int, set] = {}
@@ -220,9 +243,14 @@ class Engine:
                     start_method=start_method,
                     deadline=deadline,
                     fault_plan=fault_plan,
+                    build_cache_size=build_cache_size,
                 )
             else:
-                self._store = LocalStore(catalog=self.catalog, relation_backend=backend)
+                self._store = LocalStore(
+                    catalog=self.catalog,
+                    relation_backend=backend,
+                    build_cache_size=build_cache_size,
+                )
         except BaseException:
             self.close()
             raise
@@ -413,6 +441,11 @@ class Engine:
         self._next_cursor_ids[doc_id] = 0
         return document
 
+    def _release_placement(self, shard: int) -> None:
+        """Return one placement slot of a shard (replica lost, removed or
+        never materialized); the counter never goes negative."""
+        self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+
     def _pick_shards(self, count: int) -> List[int]:
         """Load-aware placement: the ``count`` least-loaded live shards.
 
@@ -483,7 +516,7 @@ class Engine:
             shards = [shard for shard in placements[doc_id] if shard in landed]
             for shard in placements[doc_id]:
                 if shard not in shards:
-                    self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+                    self._release_placement(shard)
             if not shards:
                 continue
             self._replicas_of[doc_id] = shards
@@ -557,7 +590,7 @@ class Engine:
             # re-migrated onto the respawned worker.
             replicas = self._replicas_of.pop(doc_id, [])
             for shard in replicas:
-                self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+                self._release_placement(shard)
             self._ingest_blobs.pop(doc_id, None)
             self._edit_logs.pop(doc_id, None)
             self._next_cursor_ids.pop(doc_id, None)
@@ -634,7 +667,7 @@ class Engine:
         for doc_id, replicas in self._replicas_of.items():
             if shard in replicas:
                 replicas.remove(shard)
-                self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+                self._release_placement(shard)
         for key in list(self._cursor_holders):
             holders = self._cursor_holders[key]
             holders.discard(shard)
@@ -712,7 +745,7 @@ class Engine:
                 replicas = self._replicas_of.get(repair["doc_id"])
                 if replicas and shard in replicas:
                     replicas.remove(shard)
-                    self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+                    self._release_placement(shard)
         self._repairs = still
         for shard in set(dead_seen):
             self._after_death(shard)
@@ -742,7 +775,7 @@ class Engine:
                     replicas = self._replicas_of.get(repair["doc_id"])
                     if replicas and shard in replicas:
                         replicas.remove(shard)
-                        self._placed[shard] = max(0, self._placed.get(shard, 0) - 1)
+                        self._release_placement(shard)
             for shard in set(dead_seen):
                 self._after_death(shard)
 
@@ -831,6 +864,11 @@ class Engine:
             # the max across replicas is the true per-batch number.
             report.cursors_resumed = max(r.cursors_resumed for r in reports)
             report.cursors_invalidated = max(r.cursors_invalidated for r in reports)
+        # Accumulate the logical per-batch counts parent-side: shard-held
+        # totals reset when a failover rebuilds a replica, so stats() sums
+        # these monotonic counters instead of the shard-side ones.
+        self.cursors_resumed_total += report.cursors_resumed
+        self.cursors_invalidated_total += report.cursors_invalidated
         self._epochs[doc_id] = report.epoch
         return report
 
@@ -1074,10 +1112,12 @@ class Engine:
         ``deaths_total`` / ``timeouts_total`` (from the pool),
         ``failovers_total`` / ``migrations_total`` / ``repairs_pending``
         (from the engine) and ``replicas``.  The
-        ``cursors_resumed_across_edit_batches`` counter (from the per-shard
-        stores) measures the cursor resume rate the ROADMAP asks for; under
-        replication the cursor counters are replica-inclusive (each replica
-        counts its own copy of every mirrored cursor event).
+        ``cursors_resumed_across_edit_batches`` counter measures the cursor
+        resume rate the ROADMAP asks for; on a sharded engine it (and
+        ``cursors_invalidated``) comes from the parent-side monotonic
+        accumulators — one count per logical cursor event — rather than the
+        shard-held totals, which reset whenever a failover rebuilds a
+        replica and double-count under replication.
         """
         self._check_open()
         if self._pool is None:
@@ -1111,6 +1151,11 @@ class Engine:
                 # Summing per-shard document counts would count every
                 # replica; report logical documents instead.
                 merged["documents"] = len(self._documents)
+            # Logical cursor counters (see the docstring): the shard-side
+            # sums computed above are replaced by the parent-side monotonic
+            # accumulators, which survive replica rebuilds.
+            merged["cursors_resumed_across_edit_batches"] = self.cursors_resumed_total
+            merged["cursors_invalidated"] = self.cursors_invalidated_total
             merged["relation_backend"] = self.backend
             merged["workers"] = len(self._pool)
             merged["replicas"] = self.replicas

@@ -208,14 +208,18 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                 f"bad fault clause {clause!r}: expected shard:op:nth:action[:param]"
             )
         shard_s, op_s, nth_s, action = parts[:4]
-        param = float(parts[4]) if len(parts) == 5 else None
         try:
+            param = float(parts[4]) if len(parts) == 5 else None
             shard = None if shard_s == "*" else int(shard_s)
             nth = None if nth_s == "*" else int(nth_s)
         except ValueError as exc:
             raise EngineError(f"bad fault clause {clause!r}: {exc}") from None
         op = None if op_s == "*" else op_s
-        rules.append(FaultRule(shard, op, nth, action, param))
+        try:
+            rules.append(FaultRule(shard, op, nth, action, param))
+        except EngineError as exc:
+            # FaultRule validates the action; re-raise naming the clause.
+            raise EngineError(f"bad fault clause {clause!r}: {exc}") from None
     return FaultPlan(rules)
 
 

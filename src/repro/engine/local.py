@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.automata.unranked_tva import UnrankedTVA
 from repro.automata.wva import WVA
+from repro.circuits.build import DEFAULT_BUILD_CACHE_SIZE, BuildCache
 from repro.core.enumerator import TreeRuntime, WordRuntime, compiled_automaton_for
 from repro.core.results import UpdateStats
 from repro.errors import ServingError
@@ -308,6 +309,8 @@ class LocalStore:
         self,
         catalog: Optional[QueryCatalog] = None,
         relation_backend: Optional[str] = None,
+        build_cache: Optional[BuildCache] = None,
+        build_cache_size: Optional[int] = None,
     ):
         if relation_backend is not None:
             from repro.enumeration.relations import validate_backend
@@ -315,6 +318,16 @@ class LocalStore:
             validate_backend(relation_backend)
         self.catalog = catalog
         self.relation_backend = relation_backend
+        #: cross-document build cache: subtrees with equal content (per
+        #: compiled query) are built once and shared by every document in
+        #: this store.  Pass ``build_cache_size=0`` to disable, or inject a
+        #: prebuilt :class:`BuildCache` to share it across stores.
+        if build_cache is not None:
+            self.build_cache = build_cache
+        else:
+            self.build_cache = BuildCache(
+                capacity=DEFAULT_BUILD_CACHE_SIZE if build_cache_size is None else build_cache_size
+            )
         self._documents: Dict[object, LocalDocument] = {}
         self._doc_ids = itertools.count()
         #: digest → CompiledQuery resolved so far (catalog or in-process)
@@ -347,13 +360,17 @@ class LocalStore:
     def add_tree(self, tree: UnrankedTree, query: UnrankedTVA, doc_id=None) -> LocalDocument:
         """Serve an unranked tree under a standing tree query (Theorem 8.1)."""
         entry = self._resolve_query(query, "tree")
-        enumerator = TreeRuntime(tree, query, relation_backend=self.relation_backend)
+        enumerator = TreeRuntime(
+            tree, query, relation_backend=self.relation_backend, build_cache=self.build_cache
+        )
         return self._register(enumerator, "tree", entry.digest, doc_id)
 
     def add_word(self, word: Sequence[object], query: WVA, doc_id=None) -> LocalDocument:
         """Serve a word under a standing spanner query (Theorem 8.5)."""
         entry = self._resolve_query(query, "word")
-        enumerator = WordRuntime(word, query, relation_backend=self.relation_backend)
+        enumerator = WordRuntime(
+            word, query, relation_backend=self.relation_backend, build_cache=self.build_cache
+        )
         return self._register(enumerator, "word", entry.digest, doc_id)
 
     def add_documents(
@@ -466,4 +483,5 @@ class LocalStore:
                 d.cursors_resumed_total for d in documents
             ),
             "relation_backend": self.relation_backend,
+            **self.build_cache.stats(),
         }

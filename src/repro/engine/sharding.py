@@ -266,6 +266,7 @@ def _shard_worker_main(
     relation_backend: Optional[str],
     shard_index: int = 0,
     fault_plan=None,
+    build_cache_size: Optional[int] = None,
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -281,7 +282,11 @@ def _shard_worker_main(
     from repro.engine.catalog import QueryCatalog
 
     catalog = QueryCatalog(catalog_root) if catalog_root else None
-    store = LocalStore(catalog=catalog, relation_backend=relation_backend)
+    store = LocalStore(
+        catalog=catalog,
+        relation_backend=relation_backend,
+        build_cache_size=build_cache_size,
+    )
     queries_by_digest: Dict[str, object] = {}
     streams: Dict[int, _WorkerStream] = {}
 
@@ -408,6 +413,7 @@ class ShardPool:
         start_method: Optional[str] = None,
         deadline: Optional[float] = None,
         fault_plan=None,
+        build_cache_size: Optional[int] = None,
     ):
         if workers < 1:
             raise EngineError(f"a shard pool needs at least one worker, got {workers}")
@@ -418,6 +424,7 @@ class ShardPool:
         self._catalog_root = catalog_root
         self._relation_backend = relation_backend
         self._fault_plan = fault_plan
+        self._build_cache_size = build_cache_size
         self.deadline = deadline
         self.deaths_total = 0
         self.timeouts_total = 0
@@ -448,6 +455,7 @@ class ShardPool:
                 self._relation_backend,
                 index,
                 self._fault_plan if generation == 0 else None,
+                self._build_cache_size,
             ),
             name=f"repro-shard-{index}" + (f".{generation}" if generation else ""),
             daemon=True,

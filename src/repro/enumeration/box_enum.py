@@ -39,7 +39,7 @@ def gamma_relation(gamma: Sequence[UnionGate], backend: Optional[str] = None) ->
         if gate.box is not box:
             raise CircuitStructureError("a boxed set must contain gates of a single box")
     return Relation(
-        len(box.union_gates),
+        box.n_unions,
         len(gamma),
         ((gate.slot, position) for position, gate in enumerate(gamma)),
         backend=backend,

@@ -118,7 +118,7 @@ def enumerate_boxed_set(
     if (
         box_enum is indexed_box_enum
         and gamma[0].box.index is not None
-        and get_default_backend() == "bitset"
+        and get_default_backend() in ("bitset", "numpy")
     ):
         for assignment, prov_mask in enumerate_boxed_masks(gamma):
             yield assignment, frozenset(gamma[p] for p in iter_bits(prov_mask))
@@ -301,7 +301,7 @@ class MaskStackEnumeration:
             raise IndexError_(
                 "mask-native enumeration requires the index to be built (build_index)"
             )
-        gmasks = [0] * len(box.union_gates)
+        gmasks = [0] * box.n_unions
         for position, gate in enumerate(gamma):
             gmasks[gate.slot] |= 1 << position
         root_lower = 0
@@ -370,11 +370,11 @@ class MaskStackEnumeration:
                     right_box = cur_box.right_child
                     prod_lefts = fr.prod_lefts
                     prod_rights = fr.prod_rights
-                    lpos = [-1] * len(left_box.union_gates)
-                    lmasks = [0] * len(left_box.union_gates)
+                    lpos = [-1] * left_box.n_unions
+                    lmasks = [0] * left_box.n_unions
                     left_lower = 0
                     pbl: List[int] = []
-                    rpos = [-1] * len(right_box.union_gates)
+                    rpos = [-1] * right_box.n_unions
                     right_slots: List[int] = []
                     pbr: List[int] = []
                     for j in range(len(pp)):
@@ -401,7 +401,7 @@ class MaskStackEnumeration:
                     fr.pbl = pbl
                     fr.pbr = pbr
                     fr.right_slots = right_slots
-                    fr.n_right = len(right_box.union_gates)
+                    fr.n_right = right_box.n_unions
                     fr.right_box = right_box
                     child = fr.left_frame
                     if child is None:

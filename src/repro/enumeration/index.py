@@ -268,7 +268,7 @@ def build_box_index(box: Box, relation_backend: Optional[str] = None) -> BoxInde
     ``box.index`` for convenience.
     """
     index = BoxIndex(box)
-    n = len(box.union_gates)
+    n = box.n_unions
     targets = index.targets
     by_rank = index.by_rank
     identity = Relation.identity(n, backend=relation_backend)

@@ -55,17 +55,17 @@ def wire_relation(box: Box, side: str, backend: Optional[str] = None) -> Relatio
         return cached
     child = box.left_child if side == "left" else box.right_child
     upper_masks = box.left_input_masks if side == "left" else box.right_input_masks
-    transposed = [0] * len(child.union_gates)
+    transposed = [0] * child.n_unions
     for box_slot, mask in enumerate(upper_masks):
         while mask:
             low = mask & -mask
             transposed[low.bit_length() - 1] |= 1 << box_slot
             mask ^= low
     masks = tuple(transposed)
-    intern_key = (len(masks), len(box.union_gates), masks, backend)
+    intern_key = (len(masks), box.n_unions, masks, backend)
     relation = _INTERNED.get(intern_key)
     if relation is None:
-        relation = Relation.from_masks(len(masks), len(box.union_gates), masks, backend=backend)
+        relation = Relation.from_masks(len(masks), box.n_unions, masks, backend=backend)
         if len(_INTERNED) >= _INTERNED_LIMIT:
             _INTERNED.pop(next(iter(_INTERNED)))
         _INTERNED[intern_key] = relation

@@ -130,6 +130,21 @@ class TermNode:
             return ("c", self.label)
         return self.kind
 
+    def content_signature(self) -> object:
+        """What the cross-document build cache hashes for this node.
+
+        Leaves contribute their Λ' letter *and* their tree node id — the id
+        is baked into the leaf box's assignments, so two leaf boxes are
+        interchangeable only when both match (documents numbered from 0
+        still share every identical subtree).  Internal nodes contribute
+        only their operation letter; the children enter the subtree hash
+        through the children's box hashes, keeping the per-node hashing
+        cost O(1) under trunk rebuilds.
+        """
+        if self.left is None:
+            return (self.alphabet_label(), self.tree_node_id)
+        return self.kind
+
     def refresh(self) -> None:
         """Recompute weight and height from the children (after a mutation)."""
         if self.left is None:

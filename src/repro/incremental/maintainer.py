@@ -22,11 +22,18 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from repro.automata.binary_tva import BinaryTVA
-from repro.circuits.build import build_internal_box, build_leaf_box
+from repro.circuits.build import (
+    BuildCache,
+    automaton_digest,
+    build_internal_box,
+    build_leaf_box,
+    internal_content_hash,
+    leaf_content_hash,
+)
 from repro.circuits.gates import AssignmentCircuit, Box
 from repro.enumeration.assignment_iter import CircuitEnumerator
 from repro.enumeration.index import build_box_index
-from repro.enumeration.relations import validate_backend
+from repro.enumeration.relations import get_default_backend, validate_backend
 from repro.errors import CircuitStructureError
 from repro.forest_algebra.maintenance import MaintainedTerm, UpdateReport
 from repro.forest_algebra.terms import TermNode
@@ -45,17 +52,68 @@ def _build_box_for_node(node: TermNode, automaton: BinaryTVA) -> Box:
     return build_internal_box(node.alphabet_label(), left_box, right_box, automaton)
 
 
+def _build_node(
+    node: TermNode,
+    automaton: BinaryTVA,
+    relation_backend: Optional[str],
+    use_index: bool,
+    cache: Optional[BuildCache],
+) -> Box:
+    """Build (or fetch from the cross-document cache) one node's box + index.
+
+    A cache hit skips both the box instantiation *and* the per-box index
+    construction of Lemma 6.3 — for a repeated subtree the whole built
+    subtree (boxes, masks, relations, rank tables) is shared.  The content
+    hash of an internal node derives from the children's ``box.content_hash``
+    in O(1), so trunk rebuilds keep their logarithmic bound.  Hashes live on
+    the immutable boxes rather than the term nodes because term nodes are
+    mutated in place during rebalancing.
+    """
+    content = None
+    key = None
+    if cache is not None and cache.enabled and use_index:
+        if node.is_leaf():
+            content = leaf_content_hash(*node.content_signature())
+        else:
+            left_box = node.left.box
+            right_box = node.right.box
+            content = internal_content_hash(
+                node.content_signature(),
+                None if left_box is None else left_box.content_hash,
+                None if right_box is None else right_box.content_hash,
+            )
+        if content is not None:
+            key = (
+                automaton_digest(automaton),
+                relation_backend or get_default_backend(),
+                content,
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+    box = _build_box_for_node(node, automaton)
+    box.content_hash = content
+    if use_index:
+        build_box_index(box, relation_backend=relation_backend)
+    if key is not None:
+        cache.put(key, box)
+    return box
+
+
 def build_circuit_over_term(
     term: TermNode,
     automaton: BinaryTVA,
     with_index: bool = True,
     relation_backend: Optional[str] = None,
+    build_cache: Optional[BuildCache] = None,
 ) -> AssignmentCircuit:
     """Build the assignment circuit (and index) of ``automaton`` over a term.
 
     Boxes are attached to the term nodes (``TermNode.box``) so that later
     updates can reuse them; the returned :class:`AssignmentCircuit` is a view
-    rooted at the term root's box.
+    rooted at the term root's box.  When a :class:`BuildCache` is supplied
+    (and the index is being built), every subtree is first looked up by
+    content — repeated structure across documents builds once.
     """
     # Bottom-up (post-order) traversal without recursion.
     order: List[TermNode] = []
@@ -69,9 +127,7 @@ def build_circuit_over_term(
             stack.append((node.right, False))
             stack.append((node.left, False))
     for node in order:
-        node.box = _build_box_for_node(node, automaton)
-        if with_index:
-            build_box_index(node.box, relation_backend=relation_backend)
+        node.box = _build_node(node, automaton, relation_backend, with_index, build_cache)
     return AssignmentCircuit(term.box, automaton, box_by_node=None)
 
 
@@ -84,6 +140,7 @@ class IncrementalCircuitMaintainer:
         automaton: BinaryTVA,
         relation_backend: Optional[str] = None,
         use_index: bool = True,
+        build_cache: Optional[BuildCache] = None,
     ):
         self.term = term
         self.automaton = automaton
@@ -91,12 +148,17 @@ class IncrementalCircuitMaintainer:
             validate_backend(relation_backend)  # fail fast, before the build
         self.relation_backend = relation_backend
         self.use_index = use_index
+        self.build_cache = build_cache
         self.version = 0
         #: the boxes replaced by the most recent apply_report call (the old
         #: trunk); read by the serving layer to invalidate cursors precisely.
         self.last_replaced_boxes: List[Box] = []
         build_circuit_over_term(
-            term.root, automaton, with_index=use_index, relation_backend=relation_backend
+            term.root,
+            automaton,
+            with_index=use_index,
+            relation_backend=relation_backend,
+            build_cache=build_cache,
         )
 
     # ------------------------------------------------------------------ views
@@ -135,9 +197,9 @@ class IncrementalCircuitMaintainer:
             old_box = node.box
             if old_box is not None:
                 replaced.append(old_box)
-            node.box = _build_box_for_node(node, self.automaton)
-            if self.use_index:
-                build_box_index(node.box, relation_backend=self.relation_backend)
+            node.box = _build_node(
+                node, self.automaton, self.relation_backend, self.use_index, self.build_cache
+            )
             rebuilt += 1
         self.last_replaced_boxes = replaced
         self.version += 1
@@ -150,5 +212,6 @@ class IncrementalCircuitMaintainer:
             self.automaton,
             with_index=self.use_index,
             relation_backend=self.relation_backend,
+            build_cache=self.build_cache,
         )
         self.version += 1

@@ -751,6 +751,29 @@ class TestResumeRateCounter:
         assert stats["cursors_resumed_across_edit_batches"] == 2
         assert stats["cursors_invalidated"] == 2
 
+    @pytest.mark.timeout(60)
+    def test_counter_survives_failover_replica_rebuild(self):
+        """Replication regression: a replica rebuilt after a crash restarts
+        its store-level counters at zero, and every batch is applied on R
+        replicas at once.  The engine's totals must be the *logical* counts —
+        monotonic across failover, not doubled by replication (the old
+        shard-summed merge got both wrong)."""
+        with Engine(workers=3, replicas=2) as engine:
+            docs = [
+                engine.add_tree(random_tree(20, LABELS, seed), tree_query(), doc_id=seed)
+                for seed in range(3)
+            ]
+            assert self._orchestrate(engine) == (1, 1)
+            assert engine.stats()["cursors_resumed_across_edit_batches"] == 1
+            TestProtocolFaults._kill_worker(engine, 0)
+            for doc in docs:
+                doc.count()  # observe the death, wherever it landed
+            engine.await_repairs()  # rebuilds lost replicas with zeroed stores
+            assert self._orchestrate(engine) == (1, 1)
+            stats = engine.stats()
+        assert stats["cursors_resumed_across_edit_batches"] == 2
+        assert stats["cursors_invalidated"] == 2
+
 
 # ======================================================= replication/failover
 class TestReplication:
@@ -910,6 +933,38 @@ class TestFailover:
             )
             assert placed == sorted(list(range(3)) * 2)
 
+    @pytest.mark.timeout(60)
+    def test_placement_counters_stay_balanced_through_churn(self):
+        """``_placed`` (the per-shard placement load steering `_pick_shards`)
+        must mirror the live replica map after any mix of adds, removes and
+        failovers, and never go negative — every replica-release path routes
+        through one helper."""
+
+        def check(engine):
+            live = {}
+            for shards in engine._replicas_of.values():
+                for shard in shards:
+                    live[shard] = live.get(shard, 0) + 1
+            assert all(count >= 0 for count in engine._placed.values())
+            assert {s: c for s, c in engine._placed.items() if c} == live
+
+        with Engine(workers=3, replicas=2) as engine:
+            docs = [
+                engine.add_tree(random_tree(20, LABELS, seed), tree_query(), doc_id=seed)
+                for seed in range(5)
+            ]
+            check(engine)
+            engine.remove(docs[0].doc_id)
+            check(engine)
+            TestProtocolFaults._kill_worker(engine, 1)
+            for doc in docs[1:]:
+                doc.count()  # observe the death
+            engine.await_repairs()
+            check(engine)
+            engine.remove(docs[1].doc_id)
+            engine.add_documents([random_tree(15, LABELS, 9)], tree_query())
+            check(engine)
+
 
 class TestDeadlines:
     """No protocol wait may outlive its deadline; hung workers are failed over."""
@@ -1019,6 +1074,36 @@ class TestFaultInjection:
         assert [rule.matches(0, "page") for _ in range(3)] == [False, True, False]
         always = FaultRule(None, "page", None, "slow", 0.0)
         assert [always.matches(0, "page") for _ in range(3)] == [True, True, True]
+
+    def test_malformed_fault_specs_name_the_offending_clause(self):
+        """Every parse error carries the exact clause that failed — vital
+        when ``REPRO_FAULTS`` holds a long multi-clause plan."""
+        from repro.engine.faults import parse_fault_spec
+
+        # unknown action: the clause and the valid action list are both named
+        with pytest.raises(
+            EngineError,
+            match=r"bad fault clause '1:edits:0:explode'.*unknown fault action 'explode'",
+        ) as excinfo:
+            parse_fault_spec("0:count:0:garbage; 1:edits:0:explode")
+        assert "crash, hang, slow, garbage" in str(excinfo.value)
+        # non-integer nth / shard
+        with pytest.raises(EngineError, match=r"bad fault clause '\*:page:two:hang'"):
+            parse_fault_spec("*:page:two:hang")
+        with pytest.raises(EngineError, match=r"bad fault clause 'one:page:0:hang'"):
+            parse_fault_spec("one:page:0:hang")
+        # malformed float param
+        with pytest.raises(
+            EngineError, match=r"bad fault clause '0:add_batch:\*:slow:fast'"
+        ):
+            parse_fault_spec("0:add_batch:*:slow:fast")
+        # wrong field counts name the clause and the expected shape
+        for bad in ("1:edits:crash", "1:edits:0:crash:1.0:extra"):
+            with pytest.raises(
+                EngineError,
+                match=rf"bad fault clause '{bad}': expected shard:op:nth:action",
+            ):
+                parse_fault_spec(bad)
 
     def test_fault_plan_from_environment(self, monkeypatch):
         from repro.engine.faults import FAULTS_ENV_VAR

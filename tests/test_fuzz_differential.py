@@ -66,7 +66,7 @@ from repro.automata.brute_force import (
 )
 from repro.automata.homogenize import homogenize
 from repro.circuits.build import build_assignment_circuit
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.enumeration.box_enum import naive_box_enum
 from repro.enumeration.duplicate_free import (
     _enumerate_generic,
@@ -78,7 +78,7 @@ from repro.enumeration.relations import iter_bits
 from repro.trees.edits import random_edit_sequence
 from repro.trees.generators import random_tree
 
-BACKENDS = ("pairs", "matrix", "bitset")
+BACKENDS = ("pairs", "matrix", "bitset", "numpy")
 LABELS = ("a", "b", "c")
 
 N_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "24"))
@@ -115,7 +115,7 @@ class TestEndToEndDifferential:
         tree, query, edits = _scenario(case)
         reference = tree.copy()
         enumerators = {
-            backend: TreeEnumerator(tree, query, relation_backend=backend)
+            backend: TreeRuntime(tree, query, relation_backend=backend)
             for backend in BACKENDS
         }
 

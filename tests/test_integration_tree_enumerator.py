@@ -28,7 +28,7 @@ from repro.core.baselines import (
     RelabelOnlyTreeEnumerator,
     make_enumerator,
 )
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeEnumerator, TreeRuntime
 from repro.errors import StaleIteratorError, UnsupportedUpdateError
 from repro.trees.edits import Delete, Insert, InsertRight, Relabel, random_edit_sequence
 from repro.trees.generators import path_tree, random_tree, star_tree, xml_like_document
@@ -61,7 +61,7 @@ class TestStaticEnumeration:
     def test_matches_oracle_random_trees(self, name, factory, seed):
         query = factory()
         tree = random_tree(14, LABELS, seed=seed)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         check_against_oracle(enumerator, query, tree)
 
     @pytest.mark.parametrize("name,factory", QUERIES)
@@ -69,35 +69,35 @@ class TestStaticEnumeration:
     def test_matches_oracle_adversarial_shapes(self, name, factory, shape):
         query = factory()
         tree = shape(12, LABELS, seed=3)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         check_against_oracle(enumerator, query, tree)
 
     def test_single_node_tree(self):
         query = select_labeled("a", LABELS)
         tree = UnrankedTree("a")
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         answers = list(enumerator.assignments())
         assert answers == [frozenset({("x", tree.root.node_id)})]
 
     def test_answers_reference_tree_node_ids(self):
         query = select_labeled("a", LABELS)
         tree = UnrankedTree.from_nested(("b", ["a", ("c", ["a"])]))
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         a_ids = {n.node_id for n in tree.nodes() if n.label == "a"}
         produced_ids = {node_id for answer in enumerator.assignments() for _var, node_id in answer}
         assert produced_ids == a_ids
 
     def test_boolean_query_yes_and_no(self):
         query = boolean_contains_label("a", LABELS)
-        yes = TreeEnumerator(UnrankedTree.from_nested(("b", ["a"])), query)
-        no = TreeEnumerator(UnrankedTree.from_nested(("b", ["c"])), query)
+        yes = TreeRuntime(UnrankedTree.from_nested(("b", ["a"])), query)
+        no = TreeRuntime(UnrankedTree.from_nested(("b", ["c"])), query)
         assert list(yes.assignments()) == [frozenset()]
         assert list(no.assignments()) == []
 
     def test_second_order_query_answer_sizes(self):
         query = select_label_set("a", LABELS)
         tree = star_tree(6, ("a",), seed=0)  # all labels 'a'
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         answers = list(enumerator.assignments())
         assert len(answers) == 2 ** tree.size()
         assert max(len(a) for a in answers) == tree.size()
@@ -105,7 +105,7 @@ class TestStaticEnumeration:
     def test_stats_reported(self):
         query = select_labeled("a", LABELS)
         tree = random_tree(40, LABELS, seed=4)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         stats = enumerator.stats()
         assert stats.tree_size == 40
         assert stats.term_size == 40
@@ -115,7 +115,7 @@ class TestStaticEnumeration:
     def test_answer_tuples_and_valuations(self):
         query = select_label_pairs("a", "b", LABELS)
         tree = UnrankedTree.from_nested(("c", ["a", "b"]))
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         tuples = set(enumerator.answer_tuples(("x", "y")))
         a_id = tree.nodes_with_label("a")[0].node_id
         b_id = tree.nodes_with_label("b")[0].node_id
@@ -126,7 +126,7 @@ class TestStaticEnumeration:
     def test_count_and_first(self):
         query = select_labeled("a", LABELS)
         tree = star_tree(20, ("a",), seed=0)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         assert enumerator.count() == 20
         assert len(enumerator.first(5)) == 5
 
@@ -137,9 +137,9 @@ class TestStaticEnumeration:
         either = union(has_a, has_b)
         tree_ab = UnrankedTree.from_nested(("c", ["a", "b"]))
         tree_a = UnrankedTree.from_nested(("c", ["a", "c"]))
-        assert list(TreeEnumerator(tree_ab, both).assignments()) == [frozenset()]
-        assert list(TreeEnumerator(tree_a, both).assignments()) == []
-        assert list(TreeEnumerator(tree_a, either).assignments()) == [frozenset()]
+        assert list(TreeRuntime(tree_ab, both).assignments()) == [frozenset()]
+        assert list(TreeRuntime(tree_a, both).assignments()) == []
+        assert list(TreeRuntime(tree_a, either).assignments()) == [frozenset()]
 
 
 class TestUpdates:
@@ -148,7 +148,7 @@ class TestUpdates:
     def test_random_edit_sequences_stay_correct(self, name, factory, seed):
         query = factory()
         tree = random_tree(10, LABELS, seed=seed)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         edits = random_edit_sequence(tree, LABELS, 25, seed=seed + 50)
         reference = tree.copy()
         for edit in edits:
@@ -161,7 +161,7 @@ class TestUpdates:
     def test_update_convenience_methods(self):
         query = select_labeled("a", LABELS)
         tree = UnrankedTree.from_nested(("b", ["c"]))
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         assert enumerator.count() == 0
         stats = enumerator.insert_first_child(tree.root.node_id, "a")
         assert stats.new_node_id is not None
@@ -177,7 +177,7 @@ class TestUpdates:
     def test_trunk_sizes_small_on_large_tree(self):
         query = select_labeled("a", LABELS)
         tree = random_tree(800, LABELS, seed=6)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         target = tree.node_ids()[200]
         stats = enumerator.relabel(target, "a")
         assert stats.trunk_size <= 6 * (tree.size().bit_length()) + 20
@@ -186,7 +186,7 @@ class TestUpdates:
     def test_stale_iterator_detection(self):
         query = select_labeled("a", LABELS)
         tree = star_tree(10, ("a",), seed=0)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         iterator = enumerator.assignments()
         next(iterator)
         enumerator.relabel(tree.root.node_id, "b")
@@ -197,7 +197,7 @@ class TestUpdates:
     def test_grow_from_single_node(self):
         query = select_leaves(LABELS)
         tree = UnrankedTree("a")
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         reference = enumerator.tree  # enumerator owns a copy
         for i in range(15):
             target = reference.node_ids()[i % reference.size()]
@@ -251,7 +251,7 @@ class TestRandomAutomataEndToEnd:
     def test_random_unranked_automata(self, automaton_seed, tree_seed, tree_size, n_edits):
         query = random_unranked_tva(automaton_seed, n_states=2, variables=("x",))
         tree = random_tree(tree_size, LABELS, seed=tree_seed)
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         reference = tree.copy()
         assert set(enumerator.assignments()) == unranked_satisfying_assignments(query, reference)
         edits = random_edit_sequence(tree, LABELS, n_edits, seed=tree_seed + 1)
@@ -259,3 +259,15 @@ class TestRandomAutomataEndToEnd:
             edit.apply_to_tree(reference)
             enumerator.apply(edit)
             assert set(enumerator.assignments()) == unranked_satisfying_assignments(query, reference)
+
+
+class TestDeprecatedTreeEnumerator:
+    def test_tree_enumerator_shim_is_deprecated(self):
+        """The one sanctioned use of the legacy name: it must warn, and be
+        the same machinery as TreeRuntime."""
+        query = select_labeled("a", LABELS)
+        tree = random_tree(10, LABELS, seed=0)
+        with pytest.deprecated_call():
+            shim = TreeEnumerator(tree, query)
+        assert isinstance(shim, TreeRuntime)
+        check_against_oracle(shim, query, tree)

@@ -21,7 +21,7 @@ from repro.bench.workloads import (
     spanner_document,
     tree_for_experiment,
 )
-from repro.core.enumerator import TreeEnumerator
+from repro.core.enumerator import TreeRuntime
 from repro.lower_bound.marked_ancestor import (
     EnumerationMarkedAncestor,
     MarkedAncestorInstance,
@@ -106,15 +106,15 @@ class TestBenchHelpers:
         large = nondeterministic_family(3)
         assert large.size() > small.size()
         # the enumeration pipeline handles the family and agrees with the oracle
-        enumerator = TreeEnumerator(tree, small)
+        enumerator = TreeRuntime(tree, small)
         assert set(enumerator.assignments()) == unranked_satisfying_assignments(small, tree)
 
     def test_measure_helpers(self):
         tree = tree_for_experiment(60, "random", seed=4)
         query = query_for_name("select-a")
-        seconds = measure_preprocessing(lambda: TreeEnumerator(tree, query))
+        seconds = measure_preprocessing(lambda: TreeRuntime(tree, query))
         assert seconds > 0
-        enumerator = TreeEnumerator(tree, query)
+        enumerator = TreeRuntime(tree, query)
         delays = measure_delays(enumerator, max_answers=10)
         assert delays.count <= 10
         updates = measure_updates(enumerator, mixed_workload(tree, 5, seed=0))

@@ -31,7 +31,7 @@ from repro.enumeration.relations import (
     set_default_backend,
 )
 
-BACKENDS = ("pairs", "matrix", "bitset")
+BACKENDS = ("pairs", "matrix", "bitset", "numpy")
 BACKEND_PAIRS = list(itertools.combinations(BACKENDS, 2))
 
 
@@ -244,15 +244,19 @@ class TestBackendValidation:
             Relation(2, 2, backend="matrx")
 
     def test_enumerator_keyword_fails_fast(self):
-        from repro.core.enumerator import TreeEnumerator
+        from repro.core.enumerator import TreeRuntime
         from repro.automata.queries import select_labeled
         from repro.trees.unranked import UnrankedTree
 
         tree = UnrankedTree.from_nested(("a", ["b"]))
         with pytest.raises(ValueError, match="valid backends are"):
-            TreeEnumerator(tree, select_labeled("a", ("a", "b")), relation_backend="biset")
+            TreeRuntime(tree, select_labeled("a", ("a", "b")), relation_backend="biset")
 
     def test_valid_backends_accepted(self):
-        for backend in ("pairs", "matrix", "bitset"):
-            set_default_backend(backend)
-            assert get_default_backend() == backend
+        original = get_default_backend()
+        try:
+            for backend in BACKENDS:
+                set_default_backend(backend)
+                assert get_default_backend() == backend
+        finally:
+            set_default_backend(original)

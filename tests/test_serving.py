@@ -24,8 +24,9 @@ import pytest
 
 from repro.automata.queries import select_descendant_pairs, select_labeled
 from repro.automata.serialize import query_digest
-from repro.core.enumerator import TreeEnumerator, WordEnumerator, _COMPILED_QUERIES
+from repro.core.enumerator import TreeRuntime, WordRuntime, _COMPILED_QUERIES
 from repro.errors import CatalogError, CursorInvalidatedError, ServingError
+from repro.engine.local import LocalStore
 from repro.serving import DocumentStore, QueryCatalog
 from repro.serving.codec import compiled_query_from_json
 from repro.spanners.compile import regex_to_wva
@@ -50,7 +51,7 @@ def fresh_compile_answers(tree, query):
     plain = query.__class__(
         query.states, query.variables, query.initial, query.delta, query.final
     )
-    return canonical_answers(TreeEnumerator(tree, plain).assignments())
+    return canonical_answers(TreeRuntime(tree, plain).assignments())
 
 
 # =========================================================================== catalog
@@ -60,7 +61,7 @@ class TestQueryCatalog:
         tree = tree_of_shape("random", 160, LABELS, 11)
         catalog = QueryCatalog(str(tmp_path))
         # warm the plan cache with one document build, then persist
-        warm = TreeEnumerator(tree, query)
+        warm = TreeRuntime(tree, query)
         expected = canonical_answers(warm.assignments())
         catalog.save(query, automaton=warm.binary_automaton)
         assert query in catalog
@@ -131,7 +132,7 @@ class TestQueryCatalog:
         loaded = catalog.load(catalog.digest_of(query), use_cache=False)
         fresh_query = select_descendant_pairs(LABELS)
         loaded.attach(fresh_query)
-        enumerator = TreeEnumerator(tree, fresh_query, relation_backend=backend)
+        enumerator = TreeRuntime(tree, fresh_query, relation_backend=backend)
         assert enumerator.binary_automaton is loaded.automaton  # no recompile
         assert canonical_answers(enumerator.assignments()) == expected
 
@@ -139,7 +140,7 @@ class TestQueryCatalog:
         """The acceptance test: persist, reload in a subprocess, compare bytes."""
         query = select_descendant_pairs(LABELS)
         tree = tree_of_shape("random", 140, LABELS, 5)
-        warm = TreeEnumerator(tree, query)
+        warm = TreeRuntime(tree, query)
         expected = canonical_answers(warm.assignments())
 
         catalog = QueryCatalog(str(tmp_path))
@@ -186,12 +187,12 @@ print(json.dumps({
 
 
 # =========================================================================== store
-class TestDocumentStore:
+class TestLocalStore:
     def test_documents_share_one_compiled_automaton(self, tmp_path):
         catalog = QueryCatalog(str(tmp_path))
         query = select_labeled("a", LABELS)
         catalog.save(query)
-        store = DocumentStore(catalog=catalog)
+        store = LocalStore(catalog=catalog)
         docs = [
             store.add_tree(tree_of_shape("random", 80, LABELS, seed), query)
             for seed in range(4)
@@ -201,7 +202,7 @@ class TestDocumentStore:
         assert store.stats()["compiled_queries"] == 1
 
     def test_batched_edits_one_epoch_step(self):
-        store = DocumentStore()
+        store = LocalStore()
         query = select_labeled("a", LABELS)
         doc = store.add_tree(tree_of_shape("random", 60, LABELS, 1), query)
         nodes = [n for n in doc.enumerator.tree.nodes() if not n.is_root()][:3]
@@ -216,7 +217,7 @@ class TestDocumentStore:
         )
 
     def test_word_documents_and_edits(self):
-        store = DocumentStore()
+        store = LocalStore()
         alphabet = ("a", "b", "c")
         wva = regex_to_wva(".*x{b}.*", alphabet)
         doc = store.add_word(list("abacaba"), wva)
@@ -225,7 +226,7 @@ class TestDocumentStore:
         report = doc.apply_edits([("replace", positions[1], "c")])
         assert report.epoch == 1
         assert doc.count() == 1
-        reference = WordEnumerator(doc.enumerator.word(), regex_to_wva(".*x{b}.*", alphabet))
+        reference = WordRuntime(doc.enumerator.word(), regex_to_wva(".*x{b}.*", alphabet))
         assert sorted(map(sorted, doc.answers())) == sorted(
             map(sorted, reference.assignments())
         )
@@ -233,7 +234,7 @@ class TestDocumentStore:
             doc.apply_edits([("frobnicate", 0)])
 
     def test_unknown_document_and_duplicate_ids(self):
-        store = DocumentStore()
+        store = LocalStore()
         query = select_labeled("a", LABELS)
         with pytest.raises(ServingError, match="no document"):
             store.document("nope")
@@ -243,13 +244,13 @@ class TestDocumentStore:
 
     def test_backend_typo_fails_fast(self):
         with pytest.raises(ValueError, match="did you mean 'bitset'"):
-            DocumentStore(relation_backend="bitsets")
+            LocalStore(relation_backend="bitsets")
 
     def test_failed_batch_still_invalidates_cursors(self):
         """An exception mid-batch must not leave cursors serving stale pages:
         the edits already applied rebuilt real trunks, so the epoch advances
         and overlapping cursors are invalidated before the error propagates."""
-        store = DocumentStore()
+        store = LocalStore()
         query = select_labeled("a", LABELS)
         doc = store.add_tree(tree_of_shape("random", 60, LABELS, 4), query)
         cursor = doc.open_cursor(page_size=2)  # unfetched: depends on the root box
@@ -265,7 +266,7 @@ class TestDocumentStore:
         assert doc.epoch == 1
 
     def test_remove_closes_every_cursor(self):
-        store = DocumentStore()
+        store = LocalStore()
         query = select_labeled("a", LABELS)
         doc = store.add_tree(tree_of_shape("random", 60, LABELS, 4), query)
         cursors = [doc.open_cursor(page_size=3) for _ in range(3)]
@@ -275,7 +276,7 @@ class TestDocumentStore:
             cursors[1].fetch()
 
     def test_dead_cursors_are_pruned_from_the_document(self):
-        store = DocumentStore()
+        store = LocalStore()
         query = select_labeled("a", LABELS)
         doc = store.add_tree(tree_of_shape("random", 60, LABELS, 4), query)
         for _ in range(5):
@@ -308,7 +309,7 @@ def _tree_with_isolated_answers():
 
 class TestCursors:
     def setup_method(self):
-        self.store = DocumentStore()
+        self.store = LocalStore()
         self.query = select_labeled("a", ("r", "c", "d") + LABELS[:2])
 
     def test_pages_are_duplicate_free_and_complete(self):
@@ -420,3 +421,19 @@ class TestCursors:
         got = cursor.fetch_all()
         assert sorted(map(sorted, got)) == expected
         assert len(got) == len(set(got))
+
+
+# =========================================================================== shims
+class TestDeprecatedStoreShim:
+    def test_document_store_shim_is_deprecated(self):
+        """The one sanctioned use of the legacy store name: it must warn and
+        behave exactly like LocalStore."""
+        with pytest.deprecated_call():
+            store = DocumentStore()
+        assert isinstance(store, LocalStore)
+        doc = store.add_tree(
+            tree_of_shape("random", 30, LABELS, 1), select_labeled("a", LABELS)
+        )
+        assert doc.count() == sum(
+            1 for n in doc.enumerator.tree.nodes() if n.label == "a"
+        )

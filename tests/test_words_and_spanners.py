@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.automata.wva import WVA
-from repro.core.enumerator import WordEnumerator
+from repro.core.enumerator import WordEnumerator, WordRuntime
 from repro.errors import InvalidAutomatonError, InvalidEditError, RegexSyntaxError
 from repro.spanners.compile import regex_to_wva
 from repro.spanners.regex import parse_regex
@@ -131,35 +131,38 @@ class TestSpanner:
     def test_enumerator_agrees_with_oracle(self):
         spanner = Spanner(".* x{a+} .*", ("a", "b"))
         document = list("abaab")
-        enumerator = spanner.enumerator(document)
+        # Spanner.enumerator is the deprecated entry point (Engine.add_word
+        # is the replacement); this is its one sanctioned, warning-checked use.
+        with pytest.deprecated_call():
+            enumerator = spanner.enumerator(document)
         expected = spanner.matches(document)
         produced = set(enumerator.assignments_by_index())
         assert produced == expected
 
 
-# --------------------------------------------------------------------------- WordEnumerator
-class TestWordEnumerator:
+# --------------------------------------------------------------------------- WordRuntime
+class TestWordRuntime:
     def test_matches_oracle_static(self):
         automaton = simple_wva()
         word = list("abcab")
-        enumerator = WordEnumerator(word, automaton)
+        enumerator = WordRuntime(word, automaton)
         produced = set(enumerator.assignments_by_index())
         assert produced == automaton.satisfying_assignments(word)
         assert len(list(enumerator.assignments())) == len(produced)
 
     def test_empty_word_rejected(self):
         with pytest.raises(InvalidEditError):
-            WordEnumerator([], simple_wva())
+            WordRuntime([], simple_wva())
 
     def test_stats(self):
-        enumerator = WordEnumerator(list("abcabc"), simple_wva())
+        enumerator = WordRuntime(list("abcabc"), simple_wva())
         stats = enumerator.stats()
         assert stats.tree_size == 6
         assert stats.circuit_width >= 1
 
     def test_replace_insert_delete(self):
         automaton = simple_wva()
-        enumerator = WordEnumerator(list("bbb"), automaton)
+        enumerator = WordRuntime(list("bbb"), automaton)
         assert enumerator.count() == 0
         # replace the middle letter by 'a'
         middle = enumerator.position_ids()[1]
@@ -180,7 +183,7 @@ class TestWordEnumerator:
         automaton = simple_wva()
         rng = random.Random(3)
         word = [rng.choice(ALPHABET) for _ in range(8)]
-        enumerator = WordEnumerator(word, automaton)
+        enumerator = WordRuntime(word, automaton)
         for _ in range(60):
             ids = enumerator.position_ids()
             action = rng.choice(["replace", "insert", "delete"])
@@ -196,13 +199,13 @@ class TestWordEnumerator:
             assert set(enumerator.assignments_by_index()) == expected
 
     def test_delete_last_letter_rejected(self):
-        enumerator = WordEnumerator(["a"], simple_wva())
+        enumerator = WordRuntime(["a"], simple_wva())
         with pytest.raises(InvalidEditError):
             enumerator.delete(enumerator.position_ids()[0])
 
     def test_word_term_height_stays_logarithmic(self):
         automaton = simple_wva()
-        enumerator = WordEnumerator(list("ab"), automaton)
+        enumerator = WordRuntime(list("ab"), automaton)
         last = enumerator.position_ids()[-1]
         for _ in range(300):
             stats = enumerator.insert_after(last, "b")
@@ -215,5 +218,13 @@ class TestWordEnumerator:
         rng = random.Random(seed)
         word = [rng.choice(ALPHABET) for _ in range(length)]
         automaton = simple_wva()
-        enumerator = WordEnumerator(word, automaton)
+        enumerator = WordRuntime(word, automaton)
         assert set(enumerator.assignments_by_index()) == automaton.satisfying_assignments(word)
+
+    def test_word_enumerator_shim_is_deprecated(self):
+        """The one sanctioned use of the legacy name: it must warn, and be
+        the same machinery as WordRuntime."""
+        with pytest.deprecated_call():
+            shim = WordEnumerator(list("aba"), simple_wva())
+        assert isinstance(shim, WordRuntime)
+        assert shim.count() == 2
