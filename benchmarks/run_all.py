@@ -252,6 +252,13 @@ def bench_delay(size: int, max_answers: int):
             "direct_median_s": direct_best,
             "engine_median_s": facade_best,
             "overhead_ratio": facade_best / direct_best if direct_best else float("inf"),
+            # The engine carries the observability instrumentation in its
+            # *off* state here (no trace, no delay budget), so this same
+            # ratio doubles as the tracing-off overhead gate: all the hooks
+            # left in the hot path together must cost <5%.
+            "tracing_off_overhead_ratio": (
+                facade_best / direct_best if direct_best else float("inf")
+            ),
         },
     }
 
@@ -597,6 +604,40 @@ def bench_serving(
             "answers_match_cache_disabled": cold_answers == warm_answers,
         }
 
+        # -- observability variant (PR 8): the sharded fleet with the live
+        #    per-answer delay SLO armed (``delay_budget``).  Every worker
+        #    records each enumerated answer's delay into the merged
+        #    ``answer_delay_seconds`` histogram; on a healthy fleet the p95
+        #    must sit far under the budget with zero violations (gated by
+        #    the smoke), and the recorded p99 lands in the committed file.
+        obs_budget_s = 0.25
+        _clear_query_caches()
+        with Engine(
+            catalog=catalog_dir, workers=shard_workers, delay_budget=obs_budget_s
+        ) as engine:
+            obs_docs = [engine.add_tree(trees[i], queries[i]) for i in range(n_docs)]
+            with _gc_paused():
+                obs_answers = sum(1 for doc in obs_docs for _ in doc.stream())
+            for index, doc in enumerate(obs_docs):
+                doc.apply_edits(doc_edits[index][:edits_per_batch])
+            obs_metrics = engine.metrics()
+        obs_delay = obs_metrics["answer_delay_seconds"]
+        obs_section = {
+            "workers": shard_workers,
+            "delay_budget_s": obs_budget_s,
+            "answers_observed": obs_answers,
+            "delay_histogram": {
+                "count": obs_delay["count"],
+                "p50_s": obs_delay["p50"],
+                "p95_s": obs_delay["p95"],
+                "p99_s": obs_delay["p99"],
+                "max_s": obs_delay["max"],
+            },
+            "delay_violations": obs_metrics.get("delay_violations", {}).get("value", 0),
+            "update_batch_p95_s": obs_metrics["update_batch_seconds"]["p95"],
+            "protocol_round_trip_p95_s": obs_metrics["protocol_round_trip_seconds"]["p95"],
+        }
+
         single_final = single.pop("final_answers")
         answers_match = single_final == sharded.pop("final_answers")
         pipelined_match = single_final == pipelined.pop("final_answers")
@@ -671,6 +712,7 @@ def bench_serving(
             "answers_match_single_process": pipelined_match,
         },
         "build_cache": build_cache_section,
+        "obs": obs_section,
         "replicated": {
             "workers": replica_workers,
             "replicas": 2,
@@ -839,6 +881,16 @@ def _speedup_lines(payload):
                 f"{cache['warm']['build_cache_hits']} hits / "
                 f"{cache['warm']['build_cache_misses']} misses, answers match "
                 f"cache-disabled: {cache['answers_match_cache_disabled']}"
+            )
+        obs = payload.get("obs")
+        if obs:
+            delay_hist = obs["delay_histogram"]
+            lines.append(
+                f"  obs ({obs['workers']} workers, {obs['delay_budget_s']*1e3:.0f}ms budget): "
+                f"answer delay n={delay_hist['count']} "
+                f"p50 {delay_hist['p50_s']*1e6:.1f}us / p95 {delay_hist['p95_s']*1e6:.1f}us / "
+                f"p99 {delay_hist['p99_s']*1e6:.1f}us / max {delay_hist['max_s']*1e6:.1f}us, "
+                f"{obs['delay_violations']} violations"
             )
         replicated = payload.get("replicated")
         if replicated:
@@ -1026,6 +1078,30 @@ def main(argv=None) -> int:
                         f"(expected exactly the 1 injected kill)"
                     )
                     ok = False
+                # Observability smoke (PR 8): with the delay SLO armed the
+                # merged per-answer delay histogram must hold exactly one
+                # sample per enumerated answer and its p95 must sit under
+                # the budget (zero violations on a healthy fleet).
+                obs = payload["obs"]
+                delay_hist = obs["delay_histogram"]
+                if delay_hist["count"] != obs["answers_observed"]:
+                    print(
+                        f"  obs histogram holds {delay_hist['count']} delay samples "
+                        f"for {obs['answers_observed']} enumerated answers"
+                    )
+                    ok = False
+                if delay_hist["p95_s"] > obs["delay_budget_s"]:
+                    print(
+                        f"  obs delay p95 {delay_hist['p95_s']*1e6:.1f}us exceeds the "
+                        f"{obs['delay_budget_s']*1e3:.0f}ms budget"
+                    )
+                    ok = False
+                if obs["delay_violations"] != 0:
+                    print(
+                        f"  obs recorded {obs['delay_violations']} delay violations "
+                        f"on a healthy fleet"
+                    )
+                    ok = False
                 budget = (replicated["traffic_total_s"] * FAILOVER_OVERHEAD_SLACK
                           + FAILOVER_RESPAWN_ALLOWANCE_S)
                 if failover["traffic_total_s"] > budget:
@@ -1047,14 +1123,15 @@ def main(argv=None) -> int:
                     ok = backends["bitset"]["median_s"] <= backends["pairs"]["median_s"] * 1.5
                     if not _delay_regression_gate(payload, args.out):
                         ok = False
-                    # Facade smoke: Engine.stream() must add <5% to the
-                    # bitset delay median measured in this same run.
+                    # Facade / tracing-off smoke: Engine.stream() — which now
+                    # carries every observability hook in its off state — must
+                    # add <5% to the bitset delay median of this same run.
                     facade = payload["engine_facade"]
-                    if facade["overhead_ratio"] > ENGINE_FACADE_SLACK:
+                    if facade["tracing_off_overhead_ratio"] > ENGINE_FACADE_SLACK:
                         print(
-                            f"  engine facade overhead "
-                            f"{(facade['overhead_ratio'] - 1) * 100:.1f}% exceeds "
-                            f"{(ENGINE_FACADE_SLACK - 1) * 100:.0f}%"
+                            f"  engine facade (tracing off) overhead "
+                            f"{(facade['tracing_off_overhead_ratio'] - 1) * 100:.1f}% "
+                            f"exceeds {(ENGINE_FACADE_SLACK - 1) * 100:.0f}%"
                         )
                         ok = False
                 else:

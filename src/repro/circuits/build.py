@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.automata.binary_tva import BinaryTVA
@@ -755,7 +756,7 @@ class BuildCache:
     ``build_cache_hits`` / ``build_cache_misses`` / ``build_cache_evictions``.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "evictions", "on_hit_seconds", "_entries")
 
     def __init__(self, capacity: Optional[int] = DEFAULT_BUILD_CACHE_SIZE):
         self.capacity = int(capacity) if capacity else 0
@@ -764,6 +765,10 @@ class BuildCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: optional observability hook: called with the lookup latency
+        #: (seconds) of every cache *hit*; wired to the engine's
+        #: ``build_cache_hit_seconds`` histogram when metrics are on.
+        self.on_hit_seconds = None
         self._entries: "OrderedDict[Tuple, Box]" = OrderedDict()
 
     @property
@@ -775,12 +780,16 @@ class BuildCache:
 
     def get(self, key: Tuple) -> Optional[Box]:
         """Look up a built subtree; counts a hit or a miss."""
+        on_hit = self.on_hit_seconds
+        start = perf_counter() if on_hit is not None else 0.0
         box = self._entries.get(key)
         if box is None:
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if on_hit is not None:
+            on_hit(perf_counter() - start)
         return box
 
     def put(self, key: Tuple, box: Box) -> None:

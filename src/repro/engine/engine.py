@@ -62,6 +62,7 @@ import os
 import pickle
 import shutil
 import tempfile
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.catalog import QueryCatalog
@@ -71,6 +72,8 @@ from repro.engine.local import BatchUpdateReport, LocalStore
 from repro.engine.query import Query, normalize_query_source
 from repro.engine.sharding import STREAM_CREDIT, ShardPool
 from repro.errors import EngineError, ServingError, ShardDiedError, StaleIteratorError
+from repro.obs import EventLog, MetricsRegistry, Tracer, render_prometheus
+from repro.obs.tracing import trace_path_from_env
 from repro.trees.unranked import UnrankedTree
 
 __all__ = ["Engine"]
@@ -127,6 +130,30 @@ class Engine:
         of this capacity; hit/miss/eviction counters surface through
         :meth:`stats` as ``build_cache_hits`` / ``build_cache_misses`` /
         ``build_cache_evictions`` (summed across shards).
+    trace:
+        ``True`` enables request tracing: every engine call opens a span,
+        shard workers parent their protocol spans under it, and
+        :meth:`dump_trace` exports one coherent Chrome-trace JSON.  A
+        prebuilt :class:`~repro.obs.Tracer` may be passed instead.  Setting
+        the ``REPRO_TRACE`` environment variable to a directory enables
+        tracing too and auto-dumps the trace there on :meth:`close`.
+        Default off — the instrumentation left in the hot paths is a single
+        attribute check (gated under 5% by the benchmark suite).
+    delay_budget:
+        Opt-in per-answer delay SLO (seconds).  Arms a
+        :class:`~repro.obs.DelayMonitor` in every store/worker: each
+        produced answer's delay is recorded into the
+        ``answer_delay_seconds`` histogram (see :meth:`metrics`) and every
+        budget breach logs a ``delay_violation`` event (never raises unless
+        ``delay_strict``).  ``None`` (default) keeps the enumeration hot
+        path entirely hook-free.
+    delay_strict:
+        With a ``delay_budget``, raise :class:`~repro.errors.EngineError`
+        on the first breach instead of just recording it (in-process
+        engines only; sharded workers always record).
+    slow_op_seconds:
+        Threshold above which a shard protocol round trip is logged as a
+        ``slow_op`` event (default 1.0; ``None`` disables).
     """
 
     def __init__(
@@ -141,6 +168,10 @@ class Engine:
         start_method: Optional[str] = None,
         page_size: int = 50,
         build_cache_size: Optional[int] = None,
+        trace=False,
+        delay_budget: Optional[float] = None,
+        delay_strict: bool = False,
+        slow_op_seconds: Optional[float] = 1.0,
     ):
         if backend is not None:
             from repro.enumeration.relations import validate_backend
@@ -148,6 +179,12 @@ class Engine:
             validate_backend(backend)
         if page_size < 1:
             raise EngineError("page_size must be >= 1")
+        if delay_budget is not None and delay_budget <= 0:
+            raise EngineError(f"the delay budget must be positive, got {delay_budget}")
+        if slow_op_seconds is not None and slow_op_seconds <= 0:
+            raise EngineError(
+                f"slow_op_seconds must be positive (None disables), got {slow_op_seconds}"
+            )
         if workers < 0:
             raise EngineError(f"workers must be >= 0, got {workers}")
         if replicas < 1:
@@ -167,6 +204,19 @@ class Engine:
         self.page_size = page_size
         self.replicas = replicas
         self.deadline = deadline
+        # Observability (see :mod:`repro.obs`): parent-side tracer, metrics
+        # registry and event ring.  REPRO_TRACE=dir enables tracing from the
+        # environment (headless runs) and auto-dumps on close().
+        if isinstance(trace, Tracer):
+            self._tracer = trace
+        else:
+            self._tracer = Tracer(
+                enabled=bool(trace) or trace_path_from_env() is not None,
+                process="parent",
+            )
+        self._metrics = MetricsRegistry()
+        self._events = EventLog()
+        self._delay_budget = delay_budget
         # Everything close() touches exists before any step that can raise,
         # so a failed construction cleans up (and __del__ stays safe).
         self._closed = False
@@ -244,12 +294,21 @@ class Engine:
                     deadline=deadline,
                     fault_plan=fault_plan,
                     build_cache_size=build_cache_size,
+                    metrics=self._metrics,
+                    on_event=self._events.emit,
+                    slow_op_seconds=slow_op_seconds,
+                    trace=self._tracer.enabled,
+                    delay_budget=delay_budget,
                 )
             else:
                 self._store = LocalStore(
                     catalog=self.catalog,
                     relation_backend=backend,
                     build_cache_size=build_cache_size,
+                    metrics=self._metrics,
+                    events=self._events,
+                    delay_budget=delay_budget,
+                    delay_strict=delay_strict,
                 )
         except BaseException:
             self.close()
@@ -271,7 +330,17 @@ class Engine:
         }
 
     def _check_open(self) -> None:
-        if self._closed:
+        # getattr, not attribute access: a constructor that raised during
+        # parameter validation never assigned ``_closed``, and a monitoring
+        # call on such a husk must get a precise EngineError, not an
+        # AttributeError.
+        closed = getattr(self, "_closed", None)
+        if closed is None:
+            raise EngineError(
+                "this engine never finished construction (its constructor raised); "
+                "create a new Engine"
+            )
+        if closed:
             raise EngineError("this engine is closed")
 
     # ---------------------------------------------------------------- queries
@@ -420,19 +489,27 @@ class Engine:
             claimed.add(doc_id)
             items.append((doc_id, kind, content, compiled))
 
-        if self._pool is None:
-            # The same batch entry point a shard worker's store exposes, so
-            # local and sharded engines share one ingest facade end to end.
-            self._store.add_documents(
-                [content for _doc_id, _kind, content, _compiled in items],
-                queries=[compiled.source for _doc_id, _kind, _content, compiled in items],
-                doc_ids=[doc_id for doc_id, _kind, _content, _compiled in items],
+        span = self._tracer.begin("add_documents", docs=len(items))
+        start = perf_counter()
+        try:
+            if self._pool is None:
+                # The same batch entry point a shard worker's store exposes, so
+                # local and sharded engines share one ingest facade end to end.
+                self._store.add_documents(
+                    [content for _doc_id, _kind, content, _compiled in items],
+                    queries=[compiled.source for _doc_id, _kind, _content, compiled in items],
+                    doc_ids=[doc_id for doc_id, _kind, _content, _compiled in items],
+                )
+                return [
+                    self._register(doc_id, kind, compiled)
+                    for doc_id, kind, _content, compiled in items
+                ]
+            return self._add_documents_sharded(
+                items, trace_ctx=None if span is None else span.context
             )
-            return [
-                self._register(doc_id, kind, compiled)
-                for doc_id, kind, _content, compiled in items
-            ]
-        return self._add_documents_sharded(items)
+        finally:
+            self._tracer.finish(span)
+            self._metrics.observe("ingest_batch_seconds", perf_counter() - start)
 
     def _register(self, doc_id, kind: str, compiled: Query) -> Document:
         document = Document(self, doc_id, kind, compiled)
@@ -470,7 +547,7 @@ class Engine:
             self._placed[shard] = self._placed.get(shard, 0) + 1
         return chosen
 
-    def _add_documents_sharded(self, items) -> List[Document]:
+    def _add_documents_sharded(self, items, trace_ctx=None) -> List[Document]:
         self._reap_repairs()
         # Group per shard; ship each query's source to a shard once (later
         # adds of the same content carry only the digest).
@@ -493,7 +570,9 @@ class Engine:
         item_failure = None  # (shard, doc_id, original exception)
         for shard, batch in batches.items():
             try:
-                request_ids[shard] = self._pool.submit(shard, "add_batch", batch)
+                request_ids[shard] = self._pool.submit(
+                    shard, "add_batch", batch, trace_ctx=trace_ctx
+                )
             except ShardDiedError as exc:
                 died.append((shard, [entry[0] for entry in batch], exc))
         added_on: Dict[object, List[int]] = {}
@@ -664,6 +743,9 @@ class Engine:
         pool = self._pool
         if pool.is_alive(shard):
             return  # already respawned (a stale observation of an old death)
+        start = perf_counter()
+        span = self._tracer.begin("failover", shard=shard)
+        failover_ctx = None if span is None else span.context
         for doc_id, replicas in self._replicas_of.items():
             if shard in replicas:
                 replicas.remove(shard)
@@ -704,6 +786,7 @@ class Engine:
                     digest,
                     list(self._edit_logs.get(doc_id, ())),
                     self._next_cursor_ids.get(doc_id, 0),
+                    trace_ctx=failover_ctx,
                 )
             except ShardDiedError:
                 # The replacement died instantly; the next observation of
@@ -718,8 +801,11 @@ class Engine:
                     "generation": generation,
                     "doc_id": doc_id,
                     "request_id": request_id,
+                    "t0": perf_counter(),
                 }
             )
+        self._tracer.finish(span)
+        self._metrics.observe("failover_seconds", perf_counter() - start)
 
     def _reap_repairs(self) -> None:
         """Collect finished background restores without blocking."""
@@ -737,6 +823,8 @@ class Engine:
                     still.append(repair)
                     continue
                 pool.collect(shard, repair["request_id"])
+                if "t0" in repair:
+                    self._metrics.observe("repair_seconds", perf_counter() - repair["t0"])
             except ShardDiedError:
                 dead_seen.append(shard)
             except EngineError:
@@ -769,6 +857,10 @@ class Engine:
                     continue
                 try:
                     self._pool.collect(shard, repair["request_id"])
+                    if "t0" in repair:
+                        self._metrics.observe(
+                            "repair_seconds", perf_counter() - repair["t0"]
+                        )
                 except ShardDiedError:
                     dead_seen.append(shard)
                 except EngineError:
@@ -808,9 +900,19 @@ class Engine:
         self.document(doc_id)
         self._check_open()
         if self._pool is None:
-            return self._store.document(doc_id).apply_edits(edits)
+            with self._tracer.span("apply_edits", doc_id=repr(doc_id)):
+                return self._store.document(doc_id).apply_edits(edits)
         self._reap_repairs()
         edits = list(edits)
+        span = self._tracer.begin("apply_edits", doc_id=repr(doc_id), edits=len(edits))
+        try:
+            return self._apply_edits_sharded(
+                doc_id, edits, None if span is None else span.context
+            )
+        finally:
+            self._tracer.finish(span)
+
+    def _apply_edits_sharded(self, doc_id, edits, trace_ctx) -> BatchUpdateReport:
         targets = self._write_targets(doc_id)
         if self.replicas > 1:
             log = self._edit_logs.get(doc_id)
@@ -820,7 +922,14 @@ class Engine:
         death_error: Optional[BaseException] = None
         for shard in targets:
             try:
-                submitted.append((shard, self._pool.submit(shard, "edits", doc_id, edits)))
+                submitted.append(
+                    (
+                        shard,
+                        self._pool.submit(
+                            shard, "edits", doc_id, edits, trace_ctx=trace_ctx
+                        ),
+                    )
+                )
             except ShardDiedError as exc:
                 dead_seen.append(shard)
                 death_error = exc
@@ -855,6 +964,11 @@ class Engine:
         report = reports[0]
         if len(reports) > 1:
             if any(other.epoch != report.epoch for other in reports[1:]):
+                self._events.emit(
+                    "replica_divergence",
+                    doc_id=repr(doc_id),
+                    epochs=[r.epoch for r in reports],
+                )
                 raise EngineError(
                     f"replica divergence on document {doc_id!r}: edit batch produced "
                     f"epochs {[r.epoch for r in reports]!r} across replicas"
@@ -942,40 +1056,56 @@ class Engine:
             check_fresh()
             yielded = 0
             attempts = 2 * len(self._pool) + 2
-            while True:
-                shard = self._pick_read_replica(doc_id)
-                stream = None
-                try:
-                    stream = self._pool.stream_open(shard, doc_id, STREAM_PAGE_SIZE)
-                    replay = yielded  # answers already served before this (re)open
-                    skipped = 0
-                    while True:
-                        chunk = self._pool.stream_next_chunk(stream)
-                        if chunk is None:
-                            return
-                        answers, exhausted = chunk
-                        # Staleness is checked only before *yielding an
-                        # answer* — an edit landing after the final answer
-                        # ends the stream with StopIteration, like the
-                        # runtime's own iterator.
-                        for answer in answers:
-                            if skipped < replay:
-                                skipped += 1  # failover replay: already served
-                                continue
-                            check_fresh()
-                            yield answer
-                            yielded += 1
-                        if exhausted:
-                            return
-                except ShardDiedError:
-                    attempts -= 1
-                    if self.replicas == 1 or attempts <= 0:
-                        raise
-                    self._after_death(shard)
-                    self.failovers_total += 1
-                finally:
-                    if stream is not None:
-                        self._pool.stream_close(stream)
+            # Explicit begin/finish (not a with-block): a generator suspends
+            # across yields, so the span covers the stream's whole lifetime
+            # and closes in the finally whenever the consumer stops.
+            span = self._tracer.begin("stream", doc_id=repr(doc_id))
+            ctx = None if span is None else span.context
+            try:
+                while True:
+                    shard = self._pick_read_replica(doc_id)
+                    stream = None
+                    try:
+                        stream = self._pool.stream_open(
+                            shard, doc_id, STREAM_PAGE_SIZE, trace_ctx=ctx
+                        )
+                        replay = yielded  # answers already served before this (re)open
+                        skipped = 0
+                        while True:
+                            chunk = self._pool.stream_next_chunk(stream)
+                            if chunk is None:
+                                return
+                            answers, exhausted = chunk
+                            # Staleness is checked only before *yielding an
+                            # answer* — an edit landing after the final answer
+                            # ends the stream with StopIteration, like the
+                            # runtime's own iterator.
+                            for answer in answers:
+                                if skipped < replay:
+                                    skipped += 1  # failover replay: already served
+                                    continue
+                                check_fresh()
+                                yield answer
+                                yielded += 1
+                            if exhausted:
+                                return
+                    except ShardDiedError:
+                        attempts -= 1
+                        if self.replicas == 1 or attempts <= 0:
+                            raise
+                        retry = self._tracer.begin(
+                            "failover_retry", parent=ctx, dead_shard=shard
+                        )
+                        try:
+                            self._after_death(shard)
+                        finally:
+                            self._tracer.finish(retry)
+                        self.failovers_total += 1
+                    finally:
+                        if stream is not None:
+                            self._pool.stream_close(stream)
+            finally:
+                self._tracer.finish(span)
 
         return iterate()
 
@@ -1185,11 +1315,108 @@ class Engine:
         merged["catalog_entries"] = len(self.catalog) if self.catalog is not None else 0
         return merged
 
+    # -------------------------------------------------------- observability
+    def metrics(self) -> Dict[str, object]:
+        """Latency histograms and counters, merged across the whole engine.
+
+        Returns ``{name: snapshot}`` where a histogram snapshot carries
+        ``count`` / ``sum`` / ``p50`` / ``p95`` / ``p99`` / ``max`` plus the
+        raw buckets, and a counter carries ``value``.  On a sharded engine
+        every worker's registry is gathered over the protocol and merged
+        bucket-wise into the parent's — all histograms share one fixed bound
+        table, so the merged result is identical to single-process recording
+        (the test suite pins this).  Dead shards contribute nothing.
+
+        Catalog of metrics: ``answer_delay_seconds`` (per answer, only under
+        a ``delay_budget``), ``update_apply_seconds`` (per edit trunk
+        rebuild) and ``update_batch_seconds`` (per batch),
+        ``ingest_build_seconds`` (per document) and ``ingest_batch_seconds``
+        (per :meth:`add_documents` call), ``build_cache_hit_seconds``,
+        ``protocol_round_trip_seconds``, ``stream_stall_seconds``,
+        ``failover_seconds`` and ``repair_seconds``; counters
+        ``delay_violations``, ``failovers_total``, ``migrations_total`` and
+        (sharded) ``shard_deaths_total`` / ``shard_timeouts_total``.
+        """
+        self._check_open()
+        registry = MetricsRegistry()
+        registry.merge_wire(self._metrics.to_wire())
+        if self._pool is not None:
+            self._reap_repairs()
+            for wire in self._pool.broadcast("metrics", skip_dead=True):
+                registry.merge_wire(wire)
+            registry.counters["shard_deaths_total"] = self._pool.deaths_total
+            registry.counters["shard_timeouts_total"] = self._pool.timeouts_total
+        registry.counters["failovers_total"] = self.failovers_total
+        registry.counters["migrations_total"] = self.migrations_total
+        return registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """:meth:`metrics` in the Prometheus text exposition format.
+
+        Histograms become cumulative ``repro_<name>_bucket{le=...}`` series
+        plus ``_sum`` / ``_count``; counters become ``_total`` samples.
+        Parseable back with :func:`repro.obs.parse_prometheus_text`.
+        """
+        return render_prometheus(self.metrics())
+
+    def events(self) -> List[Dict[str, object]]:
+        """The structured operational event log, oldest first.
+
+        Plain dicts ``{"kind", "ts", ...}``: shard deaths/timeouts/protocol
+        violations, slow protocol round trips, fault-plan firings and delay
+        SLO violations.  Sharded engines merge the parent ring with every
+        live worker's (sorted by wall-clock ``ts``); each ring retains the
+        most recent :data:`repro.obs.slo.DEFAULT_EVENT_LOG_SIZE` events.
+        """
+        self._check_open()
+        events = self._events.snapshot()
+        if self._pool is not None:
+            for shard_events in self._pool.broadcast("events", skip_dead=True):
+                if shard_events:
+                    events.extend(shard_events)
+            events.sort(key=lambda event: event.get("ts", 0.0))
+        return events
+
+    def dump_trace(self, path: str) -> str:
+        """Export the engine's spans as one Chrome-trace JSON file.
+
+        Gathers every live worker's finished spans over the protocol
+        (``trace_drain``), merges them with the parent's, and writes the
+        combined ``traceEvents`` to ``path`` — load it in ``chrome://tracing``
+        or Perfetto.  One logical call (``stream()``, ``add_documents``,
+        ``apply_edits``) shows up as one trace: the parent span, the
+        per-shard protocol spans parented under it, and any failover retries.
+        Requires tracing (``trace=True`` or ``REPRO_TRACE``).
+        """
+        self._check_open()
+        if not self._tracer.enabled:
+            raise EngineError(
+                "tracing is off; construct the engine with trace=True "
+                "(or set REPRO_TRACE) to record spans"
+            )
+        if self._pool is not None:
+            for wire in self._pool.broadcast("trace_drain", skip_dead=True):
+                self._tracer.absorb(wire)
+        return self._tracer.dump(path)
+
     # ------------------------------------------------------------------ close
     def close(self) -> None:
-        """Shut down workers and release owned resources (idempotent)."""
-        if self._closed:
+        """Shut down workers and release owned resources (idempotent).
+
+        Safe on an engine whose constructor raised during parameter
+        validation (nothing was created, so there is nothing to release).
+        With ``REPRO_TRACE`` set and tracing on, the engine's Chrome trace
+        is dumped there (best-effort) before the workers go away.
+        """
+        if getattr(self, "_closed", True):
             return
+        if self._tracer.enabled:
+            path = trace_path_from_env()
+            if path is not None:
+                try:
+                    self.dump_trace(path)
+                except Exception:  # noqa: BLE001 — never block shutdown
+                    pass
         self._closed = True
         if self._pool is not None:
             self._pool.close()

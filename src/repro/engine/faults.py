@@ -152,10 +152,22 @@ class FaultPlan:
     tell whether the write landed — replication must cope either way.
     """
 
-    __slots__ = ("rules",)
+    __slots__ = ("rules", "on_fire")
 
     def __init__(self, rules: Sequence[FaultRule] = ()):
         self.rules = list(rules)
+        #: optional observability hook, called as ``on_fire(shard, op,
+        #: action)`` whenever a rule fires.  Process-local (the worker wires
+        #: it to its event log after unpickling); never shipped across the
+        #: pipe, so it is excluded from the pickled state below.
+        self.on_fire = None
+
+    def __getstate__(self):
+        return self.rules
+
+    def __setstate__(self, state):
+        self.rules = state
+        self.on_fire = None
 
     def __bool__(self):
         return bool(self.rules)
@@ -163,6 +175,8 @@ class FaultPlan:
     def _fire(self, shard: int, op: str) -> Optional[FaultRule]:
         for rule in self.rules:
             if rule.matches(shard, op):
+                if self.on_fire is not None:
+                    self.on_fire(shard, op, rule.action)
                 return rule
         return None
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.automata.unranked_tva import UnrankedTVA
@@ -46,6 +47,7 @@ from repro.engine.catalog import QueryCatalog
 from repro.engine.codec import CompiledQuery
 from repro.enumeration.assignment_iter import root_boxed_set
 from repro.engine.cursor import Cursor, CursorPage
+from repro.obs import DelayMonitor, EventLog, MetricsRegistry
 from repro.trees.edits import EditOperation
 from repro.trees.unranked import UnrankedTree
 
@@ -249,6 +251,7 @@ class LocalDocument:
         report = BatchUpdateReport(document_id=self.doc_id, epoch=self.epoch)
         replaced_union: List = []
         descriptions: List[str] = []
+        start = perf_counter()
         try:
             for edit in edits:
                 stats = self._apply_one(edit)
@@ -264,6 +267,9 @@ class LocalDocument:
                 resumed, invalidated = self._notify_cursors(description, replaced_union)
                 report.cursors_resumed = resumed
                 report.cursors_invalidated = invalidated
+                self.store.metrics.observe(
+                    "update_batch_seconds", perf_counter() - start
+                )
         return report
 
     def _apply_one(self, edit) -> UpdateStats:
@@ -311,6 +317,10 @@ class LocalStore:
         relation_backend: Optional[str] = None,
         build_cache: Optional[BuildCache] = None,
         build_cache_size: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        delay_budget: Optional[float] = None,
+        delay_strict: bool = False,
     ):
         if relation_backend is not None:
             from repro.enumeration.relations import validate_backend
@@ -318,6 +328,20 @@ class LocalStore:
             validate_backend(relation_backend)
         self.catalog = catalog
         self.relation_backend = relation_backend
+        #: store-side observability: latency histograms/counters and the
+        #: operational event ring (see :mod:`repro.obs`).  A sharded engine's
+        #: workers each carry their own registry; the parent merges them.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        #: opt-in per-answer delay SLO; ``None`` keeps the enumeration hot
+        #: path entirely hook-free (zero per-answer overhead).
+        self.delay_monitor: Optional[DelayMonitor] = (
+            None
+            if delay_budget is None
+            else DelayMonitor(
+                delay_budget, self.metrics, events=self.events, strict=delay_strict
+            )
+        )
         #: cross-document build cache: subtrees with equal content (per
         #: compiled query) are built once and shared by every document in
         #: this store.  Pass ``build_cache_size=0`` to disable, or inject a
@@ -328,6 +352,10 @@ class LocalStore:
             self.build_cache = BuildCache(
                 capacity=DEFAULT_BUILD_CACHE_SIZE if build_cache_size is None else build_cache_size
             )
+        # Cache-hit latency feeds the build_cache_hit_seconds histogram.  For
+        # an injected shared cache the last store wired wins, which is fine:
+        # every store of one engine shares one registry.
+        self.build_cache.on_hit_seconds = self.metrics.timer("build_cache_hit_seconds")
         self._documents: Dict[object, LocalDocument] = {}
         self._doc_ids = itertools.count()
         #: digest → CompiledQuery resolved so far (catalog or in-process)
@@ -360,17 +388,21 @@ class LocalStore:
     def add_tree(self, tree: UnrankedTree, query: UnrankedTVA, doc_id=None) -> LocalDocument:
         """Serve an unranked tree under a standing tree query (Theorem 8.1)."""
         entry = self._resolve_query(query, "tree")
+        start = perf_counter()
         enumerator = TreeRuntime(
             tree, query, relation_backend=self.relation_backend, build_cache=self.build_cache
         )
+        self.metrics.observe("ingest_build_seconds", perf_counter() - start)
         return self._register(enumerator, "tree", entry.digest, doc_id)
 
     def add_word(self, word: Sequence[object], query: WVA, doc_id=None) -> LocalDocument:
         """Serve a word under a standing spanner query (Theorem 8.5)."""
         entry = self._resolve_query(query, "word")
+        start = perf_counter()
         enumerator = WordRuntime(
             word, query, relation_backend=self.relation_backend, build_cache=self.build_cache
         )
+        self.metrics.observe("ingest_build_seconds", perf_counter() - start)
         return self._register(enumerator, "word", entry.digest, doc_id)
 
     def add_documents(
@@ -417,6 +449,13 @@ class LocalStore:
         if doc_id in self._documents:
             raise ServingError(f"document id {doc_id!r} already in use")
         document = LocalDocument(self, doc_id, kind, enumerator, digest)
+        # Observability hooks ride on the maintainer: per-update trunk
+        # rebuild latency always, per-answer delay only under an SLO monitor
+        # (keeping the default enumeration hot path hook-free).
+        maintainer = enumerator.maintainer
+        maintainer.on_update_seconds = self.metrics.timer("update_apply_seconds")
+        if self.delay_monitor is not None:
+            maintainer.on_delay = self.delay_monitor.observe
         self._documents[doc_id] = document
         return document
 

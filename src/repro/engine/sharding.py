@@ -217,6 +217,10 @@ def _handle_request(store, queries_by_digest, op, args):
         return "pong"
     if op == "stats":
         return store.stats()
+    if op == "metrics":
+        return store.metrics.to_wire()
+    if op == "events":
+        return store.events.snapshot()
     raise EngineError(f"unknown shard request {op!r}")
 
 
@@ -267,6 +271,8 @@ def _shard_worker_main(
     shard_index: int = 0,
     fault_plan=None,
     build_cache_size: Optional[int] = None,
+    trace: bool = False,
+    delay_budget: Optional[float] = None,
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -276,19 +282,36 @@ def _shard_worker_main(
     chunks are pushed eagerly up to each stream's credit.  When a
     ``fault_plan`` is given, every decoded request and every outgoing stream
     chunk is offered to it (see :mod:`repro.engine.faults`).
+
+    Observability: with ``trace=True`` the worker runs its own
+    :class:`~repro.obs.Tracer`; a fire-and-forget ``(-1, "trace_push", ctx)``
+    message — sent by the parent immediately before a request, FIFO on the
+    pipe — parents the *next* request's span under the parent-side span, and
+    ``trace_drain`` ships finished worker spans back.  ``delay_budget``
+    arms the store's per-answer :class:`~repro.obs.DelayMonitor`.
     """
     from repro.engine.faults import FaultPlan
     from repro.engine.local import LocalStore
     from repro.engine.catalog import QueryCatalog
+    from repro.obs import Tracer
 
     catalog = QueryCatalog(catalog_root) if catalog_root else None
     store = LocalStore(
         catalog=catalog,
         relation_backend=relation_backend,
         build_cache_size=build_cache_size,
+        delay_budget=delay_budget,
     )
+    tracer = Tracer(enabled=trace, process=f"shard-{shard_index}")
+    if fault_plan is not None:
+        # Fault firings are operational events; surface them next to the
+        # deaths and timeouts they will cause (drained via the "events" op).
+        fault_plan.on_fire = lambda shard, op, action: store.events.emit(
+            "fault_injected", shard=shard, op=op, action=action
+        )
     queries_by_digest: Dict[str, object] = {}
     streams: Dict[int, _WorkerStream] = {}
+    pending_ctx = None  #: trace context pushed for the next real request
 
     def inject(op: str, reply: tuple) -> tuple:
         """Offer one outgoing protocol send to the fault plan."""
@@ -303,6 +326,16 @@ def _shard_worker_main(
         except (EOFError, KeyboardInterrupt):
             break
         request_id, op = message[0], message[1]
+        if op == "trace_push":
+            # Handled before the fault hook: pushing trace context must not
+            # advance the plan's nth counters (traced and untraced runs see
+            # identical fault schedules).
+            pending_ctx = message[2]
+            continue
+        if op == "trace_drain":
+            # Monitoring op, likewise exempt from fault injection.
+            conn.send((request_id, "ok", tracer.drain()))
+            continue
         reply_action = fault_plan.before(shard_index, op) if fault_plan is not None else None
         if op == "close":
             try:
@@ -312,15 +345,17 @@ def _shard_worker_main(
             break
         if op == "stream_open":
             doc_id, chunk_size, credit = message[2:]
-            try:
-                iterator = iter(store.document(doc_id).answers())
-            except BaseException as exc:  # noqa: BLE001
-                _send_err(conn, request_id, exc)
-                continue
-            stream = _WorkerStream(iterator, chunk_size)
-            stream.credit = credit
-            streams[request_id] = stream
-            _pump_stream(conn, streams, request_id, inject)
+            with tracer.span(op, parent=pending_ctx, doc_id=repr(doc_id)):
+                pending_ctx = None
+                try:
+                    iterator = iter(store.document(doc_id).answers())
+                except BaseException as exc:  # noqa: BLE001
+                    _send_err(conn, request_id, exc)
+                    continue
+                stream = _WorkerStream(iterator, chunk_size)
+                stream.credit = credit
+                streams[request_id] = stream
+                _pump_stream(conn, streams, request_id, inject)
         elif op == "stream_credit":
             stream = streams.get(request_id)
             if stream is not None:  # closed/errored streams ignore late credit
@@ -329,11 +364,13 @@ def _shard_worker_main(
         elif op == "stream_close":
             streams.pop(request_id, None)  # no reply: close is fire-and-forget
         else:
-            try:
-                reply = (request_id, "ok", _handle_request(store, queries_by_digest, op, message[2:]))
-            except BaseException as exc:  # noqa: BLE001 — every failure travels back
-                _send_err(conn, request_id, exc)
-                continue
+            with tracer.span(op, parent=pending_ctx):
+                pending_ctx = None
+                try:
+                    reply = (request_id, "ok", _handle_request(store, queries_by_digest, op, message[2:]))
+                except BaseException as exc:  # noqa: BLE001 — every failure travels back
+                    _send_err(conn, request_id, exc)
+                    continue
             conn.send(FaultPlan.apply_reply_action(reply_action, reply))
     conn.close()
 
@@ -377,7 +414,8 @@ class _ShardState:
         self.process = process
         self.generation = generation  #: respawn count of this index (0 = original)
         self.pending: Dict[int, tuple] = {}  #: request_id → (status, payload)
-        self.inflight: Dict[int, str] = {}  #: request_id → op (awaiting reply)
+        #: request_id → (op, monotonic send time) for requests awaiting reply
+        self.inflight: Dict[int, tuple] = {}
         self.streams: Dict[int, ShardStream] = {}
         self.deferred_closes: List[int] = []
         self.dead = False
@@ -414,6 +452,11 @@ class ShardPool:
         deadline: Optional[float] = None,
         fault_plan=None,
         build_cache_size: Optional[int] = None,
+        metrics=None,
+        on_event=None,
+        slow_op_seconds: Optional[float] = None,
+        trace: bool = False,
+        delay_budget: Optional[float] = None,
     ):
         if workers < 1:
             raise EngineError(f"a shard pool needs at least one worker, got {workers}")
@@ -425,6 +468,16 @@ class ShardPool:
         self._relation_backend = relation_backend
         self._fault_plan = fault_plan
         self._build_cache_size = build_cache_size
+        #: parent-side observability (all optional, see :mod:`repro.obs`):
+        #: a MetricsRegistry for protocol round-trip / credit-stall
+        #: histograms, an ``on_event(kind, **fields)`` callback for deaths /
+        #: timeouts / protocol violations / slow ops, and a slow-op
+        #: threshold in seconds (None disables slow-op events).
+        self.metrics = metrics
+        self._on_event = on_event
+        self.slow_op_seconds = slow_op_seconds
+        self._trace = trace
+        self._delay_budget = delay_budget
         self.deadline = deadline
         self.deaths_total = 0
         self.timeouts_total = 0
@@ -456,6 +509,8 @@ class ShardPool:
                 index,
                 self._fault_plan if generation == 0 else None,
                 self._build_cache_size,
+                self._trace,
+                self._delay_budget,
             ),
             name=f"repro-shard-{index}" + (f".{generation}" if generation else ""),
             daemon=True,
@@ -484,12 +539,24 @@ class ShardPool:
         return self._shards[shard].generation
 
     # ----------------------------------------------------------- plumbing
+    def _emit(self, kind: str, **fields) -> None:
+        """Report one operational event to the engine's log (best-effort)."""
+        if self._on_event is not None:
+            self._on_event(kind, **fields)
+
     def _death(self, shard: int, doing: str, cause: Optional[BaseException]) -> ShardDiedError:
         """Mark a shard dead and build the precise error for it."""
         state = self._shards[shard]
         if not state.dead:
             state.dead = True
             self.deaths_total += 1
+            self._emit(
+                "shard_death",
+                shard=shard,
+                generation=state.generation,
+                doing=doing,
+                exitcode=state.process.exitcode,
+            )
             # In-flight requests can never be answered now; dropping them
             # keeps the queue-depth counters honest (already-received replies
             # stay collectable from ``pending``).  Deferred stream closes are
@@ -521,13 +588,22 @@ class ShardPool:
 
     def _timeout(self, shard: int, op: str, waited: float, deadline: float) -> ShardTimeoutError:
         """Promote a hung worker to a dead one and build the timeout error."""
+        # Snapshot the shard's load *before* _death clears its bookkeeping:
+        # the error message carries what the shard was doing when it hung.
+        state = self._shards[shard]
+        snapshot = (
+            f"queued_replies={len(state.pending)}, "
+            f"inflight_requests={len(state.inflight)}, "
+            f"streams_open={len(state.streams)}"
+        )
         self._kill(shard)
         self._death(shard, f"handling {op!r}", None)
         self.timeouts_total += 1
+        self._emit("shard_timeout", shard=shard, op=op, waited=waited, deadline=deadline)
         return ShardTimeoutError(
             f"shard worker {shard} did not answer {op!r} within its deadline "
             f"({deadline:.3f}s, waited {waited:.3f}s); the worker was "
-            f"killed and marked dead",
+            f"killed and marked dead [shard {shard} at timeout: {snapshot}]",
             shard=shard,
             op=op,
             elapsed=waited,
@@ -541,6 +617,7 @@ class ShardPool:
             shape = shape[:160] + "..."
         self._kill(shard)
         self._death(shard, "receiving a reply", None)
+        self._emit("protocol_error", shard=shard, shape=shape)
         return ShardProtocolError(
             f"shard worker {shard} sent a malformed protocol message "
             f"({type(message).__name__}: {shape}); expected a tuple "
@@ -636,16 +713,30 @@ class ShardPool:
             stream.done = True
             return
         state.replies_received += 1
-        state.inflight.pop(request_id, None)
+        entry = state.inflight.pop(request_id, None)
+        if entry is not None:
+            elapsed = time.monotonic() - entry[1]
+            if self.metrics is not None:
+                self.metrics.observe("protocol_round_trip_seconds", elapsed)
+            if self.slow_op_seconds is not None and elapsed > self.slow_op_seconds:
+                self._emit("slow_op", shard=shard, op=entry[0], seconds=elapsed)
         state.pending[request_id] = (status, message[2] if len(message) > 2 else None)
 
     # ------------------------------------------------------------- requests
-    def submit(self, shard: int, op: str, *args) -> int:
-        """Send one tagged request without waiting; returns its request id."""
+    def submit(self, shard: int, op: str, *args, trace_ctx=None) -> int:
+        """Send one tagged request without waiting; returns its request id.
+
+        ``trace_ctx`` (a parent-side span's ``(trace_id, span_id)``) is
+        pushed to the worker as a fire-and-forget ``trace_push`` message
+        immediately before the request — the pipe is FIFO, so the worker
+        parents exactly this request's span under it.
+        """
         state = self._check_shard(shard)
+        if trace_ctx is not None:
+            self._send(shard, (-1, "trace_push", trace_ctx), f"receiving {op!r}")
         request_id = next(self._request_ids)
         self._send(shard, (request_id, op, *args), f"receiving {op!r}")
-        state.inflight[request_id] = op
+        state.inflight[request_id] = (op, time.monotonic())
         state.requests_sent += 1
         return request_id
 
@@ -658,7 +749,8 @@ class ShardPool:
         if deadline == -1.0:
             deadline = self.deadline
         state = self._shards[shard]
-        op = state.inflight.get(request_id, "?")  # before a death clears it
+        entry = state.inflight.get(request_id)  # before a death clears it
+        op = entry[0] if entry is not None else "?"
         deadline_at = time.monotonic() + deadline if deadline is not None else None
         while request_id not in state.pending:
             if state.dead:
@@ -756,9 +848,18 @@ class ShardPool:
         self._shards[shard] = self._spawn(shard, generation=old.generation + 1)
 
     # -------------------------------------------------------------- streams
-    def stream_open(self, shard: int, doc_id, chunk_size: int, credit: int = STREAM_CREDIT) -> ShardStream:
+    def stream_open(
+        self,
+        shard: int,
+        doc_id,
+        chunk_size: int,
+        credit: int = STREAM_CREDIT,
+        trace_ctx=None,
+    ) -> ShardStream:
         """Open a push stream over a document's answers on its shard."""
         state = self._check_shard(shard)
+        if trace_ctx is not None:
+            self._send(shard, (-1, "trace_push", trace_ctx), "opening a stream")
         request_id = next(self._request_ids)
         stream = ShardStream(shard, request_id)
         state.streams[request_id] = stream
@@ -778,6 +879,7 @@ class ShardPool:
         """
         state = self._shards[stream.shard]
         deadline_at = time.monotonic() + self.deadline if self.deadline is not None else None
+        stalled_at = None  #: set when the parent genuinely waited on the pipe
         while not stream.chunks:
             if stream.error is not None:
                 error, stream.error = stream.error, None
@@ -787,7 +889,12 @@ class ShardPool:
                 return None
             if state.dead:
                 raise self._death(stream.shard, "streaming answers", None)
+            if stalled_at is None:
+                stalled_at = time.monotonic()
             self._recv_one(stream.shard, "streaming answers", deadline_at, self.deadline)
+        if stalled_at is not None and self.metrics is not None:
+            # Time the consumer spent blocked on the credit window / worker.
+            self.metrics.observe("stream_stall_seconds", time.monotonic() - stalled_at)
         chunk = stream.chunks.pop(0)
         stream.to_grant += 1
         _answers, exhausted = chunk

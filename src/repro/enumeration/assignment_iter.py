@@ -69,6 +69,10 @@ class CircuitEnumerator:
         if relation_backend is not None:
             validate_backend(relation_backend)
         self.relation_backend = relation_backend
+        #: optional per-answer delay hook (seconds per produced answer); set
+        #: by the serving layer's DelayMonitor.  ``None`` (default) leaves the
+        #: enumeration loops untouched.
+        self.on_delay: Optional[Callable[[float], None]] = None
         if use_index and build:
             self.preprocess()
 
@@ -129,14 +133,28 @@ class CircuitEnumerator:
             yield EMPTY_ASSIGNMENT
         if not gates:
             return
+        on_delay = self.on_delay
         if self._use_mask_path():
             # Mask-native fast path: Assignment objects are materialized at
             # this boundary; the position-mask provenance is dropped unread
             # (never converted to a gate set).
-            for assignment, _mask in enumerate_boxed_masks(gates):
+            iterator = enumerate_boxed_masks(gates)
+            if on_delay is not None:
+                iterator.on_delay = on_delay
+            for assignment, _mask in iterator:
+                yield assignment
+        elif on_delay is None:
+            for assignment, _provenance in enumerate_boxed_set(gates, self._box_enum()):
                 yield assignment
         else:
-            for assignment, _provenance in enumerate_boxed_set(gates, self._box_enum()):
+            source = iter(enumerate_boxed_set(gates, self._box_enum()))
+            while True:
+                start = time.perf_counter()
+                try:
+                    assignment, _provenance = next(source)
+                except StopIteration:
+                    return
+                on_delay(time.perf_counter() - start)
                 yield assignment
 
     def assignments_of_gate(self, gate: UnionGate) -> Iterator[Assignment]:

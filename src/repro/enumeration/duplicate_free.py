@@ -68,6 +68,7 @@ is the delay of the chosen box enumeration.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.assignments import Assignment
@@ -286,9 +287,15 @@ class MaskStackEnumeration:
       exact test behind cursor resume-or-invalidate decisions.
     """
 
-    __slots__ = ("_stack",)
+    __slots__ = ("_stack", "on_delay")
 
     def __init__(self, gamma: Sequence[UnionGate]):
+        #: optional per-answer delay sampling hook (the SLO layer's
+        #: :class:`repro.obs.slo.DelayMonitor` plugs in here): when set to a
+        #: callable, every ``next()`` reports the seconds it spent producing
+        #: its answer.  ``None`` (the default) keeps ``__next__`` a single
+        #: attribute check away from the raw enumeration loop.
+        self.on_delay = None
         gamma = list(gamma)
         if not gamma:
             self._stack: List[_Frame] = []
@@ -340,6 +347,15 @@ class MaskStackEnumeration:
         return boxes
 
     def __next__(self) -> Tuple[Assignment, int]:
+        on_delay = self.on_delay
+        if on_delay is None:
+            return self._advance()
+        start = perf_counter()
+        result = self._advance()  # StopIteration ends the stream unsampled
+        on_delay(perf_counter() - start)
+        return result
+
+    def _advance(self) -> Tuple[Assignment, int]:
         stack = self._stack
         while stack:
             fr = stack[-1]

@@ -19,6 +19,7 @@ paper's model prescribes.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, List, Optional
 
 from repro.automata.binary_tva import BinaryTVA
@@ -153,6 +154,14 @@ class IncrementalCircuitMaintainer:
         #: the boxes replaced by the most recent apply_report call (the old
         #: trunk); read by the serving layer to invalidate cursors precisely.
         self.last_replaced_boxes: List[Box] = []
+        #: observability hooks (both optional).  ``on_update_seconds`` is
+        #: called with the wall-clock duration of each :meth:`apply_report`
+        #: (the per-edit trunk rebuild of Lemma 7.3, feeding the
+        #: ``update_apply_seconds`` histogram); ``on_delay`` is copied onto
+        #: every enumerator this maintainer hands out, sampling per-answer
+        #: delay (see :class:`repro.obs.DelayMonitor`).
+        self.on_update_seconds = None
+        self.on_delay = None
         build_circuit_over_term(
             term.root,
             automaton,
@@ -173,12 +182,14 @@ class IncrementalCircuitMaintainer:
 
     def enumerator(self) -> CircuitEnumerator:
         """A fresh enumerator over the current circuit (no re-preprocessing)."""
-        return CircuitEnumerator(
+        enumerator = CircuitEnumerator(
             self.circuit(),
             use_index=self.use_index,
             relation_backend=self.relation_backend,
             build=False,
         )
+        enumerator.on_delay = self.on_delay
+        return enumerator
 
     # ---------------------------------------------------------------- updates
     def apply_report(self, report: UpdateReport) -> int:
@@ -191,6 +202,8 @@ class IncrementalCircuitMaintainer:
         the boxes a paused cursor still references to decide, per cursor,
         between resuming and invalidating.
         """
+        on_update = self.on_update_seconds
+        start = perf_counter() if on_update is not None else 0.0
         rebuilt = 0
         replaced: List[Box] = []
         for node in report.dirty_bottom_up:
@@ -203,6 +216,8 @@ class IncrementalCircuitMaintainer:
             rebuilt += 1
         self.last_replaced_boxes = replaced
         self.version += 1
+        if on_update is not None:
+            on_update(perf_counter() - start)
         return rebuilt
 
     def rebuild_from_scratch(self) -> None:

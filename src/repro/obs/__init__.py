@@ -1,0 +1,49 @@
+"""`repro.obs` — zero-dependency observability for the enumeration engine.
+
+The paper's contract is quantitative — constant delay per answer
+(Theorem 6.5), logarithmic work per update (Lemma 7.3) — and the engine's
+contract is operational: bounded protocol waits, transparent failover,
+byte-identical replicas.  This package turns both into *continuously
+measured* signals, with nothing beyond the standard library:
+
+* :mod:`repro.obs.metrics` — fixed-bucket latency histograms and counters.
+  Recording is a list increment (lock-free under the GIL, safe inside shard
+  workers); snapshots are plain dicts that merge across processes exactly
+  like ``Engine.stats()``, and render to the Prometheus text exposition
+  format (``Engine.metrics_text()``).
+* :mod:`repro.obs.tracing` — request-scoped spans with context propagation
+  over the shard protocol, exported as Chrome-trace JSON
+  (``Engine.dump_trace(path)`` / ``chrome://tracing`` / Perfetto), or
+  automatically per engine via the ``REPRO_TRACE=dir`` environment variable.
+* :mod:`repro.obs.slo` — the live SLO layer: an opt-in
+  :class:`~repro.obs.slo.DelayMonitor` that samples per-answer enumeration
+  delay in-flight and records budget violations, and a ring-buffer
+  :class:`~repro.obs.slo.EventLog` of structured operational events (shard
+  deaths, timeouts, slow ops, fault injections, divergence tripwires)
+  surfaced through ``Engine.events()``.
+
+Everything is opt-in at the expensive end: with tracing off and no delay
+budget configured, the per-answer hot path is untouched (the tracing-off
+overhead gate in ``make check`` holds it under 5% of the bitset delay
+median, like the PR-4 facade gate).
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.obs.slo import DelayMonitor, EventLog
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "Tracer",
+    "Span",
+    "DelayMonitor",
+    "EventLog",
+]

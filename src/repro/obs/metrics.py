@@ -1,0 +1,275 @@
+"""Fixed-bucket latency histograms and counters, mergeable across processes.
+
+The design constraints come from where these run:
+
+* **inside shard workers.**  Recording must be cheap and safe without
+  locks: a :class:`Histogram` observation is one bisect into a fixed bound
+  table plus two int increments — atomic enough under the GIL, and the
+  worker's event loop is single-threaded anyway.
+* **merged parent-side.**  ``Engine.metrics()`` gathers every worker's
+  registry over the protocol and merges, exactly like ``Engine.stats()``.
+  Because all histograms of a given registry share the *same fixed bucket
+  bounds*, merging is element-wise addition of bucket counts: the merged
+  histogram is identical to one recorded in a single process (the
+  test suite pins this).
+* **quantiles from buckets.**  ``p50/p95/p99`` are read off the cumulative
+  bucket counts and reported as the *upper bound* of the bucket containing
+  the quantile (conservative: the true quantile is never above the reported
+  one).  The exact ``max`` and ``sum`` are tracked alongside.
+
+:func:`render_prometheus` emits the Prometheus text exposition format
+(`histogram` with cumulative ``_bucket{le=...}`` samples, plus plain
+counters); :func:`parse_prometheus_text` is the minimal inverse used by the
+round-trip test and by anyone who wants to scrape ``Engine.metrics_text()``
+without a Prometheus client library.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import inf
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "parse_prometheus_text",
+]
+
+#: Fixed latency bucket upper bounds, in seconds: 1 µs to 60 s, roughly four
+#: per decade.  Wide enough for every engine latency (a bitset per-answer
+#: delay is ~10 µs; a cold sharded ingest is ~1 s) while keeping a snapshot
+#: small enough to ship over the shard protocol per request.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (seconds) with exact sum and max."""
+
+    __slots__ = ("bounds", "counts", "count", "sum", "max")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.bounds = bounds
+        # one count per bound, plus the +Inf overflow bucket at the end
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (the worker-side hot path)."""
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same bounds) into this one, in place."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        counts = self.counts
+        for index, value in enumerate(other.counts):
+            counts[index] += value
+        self.count += other.count
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+
+    def quantile(self, q: float) -> float:
+        """The upper bound of the bucket holding the ``q``-quantile sample.
+
+        Conservative by construction (never below the true quantile); the
+        overflow bucket reports the exact observed ``max``.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, value in enumerate(self.counts):
+            cumulative += value
+            if cumulative >= rank:
+                return self.bounds[index] if index < len(self.bounds) else self.max
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        """The structured view ``Engine.metrics()`` reports."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+            "buckets": list(self.counts),
+            "bounds": list(self.bounds),
+        }
+
+
+class MetricsRegistry:
+    """Named histograms and counters of one process (engine or shard worker).
+
+    ``to_wire()`` serializes the registry to plain builtins (lists / dicts /
+    numbers) so it crosses the shard pipe pickled like any reply;
+    ``merge_wire()`` folds such a snapshot into this registry — the parent
+    merges every worker's registry into its own, mirroring the
+    ``Engine.stats()`` gather.
+    """
+
+    __slots__ = ("histograms", "counters")
+
+    def __init__(self):
+        self.histograms: Dict[str, Histogram] = {}
+        self.counters: Dict[str, int] = {}
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a latency sample into the named histogram (created lazily)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(seconds)
+
+    def timer(self, name: str):
+        """A bound ``observe`` callback for the named histogram (hook wiring)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        return histogram.observe
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment a counter (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def to_wire(self) -> Dict[str, object]:
+        """A picklable plain-builtin snapshot (shipped over the shard pipe)."""
+        return {
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "max": h.max,
+                }
+                for name, h in self.histograms.items()
+            },
+            "counters": dict(self.counters),
+        }
+
+    def merge_wire(self, wire: Optional[Dict[str, object]]) -> None:
+        """Fold one ``to_wire()`` snapshot into this registry (``None`` ok)."""
+        if not wire:
+            return
+        for name, data in wire.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(tuple(data["bounds"]))
+            other = Histogram(tuple(data["bounds"]))
+            other.counts = list(data["counts"])
+            other.count = data["count"]
+            other.sum = data["sum"]
+            other.max = data["max"]
+            histogram.merge(other)
+        for name, value in wire.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def snapshot(self) -> Dict[str, object]:
+        """The structured dict behind ``Engine.metrics()``."""
+        merged: Dict[str, object] = {
+            name: histogram.snapshot()
+            for name, histogram in sorted(self.histograms.items())
+        }
+        for name, value in sorted(self.counters.items()):
+            merged[name] = {"type": "counter", "value": value}
+        return merged
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: integers bare, floats via repr."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict[str, object], prefix: str = "repro_") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text exposition.
+
+    Histograms become the standard cumulative ``_bucket{le="..."}`` series
+    plus ``_sum`` and ``_count``; counters become plain ``_total``-suffixed
+    samples (the suffix is appended only when the name doesn't carry it).
+    """
+    lines: List[str] = []
+    for name, entry in snapshot.items():
+        metric = prefix + name
+        if entry["type"] == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            bounds = list(entry["bounds"]) + [inf]
+            for bound, count in zip(bounds, entry["buckets"]):
+                cumulative += count
+                le = "+Inf" if bound == inf else _format_value(bound)
+                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{metric}_sum {_format_value(entry['sum'])}")
+            lines.append(f"{metric}_count {entry['count']}")
+        else:
+            if not metric.endswith("_total"):
+                metric += "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """A minimal parser of the exposition format :func:`render_prometheus` emits.
+
+    Returns ``{metric_name: {"type": ..., samples...}}`` — histograms carry
+    ``count``, ``sum`` and a ``buckets`` dict of ``le -> cumulative count``;
+    counters carry ``value``.  Enough to verify a scrape round-trips, not a
+    general Prometheus parser (no labels beyond ``le``, no escaping).
+    """
+    metrics: Dict[str, Dict[str, object]] = {}
+    types: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+                metrics.setdefault(parts[2], {"type": parts[3]})
+            continue
+        name_and_labels, value_text = line.rsplit(" ", 1)
+        value = float(value_text)
+        if "{" in name_and_labels:
+            sample_name, label_text = name_and_labels.split("{", 1)
+            labels = label_text.rstrip("}")
+        else:
+            sample_name, labels = name_and_labels, ""
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in types:
+                base = sample_name[: -len(suffix)]
+                break
+        entry = metrics.setdefault(base, {"type": types.get(base, "untyped")})
+        if sample_name == base + "_bucket":
+            le = labels.split("=", 1)[1].strip('"') if labels else "+Inf"
+            entry.setdefault("buckets", {})[le] = value
+        elif sample_name == base + "_sum":
+            entry["sum"] = value
+        elif sample_name == base + "_count":
+            entry["count"] = value
+        else:
+            entry["value"] = value
+    return metrics

@@ -1,0 +1,260 @@
+"""Request-scoped spans with cross-process context propagation.
+
+One logical engine call — ``stream()``, ``add_documents()``,
+``apply_edits()`` — touches the parent *and* several shard workers: the
+parent places the request, each worker builds/enumerates, failover may
+retry on another replica, and background repairs run on a respawned
+process.  A :class:`Tracer` stitches all of that into one trace:
+
+* the parent opens a root span per engine call and passes its
+  ``(trace_id, span_id)`` context over the shard protocol (a fire-and-forget
+  ``trace_push`` message immediately before the request — the pipe is FIFO,
+  so the worker attaches it to exactly the next request it handles);
+* each worker runs its own :class:`Tracer` and parents its request spans
+  under the pushed context; the parent drains worker spans over the
+  protocol (``trace_drain``) when exporting;
+* :meth:`Tracer.chrome_trace` renders everything as Chrome-trace JSON
+  (the ``traceEvents`` array of complete ``"X"`` events) — load it in
+  ``chrome://tracing`` or Perfetto; spans of one logical call share a
+  ``trace_id`` in their ``args`` and link through ``parent_id``.
+
+Span timestamps are wall-clock (``time.time``) so parent and worker spans
+align on one axis; durations are measured with ``time.perf_counter``.
+
+When the tracer is **disabled** (the default), :meth:`Tracer.span` returns a
+shared no-op context manager and :meth:`Tracer.begin` returns ``None`` — the
+instrumentation left in the hot paths is one attribute check, which is what
+keeps the tracing-off overhead gate under 5%.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "TRACE_ENV_VAR"]
+
+#: Environment variable naming a directory; when set, every Engine enables
+#: tracing and dumps its Chrome trace there on close (headless runs).
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_trace_file_ids = itertools.count()
+
+
+def trace_path_from_env() -> Optional[str]:
+    """A fresh trace-file path under ``$REPRO_TRACE``, or None when unset."""
+    directory = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if not directory:
+        return None
+    return os.path.join(
+        directory, f"trace-{os.getpid()}-{next(_trace_file_ids)}.json"
+    )
+
+
+class Span:
+    """One timed operation; a node of a trace tree."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "process",
+        "start_wall",
+        "_start_perf",
+        "duration",
+        "attrs",
+    )
+
+    def __init__(self, name, trace_id, span_id, parent_id, process, attrs):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.process = process  #: "parent" or "shard-N" (Chrome-trace pid row)
+        self.start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        self.duration = 0.0
+        self.attrs = attrs
+
+    @property
+    def context(self) -> Tuple[str, str]:
+        """The ``(trace_id, span_id)`` pair that propagates to children."""
+        return (self.trace_id, self.span_id)
+
+    def to_wire(self) -> dict:
+        """Plain-builtin form (shipped over the shard pipe by trace_drain)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "process": self.process,
+            "start_wall": self.start_wall,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing context manager a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanScope:
+    """Context manager pushing/popping one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        stack = self._tracer._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        self._tracer.finish(self._span)
+        return False
+
+
+class Tracer:
+    """Collects spans of one process; disabled by default (near-zero cost).
+
+    Two usage shapes:
+
+    * ``with tracer.span("add_documents", docs=3):`` — stack-based implicit
+      nesting for straight-line code;
+    * ``span = tracer.begin("failover_retry", parent=ctx); ...;
+      tracer.finish(span)`` — explicit parentage for generators and
+      callbacks, where the enclosing ``with`` block has long exited.
+    """
+
+    __slots__ = ("enabled", "process", "spans", "foreign", "_stack", "_ids")
+
+    def __init__(self, enabled: bool = False, process: str = "parent"):
+        self.enabled = enabled
+        self.process = process
+        self.spans: List[Span] = []  #: finished spans of this process
+        self.foreign: List[dict] = []  #: drained worker spans (wire dicts)
+        self._stack: List[Span] = []
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------ recording
+    def begin(self, name: str, parent: Optional[Tuple[str, str]] = None, **attrs):
+        """Start a span explicitly; returns None when tracing is off."""
+        if not self.enabled:
+            return None
+        if parent is None and self._stack:
+            parent = self._stack[-1].context
+        span_id = f"{self.process}:{next(self._ids)}"
+        if parent is not None:
+            trace_id, parent_id = parent
+        else:
+            trace_id, parent_id = f"t:{span_id}", None
+        return Span(name, trace_id, span_id, parent_id, self.process, attrs)
+
+    def finish(self, span: Optional[Span]) -> None:
+        """End a span started with :meth:`begin` (None is a no-op)."""
+        if span is None:
+            return
+        span.duration = time.perf_counter() - span._start_perf
+        self.spans.append(span)
+
+    def span(self, name: str, parent: Optional[Tuple[str, str]] = None, **attrs):
+        """Context-manager form of :meth:`begin`/:meth:`finish`."""
+        if not self.enabled:
+            return _NOOP
+        return _SpanScope(self, self.begin(name, parent=parent, **attrs))
+
+    def current_context(self) -> Optional[Tuple[str, str]]:
+        """The innermost open span's context (protocol propagation), or None."""
+        if not self.enabled or not self._stack:
+            return None
+        return self._stack[-1].context
+
+    # ------------------------------------------------------------- gathering
+    def drain(self) -> List[dict]:
+        """Hand over (and clear) this process's finished spans as wire dicts.
+
+        Workers answer the ``trace_drain`` protocol request with this, so a
+        second export never duplicates spans already shipped.
+        """
+        spans, self.spans = self.spans, []
+        return [span.to_wire() for span in spans]
+
+    def absorb(self, wire_spans: Optional[List[dict]]) -> None:
+        """Merge spans drained from another process (None is a no-op)."""
+        if wire_spans:
+            self.foreign.extend(wire_spans)
+
+    # -------------------------------------------------------------- exporting
+    def _all_wire_spans(self) -> List[dict]:
+        return [span.to_wire() for span in self.spans] + list(self.foreign)
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """The Chrome-trace JSON object (``traceEvents`` of ``"X"`` events).
+
+        Each process label becomes one pid row (named via ``process_name``
+        metadata events); span links (``trace_id`` / ``span_id`` /
+        ``parent_id``) ride in each event's ``args``.
+        """
+        spans = self._all_wire_spans()
+        pids: Dict[str, int] = {}
+        events: List[dict] = []
+        for wire in spans:
+            process = wire["process"]
+            pid = pids.get(process)
+            if pid is None:
+                pid = pids[process] = len(pids)
+                events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"name": process},
+                    }
+                )
+            events.append(
+                {
+                    "name": wire["name"],
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": wire["start_wall"] * 1e6,
+                    "dur": max(wire["duration"], 1e-7) * 1e6,
+                    "args": {
+                        "trace_id": wire["trace_id"],
+                        "span_id": wire["span_id"],
+                        "parent_id": wire["parent_id"],
+                        **wire["attrs"],
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def dump(self, path: str) -> str:
+        """Write :meth:`chrome_trace` as JSON; returns the path written."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf8") as handle:
+            json.dump(self.chrome_trace(), handle)
+        return path
