@@ -13,7 +13,7 @@ PYPATH := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 # @pytest.mark.timeout markers via SIGALRM.
 PYTEST_TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=300 --timeout-method=thread")
 
-.PHONY: check test test-engine-strict lint bench-smoke bench
+.PHONY: check test test-engine-strict lint net-smoke bench-smoke bench
 
 test:
 	$(PYPATH) $(PYTHON) -m pytest -x -q $(PYTEST_TIMEOUT_FLAGS)
@@ -33,6 +33,11 @@ lint:
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
+# Boot a real EngineServer on a loopback port, drive it with RemoteEngine
+# over TCP, and assert byte-identical answers against an in-process oracle.
+net-smoke:
+	$(PYPATH) $(PYTHON) examples/network_serving_demo.py
+
 bench-smoke:
 	$(PYPATH) $(PYTHON) benchmarks/run_all.py --quick --compare --smoke-out benchmarks/results/smoke
 
@@ -41,5 +46,5 @@ bench-smoke:
 bench:
 	$(PYPATH) $(PYTHON) benchmarks/run_all.py
 
-check: test test-engine-strict bench-smoke
-	@echo "check OK: tier-1 tests + strict engine tests + perf smoke passed"
+check: test test-engine-strict net-smoke bench-smoke
+	@echo "check OK: tier-1 tests + strict engine tests + net smoke + perf smoke passed"

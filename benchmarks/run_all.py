@@ -638,11 +638,60 @@ def bench_serving(
             "protocol_round_trip_p95_s": obs_metrics["protocol_round_trip_seconds"]["p95"],
         }
 
+        # -- network variant (PR 9): the identical traffic served over real
+        #    TCP — an EngineServer wrapping the sharded engine, driven by a
+        #    RemoteEngine on a loopback socket.  The wire tier must be
+        #    observationally invisible (byte-identical answers, gated by the
+        #    smoke), and on a long small-chunk stream the adaptive credit
+        #    window must batch chunk pushes into fewer round trips than
+        #    chunks (also gated).
+        from repro.net import EngineServer, RemoteEngine
+
+        _clear_query_caches()
+        with Engine(catalog=catalog_dir, workers=shard_workers) as engine:
+            server = EngineServer(engine).start()
+            try:
+                with RemoteEngine(server.address) as remote:
+                    network = _serving_traffic_run(
+                        remote, trees, queries, doc_edits, rounds, page_size,
+                        pages_per_round, edits_per_batch, batched_ingest=True,
+                    )
+                    # a long TCP stream with small chunks: the fast consumer
+                    # stalls, the window grows, and credit grants amortize
+                    net_chunk_size = 32
+                    remote.stream_chunk_size = net_chunk_size
+                    stream_doc = remote.document(1 % n_docs)  # the descendant query
+                    before = remote.net_stats()
+                    with _gc_paused():
+                        start = time.perf_counter()
+                        net_stream_answers = sum(1 for _ in stream_doc.stream())
+                        net_stream_seconds = time.perf_counter() - start
+                    after = remote.net_stats()
+                    round_trip_hist = remote.metrics()["net_round_trip_seconds"]
+                    net_stream = {
+                        "answers": net_stream_answers,
+                        "seconds": net_stream_seconds,
+                        "answers_per_s": (
+                            net_stream_answers / net_stream_seconds
+                            if net_stream_seconds
+                            else None
+                        ),
+                        "chunk_size": net_chunk_size,
+                        "chunks": after["chunks"] - before["chunks"],
+                        "round_trips": after["round_trips"] - before["round_trips"],
+                        "credit": after["credit"],
+                        "credit_grown": after["credit_grown"],
+                        "credit_shrunk": after["credit_shrunk"],
+                    }
+            finally:
+                server.stop()
+
         single_final = single.pop("final_answers")
         answers_match = single_final == sharded.pop("final_answers")
         pipelined_match = single_final == pipelined.pop("final_answers")
         replicated_match = single_final == replicated.pop("final_answers")
         failover_match = single_final == failover.pop("final_answers")
+        network_match = single_final == network.pop("final_answers")
     finally:
         shutil.rmtree(catalog_dir, ignore_errors=True)
 
@@ -710,6 +759,19 @@ def bench_serving(
                 **streaming,
             },
             "answers_match_single_process": pipelined_match,
+        },
+        "network": {
+            "workers": shard_workers,
+            "transport": "tcp-loopback",
+            "ingest_total_s": network["ingest_total_s"],
+            "traffic_total_s": network["traffic_total_s"],
+            "edit_batch_median_s": network["edit_batch_median_s"],
+            "page_fetch_median_s": network["page_fetch_median_s"],
+            "round_trip_p50_s": round_trip_hist["p50"],
+            "round_trip_p95_s": round_trip_hist["p95"],
+            "round_trips_measured": round_trip_hist["count"],
+            "stream": net_stream,
+            "answers_match_single_process": network_match,
         },
         "build_cache": build_cache_section,
         "obs": obs_section,
@@ -870,6 +932,23 @@ def _speedup_lines(payload):
                 f"  pipelined stream: {stream['answers']} answers in {stream['seconds']*1e3:.1f}ms "
                 f"({stream['chunks']} chunks / {stream['round_trips']} round trips, "
                 f"credit {stream['credit']} x {stream['chunk_size']})"
+            )
+        network = payload.get("network")
+        if network:
+            stream = network["stream"]
+            lines.append(
+                f"  network ({network['workers']} workers, TCP loopback): edit batch "
+                f"{network['edit_batch_median_s']*1e3:.2f}ms, page fetch "
+                f"{network['page_fetch_median_s']*1e3:.2f}ms, round trip "
+                f"p50 {network['round_trip_p50_s']*1e6:.0f}us / "
+                f"p95 {network['round_trip_p95_s']*1e6:.0f}us, answers match "
+                f"single-process: {network['answers_match_single_process']}"
+            )
+            lines.append(
+                f"  network stream: {stream['answers']} answers in "
+                f"{stream['seconds']*1e3:.1f}ms ({stream['chunks']} chunks / "
+                f"{stream['round_trips']} credit round trips, window "
+                f"{stream['credit']}, grown {stream['credit_grown']})"
             )
         cache = payload.get("build_cache")
         if cache:
@@ -1039,6 +1118,29 @@ def main(argv=None) -> int:
                     print(
                         f"  pipelined stream paid {stream['round_trips']} round trips "
                         f"for {stream['chunks']} chunks (credit window not working)"
+                    )
+                    ok = False
+                # Network smoke (PR 9): the TCP serving tier must hand back
+                # byte-identical answers through the same traffic, and a
+                # long remote stream must pay fewer credit round trips than
+                # it receives chunks (the adaptive window batches grants).
+                network = payload["network"]
+                if not network["answers_match_single_process"]:
+                    print("  network answers DIVERGED from single-process answers")
+                    ok = False
+                net_stream = network["stream"]
+                if net_stream["chunks"] < 2:
+                    print(
+                        f"  network stream too small to exercise credit "
+                        f"({net_stream['chunks']} chunks of "
+                        f"{net_stream['answers']} answers)"
+                    )
+                    ok = False
+                elif net_stream["round_trips"] >= net_stream["chunks"]:
+                    print(
+                        f"  network stream paid {net_stream['round_trips']} round "
+                        f"trips for {net_stream['chunks']} chunks (adaptive "
+                        f"credit not working)"
                     )
                     ok = False
                 # Build-cache smoke (PR 7): on the duplicated-structure

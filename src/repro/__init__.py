@@ -38,11 +38,13 @@ from repro.errors import (
     CatalogError,
     CatalogVersionError,
     CircuitStructureError,
+    CodecError,
     CursorInvalidatedError,
     EngineError,
     InvalidAutomatonError,
     InvalidEditError,
     InvalidTreeError,
+    ProtocolError,
     RegexSyntaxError,
     ReproError,
     ServingError,
@@ -62,6 +64,9 @@ __all__ = [
     "Document",
     "ResultPage",
     "QueryCatalog",
+    # network serving tier (lazily imported)
+    "EngineServer",
+    "RemoteEngine",
     # assignments
     "Assignment",
     "EMPTY_ASSIGNMENT",
@@ -75,11 +80,13 @@ __all__ = [
     "CatalogError",
     "CatalogVersionError",
     "CircuitStructureError",
+    "CodecError",
     "CursorInvalidatedError",
     "EngineError",
     "InvalidAutomatonError",
     "InvalidEditError",
     "InvalidTreeError",
+    "ProtocolError",
     "RegexSyntaxError",
     "ServingError",
     "ShardDiedError",
@@ -97,6 +104,10 @@ def __getattr__(name):
         from repro import engine
 
         return getattr(engine, name)
+    if name in {"EngineServer", "RemoteEngine"}:
+        from repro import net
+
+        return getattr(net, name)
     if name in {"TreeEnumerator", "WordEnumerator"}:
         from repro.core import enumerator
 

@@ -38,20 +38,35 @@ from typing import Dict, List, Tuple
 from repro.automata.binary_tva import BinaryTVA
 from repro.automata.unranked_tva import UnrankedTVA
 from repro.automata.wva import WVA
-from repro.errors import InvalidAutomatonError
+from repro.errors import CodecError, InvalidAutomatonError
 
 __all__ = [
     "encode_value",
     "decode_value",
     "canonical_json",
     "canonical_key",
+    "loads_payload",
     "ValueTable",
     "decode_values",
     "binary_tva_to_payload",
     "binary_tva_from_payload",
     "query_payload",
+    "query_from_payload",
     "query_digest",
+    "MAX_VALUE_DEPTH",
+    "MAX_PAYLOAD_BYTES",
 ]
+
+#: deepest nesting :func:`decode_value` accepts.  Real states are tuples a
+#: few levels deep (translation pairs, homogenization flags); anything
+#: deeper is a recursion bomb, not an automaton — rejected with a precise
+#: :class:`~repro.errors.CodecError` instead of blowing the Python stack.
+MAX_VALUE_DEPTH = 32
+
+#: default byte ceiling of :func:`loads_payload` (64 MiB) — far above every
+#: real compiled query, far below what an untrusted peer could use to pin
+#: the decoder's memory.
+MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
 
 
 # --------------------------------------------------------------------------- value codec
@@ -74,18 +89,97 @@ def encode_value(value: object) -> object:
     )
 
 
-def decode_value(payload: object) -> object:
-    """Invert :func:`encode_value`."""
+def decode_value(payload: object, _depth: int = 0) -> object:
+    """Invert :func:`encode_value`.
+
+    Hardened for untrusted input (catalog entries shared between processes,
+    frames off the network): unknown tags, wrong arities, non-string float
+    reprs and nesting past :data:`MAX_VALUE_DEPTH` raise a precise
+    :class:`~repro.errors.CodecError` naming the offending shape — never a
+    bare ``ValueError`` / ``IndexError`` / ``RecursionError``.
+    """
     if isinstance(payload, list):
+        if _depth >= MAX_VALUE_DEPTH:
+            raise CodecError(
+                f"value payload nested deeper than {MAX_VALUE_DEPTH} levels; "
+                "rejecting a recursion bomb"
+            )
+        if len(payload) != 2:
+            raise CodecError(
+                f"tagged value must be a [tag, data] pair, got a list of "
+                f"length {len(payload)}"
+            )
         tag, data = payload
         if tag == "t":
-            return tuple(decode_value(item) for item in data)
+            if not isinstance(data, list):
+                raise CodecError(
+                    f"'t' (tuple) tag needs a list payload, got {type(data).__name__}"
+                )
+            return tuple(decode_value(item, _depth + 1) for item in data)
         if tag == "s":
-            return frozenset(decode_value(item) for item in data)
+            if not isinstance(data, list):
+                raise CodecError(
+                    f"'s' (frozenset) tag needs a list payload, got {type(data).__name__}"
+                )
+            return frozenset(decode_value(item, _depth + 1) for item in data)
         if tag == "f":
-            return float(data)
-        raise InvalidAutomatonError(f"unknown value tag {tag!r} in automaton payload")
-    return payload
+            if not isinstance(data, str):
+                raise CodecError(
+                    f"'f' (float) tag needs a repr string, got {type(data).__name__}"
+                )
+            try:
+                return float(data)
+            except ValueError as exc:
+                raise CodecError(f"unparseable float repr {data!r}") from exc
+        raise CodecError(f"unknown value tag {tag!r} in automaton payload")
+    if payload is None or isinstance(payload, (bool, int, str)):
+        return payload
+    raise CodecError(
+        f"cannot decode a value of type {type(payload).__name__}; expected "
+        "None, bool, int, str or a tagged [tag, data] list"
+    )
+
+
+def loads_payload(text, max_bytes: int = MAX_PAYLOAD_BYTES) -> object:
+    """Parse serialized payload text with the untrusted-peer guards applied.
+
+    ``text`` may be ``str`` or ``bytes``.  Oversized input is rejected up
+    front (before JSON parsing allocates anything); malformed JSON raises a
+    :class:`~repro.errors.CodecError` that names the byte offset where the
+    parse failed, and distinguishes truncation (parse ran off the end) from
+    in-place corruption.
+    """
+    if isinstance(text, str):
+        raw = text.encode("utf8", errors="surrogatepass")
+    elif isinstance(text, (bytes, bytearray)):
+        raw = bytes(text)
+    else:
+        raise CodecError(
+            f"payload must be str or bytes, got {type(text).__name__}"
+        )
+    if len(raw) > max_bytes:
+        raise CodecError(
+            f"payload of {len(raw)} bytes exceeds the {max_bytes}-byte limit"
+        )
+    try:
+        decoded = raw.decode("utf8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(
+            f"payload is not valid UTF-8 at byte offset {exc.start}"
+        ) from exc
+    try:
+        return json.loads(decoded)
+    except json.JSONDecodeError as exc:
+        kind = "truncated" if exc.pos >= len(decoded) else "malformed"
+        raise CodecError(
+            f"{kind} payload: {exc.msg} at byte offset {exc.pos}"
+        ) from exc
+    except RecursionError as exc:
+        # A nesting bomb ("[[[[...") blows the parser's stack long before
+        # decode_value's own depth guard can see the value.
+        raise CodecError(
+            "payload nests deeper than the parser allows (recursion bomb?)"
+        ) from exc
 
 
 def canonical_key(encoded: object) -> str:
@@ -237,6 +331,59 @@ def query_payload(query: object) -> Dict:
         f"cannot compute a content payload for {type(query).__name__}; "
         "expected an UnrankedTVA or a WVA"
     )
+
+
+def query_from_payload(payload: Dict) -> object:
+    """Rebuild a source query from :func:`query_payload` output.
+
+    The inverse used by the network tier: a client canonicalizes its query
+    locally, ships the payload, and the server rebuilds an equal-content
+    automaton (same :func:`query_digest`) to compile or load from the shared
+    catalog.  Malformed payloads raise :class:`~repro.errors.CodecError`.
+    """
+    if not isinstance(payload, dict):
+        raise CodecError(
+            f"query payload must be a dict, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+
+    def _values(field):
+        rows = payload.get(field)
+        if not isinstance(rows, list):
+            raise CodecError(f"query payload field {field!r} must be a list")
+        return [decode_value(item) for item in rows]
+
+    def _rows(field, arity):
+        rows = payload.get(field)
+        if not isinstance(rows, list):
+            raise CodecError(f"query payload field {field!r} must be a list")
+        out = []
+        for row in rows:
+            if not isinstance(row, list) or len(row) != arity:
+                raise CodecError(
+                    f"query payload field {field!r} expects rows of arity "
+                    f"{arity}, got {row!r}"
+                )
+            out.append(tuple(decode_value(item) for item in row))
+        return out
+
+    if kind == "tree":
+        return UnrankedTVA(
+            states=_values("states"),
+            variables=_values("variables"),
+            initial=_rows("initial", 3),
+            delta=_rows("delta", 3),
+            final=_values("final"),
+        )
+    if kind == "word":
+        return WVA(
+            states=_values("states"),
+            variables=_values("variables"),
+            transitions=_rows("transitions", 4),
+            initial=_values("initial"),
+            final=_values("final"),
+        )
+    raise CodecError(f"unknown query payload kind {kind!r}")
 
 
 def query_digest(query: object) -> str:

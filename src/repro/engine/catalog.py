@@ -34,9 +34,11 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import tempfile
 import time
-from typing import Dict, Iterable, List, Optional
+import uuid
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.automata.serialize import query_digest
 from repro.automata.unranked_tva import UnrankedTVA
@@ -45,11 +47,83 @@ from repro.core.enumerator import compiled_automaton_for
 from repro.errors import CatalogError, CatalogVersionError
 from repro.engine.codec import CompiledQuery, compiled_query_from_json, compiled_query_to_json
 
-__all__ = ["QueryCatalog", "MANIFEST_FORMAT", "MANIFEST_NAME"]
+__all__ = ["CatalogLease", "QueryCatalog", "MANIFEST_FORMAT", "MANIFEST_NAME", "LEASE_DIR"]
 
 #: format number of ``manifest.json`` (bumped on incompatible layout changes)
 MANIFEST_FORMAT = 1
 MANIFEST_NAME = "manifest.json"
+
+#: subdirectory of the catalog root holding the live-consumer lease files
+LEASE_DIR = "leases"
+
+
+class CatalogLease:
+    """One live consumer's claim on a set of catalog digests.
+
+    Every open :class:`repro.Engine` (and, through it, every
+    :class:`repro.net.server.EngineServer`) holds one lease: a small JSON
+    file under ``<catalog>/leases/`` naming the digests of the queries it
+    has compiled, rewritten atomically as queries are added.  With leases on
+    disk, :meth:`QueryCatalog.gc` needs no manual ``keep=`` list — the union
+    of every live lease's digests *is* the keep set, computed safely across
+    processes.  A lease whose recording process has died (same host, dead
+    pid) is stale and reaped on the next :meth:`QueryCatalog.live_digests`;
+    a lease from another host is conservatively assumed live.
+    """
+
+    def __init__(self, catalog: "QueryCatalog", path: str):
+        self._catalog = catalog
+        self.path = path
+        self.released = False
+        self._digests: Set[str] = set()
+        self._created_unix = time.time()
+        self._write()
+
+    def _write(self) -> None:
+        self._catalog._atomic_write(
+            self.path,
+            json.dumps(
+                {
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "created_unix": self._created_unix,
+                    "digests": sorted(self._digests),
+                },
+                sort_keys=True,
+                indent=0,
+            ),
+        )
+
+    def add(self, digest: str) -> None:
+        """Record one digest as live (idempotent; a no-op once released)."""
+        if self.released or digest in self._digests:
+            return
+        self._digests.add(digest)
+        self._write()
+
+    def digests(self) -> List[str]:
+        return sorted(self._digests)
+
+    def release(self) -> None:
+        """Drop the claim (idempotent): the lease file is removed."""
+        if self.released:
+            return
+        self.released = True
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a pid exists on this host (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
 
 
 def _compatible_versions(wrote: str, reads: str) -> bool:
@@ -156,17 +230,88 @@ class QueryCatalog:
         manifest = self.read_manifest() or {}
         return (manifest.get("entries") or {}).get(digest)
 
-    def gc(self, keep: Iterable) -> List[str]:
+    # ---------------------------------------------------------------- leases
+    @property
+    def leases_root(self) -> str:
+        return os.path.join(self.root, LEASE_DIR)
+
+    def acquire_lease(self) -> CatalogLease:
+        """Open a :class:`CatalogLease` registering this process as live.
+
+        Every open :class:`repro.Engine` acquires one automatically and
+        records each digest it compiles, so :meth:`gc` with no ``keep=``
+        list never collects a query an open engine (in this process or any
+        other sharing the directory) still serves.  Release it (or close
+        the engine) when done; leases of dead processes are reaped.
+        """
+        os.makedirs(self.leases_root, exist_ok=True)
+        path = os.path.join(
+            self.leases_root, f"lease-{os.getpid()}-{uuid.uuid4().hex}.json"
+        )
+        return CatalogLease(self, path)
+
+    def live_digests(self) -> Set[str]:
+        """The union of every live lease's digests (the implicit keep set).
+
+        Stale leases — written by a process on this host that no longer
+        exists, or unreadable despite the atomic lease writes — are removed
+        while scanning.  Leases from other hosts cannot be liveness-probed
+        and are conservatively counted as live.
+        """
+        live: Set[str] = set()
+        try:
+            names = os.listdir(self.leases_root)
+        except FileNotFoundError:
+            return live
+        host = socket.gethostname()
+        for name in sorted(names):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.leases_root, name)
+            try:
+                with open(path, encoding="utf8") as handle:
+                    lease = json.load(handle)
+            except FileNotFoundError:
+                continue  # released between the listing and the read
+            except (ValueError, OSError):
+                # Lease writes are atomic, so an unreadable lease is real
+                # corruption protecting nothing: reap it.
+                self._unlink_lease(path)
+                continue
+            pid = lease.get("pid")
+            if lease.get("host") == host and isinstance(pid, int) and not _pid_alive(pid):
+                self._unlink_lease(path)
+                continue
+            digests = lease.get("digests")
+            if isinstance(digests, list):
+                live.update(d for d in digests if isinstance(d, str))
+        return live
+
+    @staticmethod
+    def _unlink_lease(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def gc(self, keep: Optional[Iterable] = None) -> List[str]:
         """Delete every persisted entry whose digest is not in ``keep``.
 
         ``keep`` is an iterable of digests and/or query objects (digested
-        here).  Works off the entry-file listing, so pre-manifest entries and
+        here).  With ``keep=None`` (the default) the keep set is computed
+        from the **live leases** (:meth:`live_digests`): every digest some
+        open engine still serves survives, so an operator can run
+        ``catalog.gc()`` as a cron job without coordinating a manual list.
+        Works off the entry-file listing, so pre-manifest entries and
         entries saved by other processes are collected too; the manifest is
         pruned to the survivors.  Returns the sorted list of removed digests.
         """
-        kept = {
-            item if isinstance(item, str) else self.digest_of(item) for item in keep
-        }
+        if keep is None:
+            kept = self.live_digests()
+        else:
+            kept = {
+                item if isinstance(item, str) else self.digest_of(item) for item in keep
+            }
         removed = [digest for digest in self.digests() if digest not in kept]
         for digest in removed:
             self._loaded.pop(digest, None)

@@ -251,6 +251,13 @@ class Engine:
         self._placed: Dict[int, int] = {}
         self.failovers_total = 0
         self.migrations_total = 0
+        #: batches whose shard reply arrived more than twice as late as the
+        #: batch's first reply (arrival-order ingest makes these visible —
+        #: the fast shards were already collected while the straggler built)
+        self.ingest_stragglers_total = 0
+        #: catalog lease naming the digests this engine keeps live, so
+        #: ``catalog.gc()`` without an explicit keep-list never collects them
+        self._lease = None
         #: monotonic logical cursor counters, accumulated per edit batch at
         #: the parent.  Shard-side per-document totals reset when a failover
         #: rebuilds a replica, so summing them across shards undercounts
@@ -283,6 +290,8 @@ class Engine:
             self.catalog = QueryCatalog(self._owned_catalog_dir)
         else:
             self.catalog = None
+        if self.catalog is not None:
+            self._lease = self.catalog.acquire_lease()
 
         try:
             if workers:
@@ -381,6 +390,10 @@ class Engine:
             entry.attach(query_source)
         query = Query(kind=kind, source=query_source, digest=digest, pattern=pattern, entry=entry)
         self._queries[digest] = query
+        if self._lease is not None:
+            # Record the digest as live, so a concurrent `catalog.gc()`
+            # (no keep-list) in any process never collects it from under us.
+            self._lease.add(digest)
         return query
 
     # -------------------------------------------------------------- documents
@@ -445,6 +458,89 @@ class Engine:
         background when ``replicas >= 2``).
         """
         self._check_open()
+        items = self._prepare_ingest(contents, query, queries, doc_ids, alphabet, _kind)
+        span = self._tracer.begin("add_documents", docs=len(items))
+        start = perf_counter()
+        try:
+            if self._pool is None:
+                # The same batch entry point a shard worker's store exposes, so
+                # local and sharded engines share one ingest facade end to end.
+                self._store.add_documents(
+                    [content for _doc_id, _kind, content, _compiled in items],
+                    queries=[compiled.source for _doc_id, _kind, _content, compiled in items],
+                    doc_ids=[doc_id for doc_id, _kind, _content, _compiled in items],
+                )
+                return [
+                    self._register(doc_id, kind, compiled)
+                    for doc_id, kind, _content, compiled in items
+                ]
+            registered: Dict[object, Document] = {}
+            for document in self._ingest_sharded_iter(
+                items, trace_ctx=None if span is None else span.context
+            ):
+                registered[document.doc_id] = document
+            # handles come back in the caller's order, not in completion order
+            return [
+                registered[doc_id]
+                for doc_id, _kind, _content, _compiled in items
+                if doc_id in registered
+            ]
+        finally:
+            self._tracer.finish(span)
+            self._metrics.observe("ingest_batch_seconds", perf_counter() - start)
+
+    def add_documents_iter(
+        self,
+        contents,
+        query=None,
+        *,
+        queries=None,
+        doc_ids=None,
+        alphabet=None,
+    ):
+        """:meth:`add_documents`, yielding each handle as its build lands.
+
+        Returns an iterator of :class:`Document` handles in **completion
+        order**: on a sharded engine each document is yielded as soon as
+        every shard it was placed on has acknowledged its batch, so the
+        documents on fast shards are usable while a straggler shard is
+        still building.  Batch-level failures (a dead shard's lost
+        documents, a failed item's original exception) are raised at the
+        end, after every surviving document has been yielded — the same
+        error semantics as :meth:`add_documents`.  On a single-process
+        engine the documents are yielded in caller order after the batch
+        builds (there is no per-shard completion to expose).
+        """
+        self._check_open()
+        items = self._prepare_ingest(contents, query, queries, doc_ids, alphabet, None)
+
+        def iterate():
+            span = self._tracer.begin("add_documents", docs=len(items))
+            start = perf_counter()
+            try:
+                if self._pool is None:
+                    self._store.add_documents(
+                        [content for _doc_id, _kind, content, _compiled in items],
+                        queries=[
+                            compiled.source for _doc_id, _kind, _content, compiled in items
+                        ],
+                        doc_ids=[doc_id for doc_id, _kind, _content, _compiled in items],
+                    )
+                    for doc_id, kind, _content, compiled in items:
+                        yield self._register(doc_id, kind, compiled)
+                    return
+                for document in self._ingest_sharded_iter(
+                    items, trace_ctx=None if span is None else span.context
+                ):
+                    yield document
+            finally:
+                self._tracer.finish(span)
+                self._metrics.observe("ingest_batch_seconds", perf_counter() - start)
+
+        return iterate()
+
+    def _prepare_ingest(self, contents, query, queries, doc_ids, alphabet, _kind):
+        """Validate one ingest batch into ``(doc_id, kind, content, compiled)`` rows."""
         contents = list(contents)
         if queries is not None:
             queries = list(queries)
@@ -488,28 +584,7 @@ class Engine:
                 raise ServingError(f"document id {doc_id!r} already in use")
             claimed.add(doc_id)
             items.append((doc_id, kind, content, compiled))
-
-        span = self._tracer.begin("add_documents", docs=len(items))
-        start = perf_counter()
-        try:
-            if self._pool is None:
-                # The same batch entry point a shard worker's store exposes, so
-                # local and sharded engines share one ingest facade end to end.
-                self._store.add_documents(
-                    [content for _doc_id, _kind, content, _compiled in items],
-                    queries=[compiled.source for _doc_id, _kind, _content, compiled in items],
-                    doc_ids=[doc_id for doc_id, _kind, _content, _compiled in items],
-                )
-                return [
-                    self._register(doc_id, kind, compiled)
-                    for doc_id, kind, _content, compiled in items
-                ]
-            return self._add_documents_sharded(
-                items, trace_ctx=None if span is None else span.context
-            )
-        finally:
-            self._tracer.finish(span)
-            self._metrics.observe("ingest_batch_seconds", perf_counter() - start)
+        return items
 
     def _register(self, doc_id, kind: str, compiled: Query) -> Document:
         document = Document(self, doc_id, kind, compiled)
@@ -547,7 +622,20 @@ class Engine:
             self._placed[shard] = self._placed.get(shard, 0) + 1
         return chosen
 
-    def _add_documents_sharded(self, items, trace_ctx=None) -> List[Document]:
+    def _ingest_sharded_iter(self, items, trace_ctx=None):
+        """Sharded batch ingest, yielding handles in shard-completion order.
+
+        All batches go out before any reply is read (builds overlap), and
+        replies are processed in **arrival order**
+        (:meth:`~repro.engine.sharding.ShardPool.wait_replies`): a document
+        is registered and yielded the moment its last placement shard has
+        acknowledged, so one straggler shard delays only its own documents.
+        Shard deaths and per-item failures keep their PR-5/6 semantics —
+        documents with a surviving replica stay registered, lost ones are
+        reported in a precise :class:`~repro.errors.ShardDiedError`, and a
+        failed item's original exception is re-raised — but only after every
+        surviving document has been yielded.
+        """
         self._reap_repairs()
         # Group per shard; ship each query's source to a shard once (later
         # adds of the same content carry only the digest).
@@ -575,34 +663,74 @@ class Engine:
                 )
             except ShardDiedError as exc:
                 died.append((shard, [entry[0] for entry in batch], exc))
-        added_on: Dict[object, List[int]] = {}
-        for shard, request_id in request_ids.items():
-            try:
-                payload = self._pool.collect(shard, request_id)
-            except ShardDiedError as exc:
-                died.append((shard, [entry[0] for entry in batches[shard]], exc))
-                continue
-            for summary in payload["added"]:
-                added_on.setdefault(summary["doc_id"], []).append(shard)
-            if payload["error"] is not None and item_failure is None:
-                item_failure = (shard, payload["failed_doc_id"], payload["error"])
-        # Register every document that landed on at least one replica, its
-        # replica list in placement order; reconcile the placement counters
-        # for replicas that never materialized.
-        registered: Dict[object, Document] = {}
-        for doc_id, kind, content, compiled in items:
-            landed = added_on.get(doc_id, ())
-            shards = [shard for shard in placements[doc_id] if shard in landed]
-            for shard in placements[doc_id]:
-                if shard not in shards:
-                    self._release_placement(shard)
-            if not shards:
-                continue
-            self._replicas_of[doc_id] = shards
-            registered[doc_id] = self._register(doc_id, kind, compiled)
-            if self.replicas > 1:
-                self._ingest_blobs[doc_id] = (kind, pickle.dumps(content), compiled.digest)
-                self._edit_logs[doc_id] = []
+        #: per document: placement shards that have not acknowledged yet
+        remaining: Dict[object, Set[int]] = {
+            doc_id: set(placements[doc_id]) for doc_id, _k, _c, _q in items
+        }
+        for shard, doc_ids, _exc in died:  # dead at submit: never acknowledges
+            for doc_id in doc_ids:
+                remaining[doc_id].discard(shard)
+        landed: Dict[object, List[int]] = {doc_id: [] for doc_id, _k, _c, _q in items}
+        finalized: Set[object] = set()
+        registered_ids: Set[object] = set()
+        batch_t0 = perf_counter()
+        first_reply: Optional[float] = None
+
+        def finalize_ready():
+            """Register + yield every document whose placements all reported."""
+            for doc_id, kind, content, compiled in items:
+                if doc_id in finalized or remaining[doc_id]:
+                    continue
+                finalized.add(doc_id)
+                shards = [s for s in placements[doc_id] if s in landed[doc_id]]
+                for shard in placements[doc_id]:
+                    if shard not in shards:
+                        self._release_placement(shard)
+                if not shards:
+                    continue
+                self._replicas_of[doc_id] = shards
+                registered_ids.add(doc_id)
+                document = self._register(doc_id, kind, compiled)
+                if self.replicas > 1:
+                    self._ingest_blobs[doc_id] = (kind, pickle.dumps(content), compiled.digest)
+                    self._edit_logs[doc_id] = []
+                yield document
+
+        yield from finalize_ready()  # placements lost entirely at submit time
+        pending = dict(request_ids)
+        while pending:
+            for shard in self._pool.wait_replies(pending):
+                request_id = pending.pop(shard)
+                try:
+                    payload = self._pool.collect(shard, request_id)
+                except ShardDiedError as exc:
+                    died.append((shard, [entry[0] for entry in batches[shard]], exc))
+                    for entry in batches[shard]:
+                        remaining[entry[0]].discard(shard)
+                    continue
+                elapsed = perf_counter() - batch_t0
+                if first_reply is None:
+                    first_reply = elapsed
+                elif elapsed > 2.0 * max(first_reply, 0.010):
+                    # This shard took over twice as long as the batch's first
+                    # reply: with the old lockstep collection its documents
+                    # would have delayed the whole ingest return.
+                    self.ingest_stragglers_total += 1
+                    self._events.emit(
+                        "ingest_straggler",
+                        shard=shard,
+                        elapsed=elapsed,
+                        first_reply=first_reply,
+                    )
+                added = {summary["doc_id"] for summary in payload["added"]}
+                for entry in batches[shard]:
+                    doc_id = entry[0]
+                    if doc_id in added:
+                        landed[doc_id].append(shard)
+                    remaining[doc_id].discard(shard)
+                if payload["error"] is not None and item_failure is None:
+                    item_failure = (shard, payload["failed_doc_id"], payload["error"])
+            yield from finalize_ready()
         # Failover: respawn dead shards and re-replicate before reporting, so
         # a partially-lost batch is already being repaired when the caller
         # handles the error (no-op with replicas=1).
@@ -610,7 +738,7 @@ class Engine:
             self._after_death(shard)
         if died:
             lost = [
-                (shard, [d for d in doc_ids if d not in registered], exc)
+                (shard, [d for d in doc_ids if d not in registered_ids], exc)
                 for shard, doc_ids, exc in died
             ]
             lost = [(shard, ids, exc) for shard, ids, exc in lost if ids]
@@ -623,11 +751,6 @@ class Engine:
         if item_failure is not None:
             _shard, _doc_id, error = item_failure
             raise error
-        # handles come back in the caller's order, not in shard order
-        return [
-            registered[doc_id] for doc_id, _kind, _content, _compiled in items
-            if doc_id in registered
-        ]
 
     def document(self, doc_id) -> Document:
         """The handle of a served document."""
@@ -1304,13 +1427,18 @@ class Engine:
                 "chunks": sum(s["stream_chunks"] for s in shard_counters),
                 "round_trips": sum(s["stream_round_trips"] for s in shard_counters),
                 "chunk_size": STREAM_PAGE_SIZE,
-                "credit": STREAM_CREDIT,
+                # the *live* adaptive window (starts at STREAM_CREDIT)
+                "credit": self._pool.credit.window,
+                "credit_start": STREAM_CREDIT,
+                "credit_grown": self._pool.credit.grown_total,
+                "credit_shrunk": self._pool.credit.shrunk_total,
             }
             merged["deaths_total"] = self._pool.deaths_total
             merged["timeouts_total"] = self._pool.timeouts_total
             merged["failovers_total"] = self.failovers_total
             merged["migrations_total"] = self.migrations_total
             merged["repairs_pending"] = len(self._repairs)
+        merged["ingest_stragglers"] = self.ingest_stragglers_total
         merged["queries_compiled"] = len(self._queries)
         merged["catalog_entries"] = len(self.catalog) if self.catalog is not None else 0
         return merged
@@ -1418,6 +1546,13 @@ class Engine:
                 except Exception:  # noqa: BLE001 — never block shutdown
                     pass
         self._closed = True
+        lease = getattr(self, "_lease", None)
+        if lease is not None:
+            self._lease = None
+            try:
+                lease.release()
+            except Exception:  # noqa: BLE001 — never block shutdown
+                pass
         if self._pool is not None:
             self._pool.close()
         self._store = None

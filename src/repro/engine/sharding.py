@@ -96,13 +96,99 @@ from repro.errors import (
     ShardTimeoutError,
 )
 
-__all__ = ["ShardPool", "ShardStream", "STREAM_CREDIT"]
+__all__ = ["AdaptiveCredit", "ShardPool", "ShardStream", "STREAM_CREDIT"]
 
-#: chunks a worker may push ahead of the parent's consumption (per stream)
+#: starting credit window: chunks a producer may push ahead of consumption
+#: (per stream).  The *live* window adapts around this value — see
+#: :class:`AdaptiveCredit`.
 STREAM_CREDIT = 4
 
 #: reply statuses the parent accepts; anything else is a protocol violation
 _VALID_STATUSES = ("ok", "err", "chunk")
+
+
+class AdaptiveCredit:
+    """Adaptive sizing of the stream credit window for one consumer.
+
+    The PR-5 protocol fixed every stream's window at :data:`STREAM_CREDIT`.
+    That is the wrong size in both directions: a *fast* consumer drains the
+    buffer and stalls on the pipe (each stall is a wasted round trip the
+    recorded ``stream_stall_seconds`` histogram measures), while a *slow*
+    consumer — or many streams fanned out at once — keeps the full window
+    buffered, holding answers in memory nobody is reading yet.
+
+    One instance is shared by every stream of one consumer (a
+    :class:`ShardPool`, or a :class:`repro.net.client.RemoteEngine`) and
+    driven by the same signals the ``streaming`` stats already record:
+
+    * :meth:`note_stall` — the consumer genuinely waited on the transport
+      for the next chunk.  Two stalls in a row double the window (up to
+      :data:`MAX_WINDOW`): the producer was allowed too little runway.
+    * :meth:`note_buffered` — a chunk was already waiting, ``depth`` deep,
+      in a stream whose outstanding credit is ``capacity``.  Two
+      full-buffer observations in a row halve the window (down to
+      :data:`MIN_WINDOW`): the producer is running ahead of a consumer
+      that cannot keep up.
+    * :meth:`initial_credit` — the opening grant of a new stream divides
+      the window across the streams already open, so fan-out shrinks the
+      per-stream runway instead of multiplying the buffered volume.
+
+    The two-in-a-row hysteresis keeps one slow chunk (a worker busy
+    building) or one burst from thrashing the window.  Growth and shrink
+    totals — and the live window — surface as the
+    ``stream_credit_window`` / ``stream_credit_grown_total`` /
+    ``stream_credit_shrunk_total`` counters of ``Engine.metrics()`` and in
+    the ``streaming`` block of ``Engine.stats()``.
+    """
+
+    MIN_WINDOW = 2
+    MAX_WINDOW = 32
+
+    def __init__(self, start: int = STREAM_CREDIT, metrics=None):
+        if start < 1:
+            raise EngineError(f"the starting credit window must be >= 1, got {start}")
+        self.window = max(self.MIN_WINDOW, min(self.MAX_WINDOW, start))
+        self.metrics = metrics
+        self.grown_total = 0
+        self.shrunk_total = 0
+        self._stall_streak = 0
+        self._full_streak = 0
+        self._publish()
+
+    def _publish(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counters["stream_credit_window"] = self.window
+
+    def initial_credit(self, open_streams: int = 0) -> int:
+        """The opening grant of a new stream, given the streams already open."""
+        return max(self.MIN_WINDOW, self.window // max(1, open_streams + 1))
+
+    def note_stall(self) -> None:
+        """The consumer blocked on the transport waiting for a chunk."""
+        self._full_streak = 0
+        self._stall_streak += 1
+        if self._stall_streak >= 2 and self.window < self.MAX_WINDOW:
+            self.window = min(self.MAX_WINDOW, self.window * 2)
+            self.grown_total += 1
+            self._stall_streak = 0
+            if self.metrics is not None:
+                self.metrics.inc("stream_credit_grown_total")
+            self._publish()
+
+    def note_buffered(self, depth: int, capacity: int) -> None:
+        """A chunk was already buffered (``depth`` of ``capacity`` tokens)."""
+        self._stall_streak = 0
+        if depth < max(1, capacity):
+            self._full_streak = 0
+            return
+        self._full_streak += 1
+        if self._full_streak >= 2 and self.window > self.MIN_WINDOW:
+            self.window = max(self.MIN_WINDOW, self.window // 2)
+            self.shrunk_total += 1
+            self._full_streak = 0
+            if self.metrics is not None:
+                self.metrics.inc("stream_credit_shrunk_total")
+            self._publish()
 
 
 # ============================================================== worker side
@@ -379,7 +465,16 @@ def _shard_worker_main(
 class ShardStream:
     """Parent-side handle of one push stream (chunks buffered until read)."""
 
-    __slots__ = ("shard", "request_id", "chunks", "error", "done", "closed", "to_grant")
+    __slots__ = (
+        "shard",
+        "request_id",
+        "chunks",
+        "error",
+        "done",
+        "closed",
+        "to_grant",
+        "window",
+    )
 
     def __init__(self, shard: int, request_id: int):
         self.shard = shard
@@ -389,6 +484,10 @@ class ShardStream:
         self.done = False  #: the worker sent the exhausted chunk or an error
         self.closed = False  #: the parent abandoned the stream
         self.to_grant = 0  #: consumed chunks not yet returned as credit
+        #: this stream's outstanding credit tokens: worker-held credit plus
+        #: chunks in the pipe or buffered plus ``to_grant``.  Grants keep the
+        #: invariant while steering toward the adaptive target window.
+        self.window = STREAM_CREDIT
 
 
 class _ShardState:
@@ -481,6 +580,8 @@ class ShardPool:
         self.deadline = deadline
         self.deaths_total = 0
         self.timeouts_total = 0
+        #: adaptive credit-window controller shared by every stream
+        self.credit = AdaptiveCredit(STREAM_CREDIT, metrics=metrics)
         self._shards: List[_ShardState] = []
         self._request_ids = itertools.count()
         try:
@@ -784,6 +885,60 @@ class ShardPool:
                 return True
         return True
 
+    def wait_replies(
+        self, waiting: Dict[int, int], deadline: Optional[float] = -1.0
+    ) -> List[int]:
+        """Block until at least one of several pending replies is ready.
+
+        ``waiting`` maps shard index → request id.  Returns every shard
+        whose :meth:`collect` would no longer block — its reply arrived, or
+        it is dead (so ``collect`` raises immediately instead of hanging).
+        This is what lets the engine process ingest batches in **arrival
+        order**: fast shards are collected while a straggler is still
+        building, instead of serializing behind dict order.
+
+        A shard that produces nothing within the deadline is killed and
+        marked dead (the regular timeout promotion), then reported ready so
+        the caller's ``collect`` surfaces the precise
+        :class:`~repro.errors.ShardTimeoutError`-shaped death.
+        """
+        if deadline == -1.0:
+            deadline = self.deadline
+        deadline_at = time.monotonic() + deadline if deadline is not None else None
+        from multiprocessing.connection import wait as _connection_wait
+
+        while True:
+            ready = [
+                shard
+                for shard, request_id in waiting.items()
+                if self._shards[shard].dead or request_id in self._shards[shard].pending
+            ]
+            if ready:
+                return ready
+            conns = {
+                self._shards[shard].conn: shard
+                for shard in waiting
+                if not self._shards[shard].dead
+            }
+            if not conns:
+                return list(waiting)
+            timeout = None
+            if deadline_at is not None:
+                timeout = deadline_at - time.monotonic()
+                if timeout <= 0:
+                    # Every still-silent shard blew the deadline together.
+                    for shard in list(conns.values()):
+                        entry = self._shards[shard].inflight.get(waiting[shard])
+                        op = entry[0] if entry is not None else "?"
+                        self._timeout(shard, op, deadline or 0.0, deadline or 0.0)
+                    return list(conns.values())
+            for conn in _connection_wait(list(conns), timeout):
+                shard = conns[conn]
+                try:
+                    self._recv_one(shard, "collecting a batch reply")
+                except ShardDiedError:
+                    pass  # dead counts as ready; collect() reports it precisely
+
     def ping(self, shard: int, deadline: Optional[float] = -1.0) -> bool:
         """Health probe: True iff the worker answers a ping within the deadline.
 
@@ -853,15 +1008,26 @@ class ShardPool:
         shard: int,
         doc_id,
         chunk_size: int,
-        credit: int = STREAM_CREDIT,
+        credit: Optional[int] = None,
         trace_ctx=None,
     ) -> ShardStream:
-        """Open a push stream over a document's answers on its shard."""
+        """Open a push stream over a document's answers on its shard.
+
+        The opening credit defaults to the adaptive controller's grant —
+        the current window divided across the streams already open, so a
+        fan-out of concurrent streams shares the buffered volume instead of
+        multiplying it.  Pass an explicit ``credit`` to pin the window
+        (tests, benchmarks).
+        """
         state = self._check_shard(shard)
+        if credit is None:
+            open_streams = sum(len(entry.streams) for entry in self._shards)
+            credit = self.credit.initial_credit(open_streams)
         if trace_ctx is not None:
             self._send(shard, (-1, "trace_push", trace_ctx), "opening a stream")
         request_id = next(self._request_ids)
         stream = ShardStream(shard, request_id)
+        stream.window = credit
         state.streams[request_id] = stream
         self._send(shard, (request_id, "stream_open", doc_id, chunk_size, credit), "opening a stream")
         state.stream_round_trips += 1
@@ -873,13 +1039,22 @@ class ShardPool:
         Returns ``None`` when the stream ended; raises the stream's error
         (with its original type) when the worker reported one.  Consuming a
         chunk replenishes the worker's credit window in half-window grants,
-        so a long stream costs one round trip per ``STREAM_CREDIT // 2``
-        chunks instead of one per page.  The wait for each chunk is bounded
-        by the pool deadline.
+        steered by the adaptive controller: a grant tops the stream's
+        outstanding tokens up to the *current* target window, so a grown
+        window takes effect mid-stream and a shrunk one simply withholds
+        credit (an effective shrink costs zero round trips).  The wait for
+        each chunk is bounded by the pool deadline.
         """
         state = self._shards[stream.shard]
         deadline_at = time.monotonic() + self.deadline if self.deadline is not None else None
         stalled_at = None  #: set when the parent genuinely waited on the pipe
+        if stream.chunks:
+            # Buffered chunks plus not-yet-returned grants == the whole
+            # outstanding window ⇒ the producer has nothing left in flight
+            # and is purely waiting on this consumer.
+            self.credit.note_buffered(
+                len(stream.chunks) + stream.to_grant, stream.window
+            )
         while not stream.chunks:
             if stream.error is not None:
                 error, stream.error = stream.error, None
@@ -892,21 +1067,33 @@ class ShardPool:
             if stalled_at is None:
                 stalled_at = time.monotonic()
             self._recv_one(stream.shard, "streaming answers", deadline_at, self.deadline)
-        if stalled_at is not None and self.metrics is not None:
-            # Time the consumer spent blocked on the credit window / worker.
-            self.metrics.observe("stream_stall_seconds", time.monotonic() - stalled_at)
+        if stalled_at is not None:
+            self.credit.note_stall()
+            if self.metrics is not None:
+                # Time the consumer spent blocked on the credit window / worker.
+                self.metrics.observe("stream_stall_seconds", time.monotonic() - stalled_at)
         chunk = stream.chunks.pop(0)
         stream.to_grant += 1
         _answers, exhausted = chunk
-        if not exhausted and not stream.done and stream.to_grant >= max(1, STREAM_CREDIT // 2):
-            if not state.dead:
+        target = self.credit.window
+        if (
+            not exhausted
+            and not stream.done
+            and stream.to_grant >= max(1, min(stream.window, target) // 2)
+        ):
+            # Token conservation: ``stream.window`` tokens are outstanding
+            # (worker credit + chunks in flight/buffered + to_grant).  Grant
+            # exactly what tops the stream up to the target window.
+            grant = max(0, target - (stream.window - stream.to_grant))
+            stream.window = stream.window - stream.to_grant + grant
+            stream.to_grant = 0
+            if grant > 0 and not state.dead:
                 self._send(
                     stream.shard,
-                    (stream.request_id, "stream_credit", stream.to_grant),
+                    (stream.request_id, "stream_credit", grant),
                     "granting stream credit",
                 )
                 state.stream_round_trips += 1
-            stream.to_grant = 0
         return chunk
 
     def stream_close(self, stream: ShardStream) -> None:

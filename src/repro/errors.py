@@ -29,6 +29,8 @@ __all__ = [
     "CatalogError",
     "CatalogVersionError",
     "CursorInvalidatedError",
+    "CodecError",
+    "ProtocolError",
 ]
 
 
@@ -152,6 +154,23 @@ class CatalogVersionError(CatalogError):
     incompatible library or format version.  The message names both versions
     and the offending path, so operators can tell a stale catalog from a
     corrupt one."""
+
+
+class CodecError(InvalidAutomatonError):
+    """A serialized payload (catalog entry, wire frame body) is malformed:
+    oversized, truncated, nested beyond the recursion limit, or carrying an
+    unknown/ill-arity value tag.  The message names the offending offset or
+    shape, so an operator can tell corruption from version skew.  Subclasses
+    :class:`InvalidAutomatonError` because the historical decoder raised that
+    for unknown tags — existing handlers keep working."""
+
+
+class ProtocolError(EngineError):
+    """A network peer (client or server of :mod:`repro.net`) violated the
+    wire protocol: an oversized or malformed frame, a bad HELLO, an unknown
+    status tag, or a per-connection limit breach.  The side that detects it
+    closes *that connection only* — the server keeps serving its other
+    clients, and the engine behind it is untouched."""
 
 
 class CursorInvalidatedError(ServingError, StaleIteratorError):

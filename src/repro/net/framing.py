@@ -1,0 +1,459 @@
+"""Wire framing of the network serving tier: length-prefixed canonical JSON.
+
+Every message between :class:`~repro.net.client.RemoteEngine` and
+:class:`~repro.net.server.EngineServer` is one **frame**: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 canonical
+JSON (sorted keys, no whitespace — the exact rendering of
+:func:`repro.automata.serialize.canonical_json`).  There is **no pickle on
+the wire**: the body is the tagged value codec below, a strict superset of
+the catalog codec of :mod:`repro.automata.serialize`, so the wire is
+version-stable and safe to parse from untrusted peers.
+
+Value tags (JSON primitives — ``None``/bool/int/str — pass through bare):
+
+========  ==================================================================
+tag       payload
+========  ==================================================================
+``f``     float as its ``repr`` string (no silent ``1`` / ``1.0`` merging)
+``t``     tuple, items encoded in order
+``s``     frozenset, items encoded and sorted by canonical key
+``l``     list, items encoded in order
+``d``     dict as ``[[key, value], ...]`` sorted by the encoded key
+``tree``  :class:`~repro.trees.unranked.UnrankedTree` with **node ids
+          preserved** (``[next_id, [[id, label, parent_id], ...]]`` in
+          document order) — answers reference node ids, so a rebuilt tree
+          must carry the same ids as the original
+``edit``  a tree :class:`~repro.trees.edits.EditOperation`
+``ustat`` one :class:`~repro.core.results.UpdateStats` row
+``report`` a :class:`~repro.engine.local.BatchUpdateReport`
+``inval``  a :class:`~repro.engine.cursor.CursorInvalidation` report
+``exc``    an exception: ``[type_name, message, extra]``, reconstructed
+           from the :mod:`repro.errors` hierarchy on decode (unknown types
+           degrade to :class:`~repro.errors.EngineError` naming the
+           original type) — this is how the server propagates the engine's
+           precise error types as typed error frames
+========  ==================================================================
+
+Decoding is hardened exactly like the catalog codec: unknown tags, wrong
+arities, oversized or truncated frames and nesting past
+:data:`MAX_WIRE_DEPTH` raise a precise :class:`~repro.errors.ProtocolError`
+naming the offending shape — never a bare ``ValueError`` or a blown stack.
+A framing violation is unrecoverable on a byte stream (the next frame
+boundary is unknowable), so the side that detects one closes that
+connection; see :mod:`repro.net.server`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.automata.serialize import canonical_json, canonical_key, loads_payload
+from repro.errors import CodecError, EngineError, ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "MAX_WIRE_DEPTH",
+    "encode_wire",
+    "decode_wire",
+    "encode_frame",
+    "decode_frame_body",
+    "send_frame",
+    "recv_frame",
+    "recv_frame_async",
+]
+
+#: protocol revision negotiated by the HELLO exchange; bumped on any
+#: incompatible change to the frame format or the op vocabulary
+PROTOCOL_VERSION = 1
+
+#: default per-frame byte ceiling (header excluded) on both sides
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: deepest value nesting a frame body may carry (answers are ~3 deep,
+#: stats dicts ~4; anything deeper is a recursion bomb, not traffic)
+MAX_WIRE_DEPTH = 48
+
+_LEN = struct.Struct(">I")
+
+
+# ------------------------------------------------------------- value codec
+def encode_wire(value: object, _depth: int = 0) -> object:
+    """Encode one value for the wire (JSON-compatible tagged structure)."""
+    if _depth >= MAX_WIRE_DEPTH:
+        raise ProtocolError(
+            f"refusing to encode a value nested deeper than {MAX_WIRE_DEPTH} levels"
+        )
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ["f", repr(value)]
+    if isinstance(value, tuple):
+        return ["t", [encode_wire(item, _depth + 1) for item in value]]
+    if isinstance(value, frozenset):
+        encoded = [encode_wire(item, _depth + 1) for item in value]
+        encoded.sort(key=canonical_key)
+        return ["s", encoded]
+    if isinstance(value, list):
+        return ["l", [encode_wire(item, _depth + 1) for item in value]]
+    if isinstance(value, dict):
+        rows = [
+            [encode_wire(key, _depth + 1), encode_wire(val, _depth + 1)]
+            for key, val in value.items()
+        ]
+        rows.sort(key=lambda row: canonical_key(row[0]))
+        return ["d", rows]
+    encoded = _encode_domain(value, _depth)
+    if encoded is not None:
+        return encoded
+    raise ProtocolError(
+        f"cannot put a {type(value).__name__} on the wire; the codec covers "
+        "JSON primitives, float/tuple/frozenset/list/dict, trees, edits, "
+        "update reports and exceptions"
+    )
+
+
+def _encode_domain(value: object, depth: int) -> Optional[list]:
+    """Encode the engine-surface domain objects (tree, edit, report, exc)."""
+    from repro.core.results import UpdateStats
+    from repro.engine.cursor import CursorInvalidation
+    from repro.engine.local import BatchUpdateReport
+    from repro.trees.edits import Delete, Insert, InsertRight, Relabel
+    from repro.trees.unranked import UnrankedTree
+
+    if isinstance(value, UnrankedTree):
+        nodes = [
+            [
+                node.node_id,
+                encode_wire(node.label, depth + 1),
+                None if node.parent is None else node.parent.node_id,
+            ]
+            for node in value.nodes()
+        ]
+        return ["tree", [value._next_id, nodes]]
+    if isinstance(value, Relabel):
+        return ["edit", ["relabel", value.node_id, encode_wire(value.label, depth + 1)]]
+    if isinstance(value, Insert):
+        return ["edit", ["insert", value.node_id, encode_wire(value.label, depth + 1)]]
+    if isinstance(value, InsertRight):
+        return ["edit", ["insertR", value.node_id, encode_wire(value.label, depth + 1)]]
+    if isinstance(value, Delete):
+        return ["edit", ["delete", value.node_id, None]]
+    if isinstance(value, UpdateStats):
+        return [
+            "ustat",
+            [
+                value.trunk_size,
+                value.rebuilt_subterm_size,
+                encode_wire(value.seconds, depth + 1),
+                value.new_node_id,
+                value.new_position_id,
+            ],
+        ]
+    if isinstance(value, BatchUpdateReport):
+        return [
+            "report",
+            [
+                encode_wire(value.document_id, depth + 1),
+                value.epoch,
+                [encode_wire(stat, depth + 1) for stat in value.stats],
+                value.boxes_rebuilt,
+                value.cursors_resumed,
+                value.cursors_invalidated,
+            ],
+        ]
+    if isinstance(value, CursorInvalidation):
+        return [
+            "inval",
+            [
+                value.cursor_id,
+                encode_wire(value.document_id, depth + 1),
+                value.base_epoch,
+                value.invalidated_epoch,
+                value.answers_delivered,
+                value.edit,
+                value.boxes_hit,
+            ],
+        ]
+    if isinstance(value, BaseException):
+        extra: Dict[str, object] = {}
+        shard = getattr(value, "shard", None)
+        if shard is not None or hasattr(value, "deadline"):
+            for attr in ("shard", "op", "elapsed", "deadline"):
+                if hasattr(value, attr):
+                    extra[attr] = encode_wire(getattr(value, attr), depth + 1)
+        report = getattr(value, "report", None)
+        if report is not None:
+            extra["report"] = encode_wire(report, depth + 1)
+        return ["exc", [type(value).__name__, str(value), ["d", sorted(
+            ([key, val] for key, val in extra.items()), key=lambda row: row[0]
+        )]]]
+    return None
+
+
+def _expect(condition: bool, what: str) -> None:
+    if not condition:
+        raise ProtocolError(f"malformed frame value: {what}")
+
+
+def decode_wire(payload: object, _depth: int = 0) -> object:
+    """Invert :func:`encode_wire`; hardened against untrusted input."""
+    if payload is None or isinstance(payload, (bool, int, str)):
+        return payload
+    if not isinstance(payload, list):
+        raise ProtocolError(
+            f"malformed frame value: bare {type(payload).__name__} "
+            "(expected a JSON primitive or a tagged [tag, data] pair)"
+        )
+    if _depth >= MAX_WIRE_DEPTH:
+        raise ProtocolError(
+            f"frame value nested deeper than {MAX_WIRE_DEPTH} levels; "
+            "rejecting a recursion bomb"
+        )
+    _expect(len(payload) == 2, f"tagged value of arity {len(payload)} (expected 2)")
+    tag, data = payload
+    if tag == "f":
+        _expect(isinstance(data, str), "'f' tag without a repr string")
+        try:
+            return float(data)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed frame value: bad float repr {data!r}") from exc
+    if tag in ("t", "s", "l"):
+        _expect(isinstance(data, list), f"{tag!r} tag without a list payload")
+        items = [decode_wire(item, _depth + 1) for item in data]
+        if tag == "t":
+            return tuple(items)
+        if tag == "s":
+            return frozenset(items)
+        return items
+    if tag == "d":
+        _expect(isinstance(data, list), "'d' tag without a row list")
+        out = {}
+        for row in data:
+            _expect(isinstance(row, list) and len(row) == 2, "dict row that is not a pair")
+            out[decode_wire(row[0], _depth + 1)] = decode_wire(row[1], _depth + 1)
+        return out
+    return _decode_domain(tag, data, _depth)
+
+
+def _decode_domain(tag: str, data: object, depth: int) -> object:
+    from repro.core.results import UpdateStats
+    from repro.engine.cursor import CursorInvalidation
+    from repro.engine.local import BatchUpdateReport
+    from repro.trees.edits import Delete, Insert, InsertRight, Relabel
+    from repro.trees.unranked import UnrankedNode, UnrankedTree
+
+    if tag == "tree":
+        _expect(isinstance(data, list) and len(data) == 2, "'tree' tag arity")
+        next_id, rows = data
+        _expect(isinstance(next_id, int) and isinstance(rows, list) and rows,
+                "'tree' tag needs [next_id, non-empty node rows]")
+        # Rebuild with the original node ids (the pattern of
+        # UnrankedTree.copy): answers and edits address nodes by id, so a
+        # freshly-numbered rebuild would silently break both.
+        tree = UnrankedTree.__new__(UnrankedTree)
+        tree._next_id = next_id
+        tree._nodes = {}
+        tree.version = 0
+        root_row = rows[0]
+        _expect(isinstance(root_row, list) and len(root_row) == 3 and root_row[2] is None,
+                "'tree' tag whose first row is not a parentless root")
+        tree.root = UnrankedNode(root_row[0], decode_wire(root_row[1], depth + 1), None)
+        tree._nodes[tree.root.node_id] = tree.root
+        for row in rows[1:]:
+            _expect(isinstance(row, list) and len(row) == 3, "'tree' node row arity")
+            node_id, label, parent_id = row
+            parent = tree._nodes.get(parent_id)
+            _expect(parent is not None, f"'tree' node {node_id!r} references "
+                    f"unknown parent {parent_id!r} (rows must be in document order)")
+            _expect(isinstance(node_id, int) and node_id not in tree._nodes,
+                    f"'tree' node id {node_id!r} is not a fresh int")
+            node = UnrankedNode(node_id, decode_wire(label, depth + 1), parent)
+            parent.children.append(node)
+            tree._nodes[node_id] = node
+        return tree
+    if tag == "edit":
+        _expect(isinstance(data, list) and len(data) == 3, "'edit' tag arity")
+        kind, node_id, label = data
+        _expect(isinstance(node_id, int), "'edit' without an int node id")
+        label = decode_wire(label, depth + 1)
+        if kind == "relabel":
+            return Relabel(node_id, label)
+        if kind == "insert":
+            return Insert(node_id, label)
+        if kind == "insertR":
+            return InsertRight(node_id, label)
+        if kind == "delete":
+            return Delete(node_id)
+        raise ProtocolError(f"malformed frame value: unknown edit kind {kind!r}")
+    if tag == "ustat":
+        _expect(isinstance(data, list) and len(data) == 5, "'ustat' tag arity")
+        return UpdateStats(
+            trunk_size=data[0],
+            rebuilt_subterm_size=data[1],
+            seconds=decode_wire(data[2], depth + 1),
+            new_node_id=data[3],
+            new_position_id=data[4],
+        )
+    if tag == "report":
+        _expect(isinstance(data, list) and len(data) == 6, "'report' tag arity")
+        stats = data[2]
+        _expect(isinstance(stats, list), "'report' stats that are not a list")
+        return BatchUpdateReport(
+            document_id=decode_wire(data[0], depth + 1),
+            epoch=data[1],
+            stats=[decode_wire(stat, depth + 1) for stat in stats],
+            boxes_rebuilt=data[3],
+            cursors_resumed=data[4],
+            cursors_invalidated=data[5],
+        )
+    if tag == "inval":
+        _expect(isinstance(data, list) and len(data) == 7, "'inval' tag arity")
+        return CursorInvalidation(
+            cursor_id=data[0],
+            document_id=decode_wire(data[1], depth + 1),
+            base_epoch=data[2],
+            invalidated_epoch=data[3],
+            answers_delivered=data[4],
+            edit=data[5],
+            boxes_hit=data[6],
+        )
+    if tag == "exc":
+        _expect(isinstance(data, list) and len(data) == 3, "'exc' tag arity")
+        name, message, extra = data
+        _expect(isinstance(name, str) and isinstance(message, str), "'exc' name/message")
+        return _rebuild_exception(name, message, decode_wire(extra, depth + 1))
+    raise ProtocolError(f"malformed frame value: unknown wire tag {tag!r}")
+
+
+def _rebuild_exception(name: str, message: str, extra: object) -> BaseException:
+    """Rebuild a typed error from its wire form (the error-frame payload).
+
+    Types are resolved against the :mod:`repro.errors` hierarchy only — a
+    peer cannot make this side instantiate arbitrary classes.  Unknown
+    types degrade to :class:`~repro.errors.EngineError` carrying the
+    original type name in the message.
+    """
+    from repro import errors as _errors
+    from repro.errors import CursorInvalidatedError, ReproError, ShardTimeoutError
+
+    if not isinstance(extra, dict):
+        extra = {}
+    cls = getattr(_errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        return EngineError(f"remote error ({name}): {message}")
+    if issubclass(cls, ShardTimeoutError):
+        return cls(
+            message,
+            shard=extra.get("shard"),
+            op=extra.get("op"),
+            elapsed=extra.get("elapsed"),
+            deadline=extra.get("deadline"),
+        )
+    if issubclass(cls, CursorInvalidatedError):
+        return cls(message, report=extra.get("report"))
+    return cls(message)
+
+
+# ------------------------------------------------------------------ frames
+def encode_frame(value: object, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Render one frame (length prefix + canonical JSON body)."""
+    body = canonical_json(encode_wire(value)).encode("utf8")
+    if len(body) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> object:
+    """Parse one frame body back into a value (:class:`ProtocolError` on junk)."""
+    try:
+        payload = loads_payload(body, max_bytes=max_frame_bytes)
+    except CodecError as exc:
+        raise ProtocolError(f"malformed frame body: {exc}") from exc
+    return decode_wire(payload)
+
+
+# ----------------------------------------------------- blocking socket I/O
+def send_frame(
+    sock: socket.socket, value: object, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    """Send one frame on a blocking socket."""
+    sock.sendall(encode_frame(value, max_frame_bytes))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF before any byte."""
+    chunks: List[bytes] = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got} of {count} bytes received)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[object]:
+    """Receive one frame from a blocking socket.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer closed);
+    raises :class:`~repro.errors.ProtocolError` on a truncated or oversized
+    frame — after which the stream position is unrecoverable and the
+    connection must be dropped.
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"incoming frame announces {length} bytes, over the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between frame header and body")
+    return decode_frame_body(body, max_frame_bytes)
+
+
+# -------------------------------------------------------------- asyncio I/O
+async def recv_frame_async(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[object]:
+    """Receive one frame from an asyncio stream (``None`` on clean EOF)."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-frame header ({len(exc.partial)} of "
+            f"{_LEN.size} bytes received)"
+        ) from exc
+    (length,) = _LEN.unpack(header)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"incoming frame announces {length} bytes, over the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of {length} "
+            "bytes received)"
+        ) from exc
+    return decode_frame_body(body, max_frame_bytes)

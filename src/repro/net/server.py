@@ -1,0 +1,566 @@
+"""`EngineServer`: the asyncio front door of one :class:`repro.Engine`.
+
+The server listens on TCP and/or a unix socket and multiplexes many
+concurrent client connections onto one engine.  The wire speaks the framed
+canonical codec of :mod:`repro.net.framing` (no pickle), and requests carry
+the same ``(request_id, op, *args)`` shape as the PR-5 shard protocol —
+the network tier is the shard protocol with a socket instead of a pipe and
+a safe codec instead of pickle:
+
+* a versioned **HELLO** opens every connection: the client sends
+  ``[0, "hello", {"protocol": N}]`` and the server answers with its
+  protocol revision and per-connection limits, or a typed error frame on a
+  revision mismatch;
+* **requests** (``compile``, ``add_documents``, ``apply_edits``, ``page``,
+  ``count``, ``epoch``, ``remove``, ``stats``, ``metrics``, ``events``,
+  ``ping``) execute against the engine on a single executor thread — the
+  engine is not thread-safe, and one serialized lane per server preserves
+  the engine's own request ordering — and answer ``[rid, "ok", payload]``
+  or ``[rid, "err", exc]`` with the engine's *original* error type encoded
+  in the frame;
+* **streams** reuse the credit-window push semantics end to end: the
+  client opens a stream with an initial credit, the server pushes
+  ``[rid, "chunk", answers, exhausted]`` frames ahead of consumption while
+  credit lasts, and ``stream_credit`` frames replenish the window.  The
+  server-side producer is the engine's own ``stream()`` — so on a sharded
+  engine the client's credit gates the server loop, which in turn consumes
+  the shard pool's (adaptively sized) credit window from the workers, and
+  a mid-stream shard death fails over inside the engine without the client
+  seeing anything.
+
+Per-connection limits (``max_frame_bytes``, ``max_streams``,
+``idle_timeout``) protect the server from misbehaving peers: a malformed
+or oversized frame raises a precise :class:`~repro.errors.ProtocolError`
+and closes **that connection only** (a framing violation leaves no
+recoverable frame boundary), while a stream-limit breach is answered with
+a typed error frame on a connection that stays usable.  Observability
+hooks into the engine's obs layer: ``net_request_seconds`` round-trip
+histograms, ``net_connect`` / ``net_disconnect`` / ``net_protocol_error``
+events, and a ``net:<op>`` span around every engine call so a traced
+engine links client request → server → shard in one trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+from repro.engine.document import STREAM_PAGE_SIZE
+from repro.errors import EngineError, ProtocolError
+from repro.net.framing import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    recv_frame_async,
+)
+
+__all__ = ["EngineServer"]
+
+#: concurrently open streams one connection may hold (default)
+DEFAULT_MAX_STREAMS = 32
+
+
+class _ServerStream:
+    """Server-side state of one client stream: its credit gate and pump task."""
+
+    __slots__ = ("credit", "refill", "closed", "task")
+
+    def __init__(self, credit: int):
+        self.credit = credit
+        self.refill = asyncio.Event()
+        self.closed = False
+        self.task: Optional[asyncio.Task] = None
+
+
+class EngineServer:
+    """Serve one :class:`repro.Engine` to network clients.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve (any mode: in-process, sharded, replicated).
+        The server does not own it — closing the server leaves the engine
+        running.
+    host / port:
+        TCP listen address.  ``port=0`` (default) picks a free port,
+        readable from :attr:`address` after :meth:`start`.  ``host=None``
+        disables TCP (unix socket only).
+    unix_path:
+        Optional unix-domain socket path to additionally listen on.
+    max_frame_bytes:
+        Per-frame byte ceiling in both directions; an incoming frame over
+        it is rejected with :class:`~repro.errors.ProtocolError` and the
+        connection dropped.
+    max_streams:
+        Concurrently open streams one connection may hold; a breach is
+        answered with a typed error frame (connection stays usable).
+    idle_timeout:
+        Seconds a connection may sit with no incoming frame before the
+        server drops it (``None`` = forever).
+    """
+
+    def __init__(
+        self,
+        engine,
+        host: Optional[str] = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        max_streams: int = DEFAULT_MAX_STREAMS,
+        idle_timeout: Optional[float] = None,
+    ):
+        if host is None and unix_path is None:
+            raise EngineError("EngineServer needs a TCP host and/or a unix_path")
+        if max_streams < 1:
+            raise EngineError(f"max_streams must be >= 1, got {max_streams}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise EngineError(
+                f"idle_timeout must be positive (None disables), got {idle_timeout}"
+            )
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.max_frame_bytes = max_frame_bytes
+        self.max_streams = max_streams
+        self.idle_timeout = idle_timeout
+        self.address: Optional[Tuple[str, int]] = None  #: (host, port) once started
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._servers = []
+        #: one serialized lane for every engine call — the engine is not
+        #: thread-safe, and a single lane preserves its request ordering
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-net-engine"
+        )
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._closed = False
+        self._connections = 0
+
+    # ---------------------------------------------------------------- lifecycle
+    def start(self) -> "EngineServer":
+        """Start listening (background event-loop thread); returns ``self``."""
+        if self._thread is not None:
+            raise EngineError("this server was already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._startup_error = None
+            self.stop()
+            raise error
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._open_listeners())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    async def _open_listeners(self) -> None:
+        if self.host is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self._servers.append(server)
+            self.address = server.sockets[0].getsockname()[:2]
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, self.unix_path
+            )
+            self._servers.append(server)
+
+    def stop(self) -> None:
+        """Stop listening and drop every connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+
+            def _shutdown():
+                for server in self._servers:
+                    server.close()
+                loop.stop()
+
+            loop.call_soon_threadsafe(_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "EngineServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- engine ops
+    async def _run_engine(self, op: str, fn):
+        """Execute one engine call on the serialized engine lane."""
+        loop = asyncio.get_running_loop()
+
+        def call():
+            start = perf_counter()
+            tracer = self.engine._tracer
+            try:
+                with tracer.span(f"net:{op}"):
+                    return fn()
+            finally:
+                self.engine._metrics.observe("net_request_seconds", perf_counter() - start)
+
+        return await loop.run_in_executor(self._executor, call)
+
+    def _dispatch(self, op: str, args: list):
+        """The engine call of one non-stream request (runs on the lane)."""
+        engine = self.engine
+        if op == "compile":
+            from repro.automata.serialize import query_from_payload
+
+            (payload,) = args
+            query = engine.compile(query_from_payload(payload))
+            return {"digest": query.digest, "kind": query.kind}
+        if op == "add_documents":
+            (items,) = args
+            contents, queries, doc_ids = [], [], []
+            for row in items:
+                if not (isinstance(row, (list, tuple)) and len(row) == 3):
+                    raise ProtocolError(
+                        "add_documents items must be [doc_id, content, digest] rows"
+                    )
+                doc_id, content, digest = row
+                query = engine._queries.get(digest)
+                if query is None:
+                    raise ProtocolError(
+                        f"no compiled query with digest {str(digest)[:12]}... on "
+                        "this connection's server; send compile before add_documents"
+                    )
+                contents.append(content)
+                queries.append(query)
+                doc_ids.append(doc_id)
+            documents = engine.add_documents(contents, queries=queries, doc_ids=doc_ids)
+            return {"doc_ids": [document.doc_id for document in documents]}
+        if op == "apply_edits":
+            doc_id, edits = args
+            return engine.apply_edits(doc_id, list(edits))
+        if op == "page":
+            doc_id, cursor_id, size = args
+            if cursor_id is None:
+                page = engine._page(doc_id, None, size)
+            else:
+                page = engine._page(doc_id, cursor_id, None)
+            return {
+                "answers": page.answers,
+                "offset": page.offset,
+                "exhausted": page.exhausted,
+                "cursor_id": page.cursor_id,
+                "epoch": page.epoch,
+            }
+        if op == "count":
+            doc_id, limit = args
+            return engine._count(doc_id, limit)
+        if op == "epoch":
+            return engine._doc_epoch(args[0])
+        if op == "remove":
+            engine.remove(args[0])
+            return None
+        if op == "stats":
+            return engine.stats()
+        if op == "metrics":
+            return engine.metrics()
+        if op == "events":
+            return engine.events()
+        if op == "ping":
+            return "pong"
+        raise ProtocolError(f"unknown request op {op!r}")
+
+    # -------------------------------------------------------------- connections
+    async def _handle_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername") or writer.get_extra_info("sockname")
+        peer = repr(peer)
+        self._connections += 1
+        self.engine._events.emit("net_connect", peer=peer)
+        write_lock = asyncio.Lock()
+        streams: Dict[int, _ServerStream] = {}
+        reason = "eof"
+        try:
+            if not await self._handshake(reader, writer, write_lock):
+                reason = "bad-hello"
+                return
+            while True:
+                try:
+                    if self.idle_timeout is not None:
+                        frame = await asyncio.wait_for(
+                            recv_frame_async(reader, self.max_frame_bytes),
+                            timeout=self.idle_timeout,
+                        )
+                    else:
+                        frame = await recv_frame_async(reader, self.max_frame_bytes)
+                except asyncio.TimeoutError:
+                    reason = "idle-timeout"
+                    return
+                except ProtocolError as exc:
+                    reason = f"protocol-error: {exc}"
+                    self.engine._events.emit(
+                        "net_protocol_error", peer=peer, error=str(exc)
+                    )
+                    return
+                if frame is None:
+                    return  # clean EOF: the client closed
+                try:
+                    request_id, op, args = self._parse_request(frame)
+                except ProtocolError as exc:
+                    reason = f"protocol-error: {exc}"
+                    self.engine._events.emit(
+                        "net_protocol_error", peer=peer, error=str(exc)
+                    )
+                    return
+                if op == "stream_open":
+                    try:
+                        await self._stream_open(
+                            request_id, args, streams, writer, write_lock, peer
+                        )
+                    except ProtocolError as exc:
+                        reason = f"protocol-error: {exc}"
+                        self.engine._events.emit(
+                            "net_protocol_error", peer=peer, error=str(exc)
+                        )
+                        return
+                elif op == "stream_credit":
+                    stream = streams.get(request_id)
+                    if stream is not None and args and isinstance(args[0], int):
+                        stream.credit += args[0]
+                        stream.refill.set()
+                elif op == "stream_close":
+                    self._stream_drop(streams, request_id)
+                else:
+                    await self._answer(request_id, op, args, writer, write_lock)
+        except asyncio.CancelledError:
+            # Server shutdown cancels connection tasks; ending the task
+            # cleanly (instead of re-raising) keeps asyncio's stream
+            # machinery from logging the cancellation as an error.
+            reason = "server-stopped"
+        except (ConnectionError, OSError) as exc:
+            reason = f"connection-lost: {exc}"
+        finally:
+            for request_id in list(streams):
+                self._stream_drop(streams, request_id)
+            self._connections -= 1
+            self.engine._events.emit("net_disconnect", peer=peer, reason=reason)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):  # noqa: BLE001 — peer gone
+                pass
+
+    async def _handshake(self, reader, writer, write_lock) -> bool:
+        """The versioned HELLO exchange; False closes the connection."""
+        try:
+            frame = await recv_frame_async(reader, self.max_frame_bytes)
+        except ProtocolError:
+            return False
+        ok = (
+            isinstance(frame, list)
+            and len(frame) == 3
+            and frame[1] == "hello"
+            and isinstance(frame[2], dict)
+        )
+        revision = frame[2].get("protocol") if ok else None
+        if not ok or revision != PROTOCOL_VERSION:
+            error = ProtocolError(
+                f"protocol revision mismatch: this server speaks revision "
+                f"{PROTOCOL_VERSION}, the client offered {revision!r}"
+                if ok
+                else "the first frame of a connection must be "
+                "[0, 'hello', {'protocol': N}]"
+            )
+            await self._send(writer, write_lock, [0, "err", error])
+            return False
+        await self._send(
+            writer,
+            write_lock,
+            [
+                0,
+                "ok",
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "page_size": self.engine.page_size,
+                    "chunk_size": STREAM_PAGE_SIZE,
+                    "max_frame_bytes": self.max_frame_bytes,
+                    "max_streams": self.max_streams,
+                },
+            ],
+        )
+        return True
+
+    @staticmethod
+    def _parse_request(frame) -> Tuple[int, str, list]:
+        if not (
+            isinstance(frame, list)
+            and len(frame) >= 2
+            and isinstance(frame[0], int)
+            and isinstance(frame[1], str)
+        ):
+            raise ProtocolError(
+                "malformed request frame: expected [request_id, op, *args]"
+            )
+        return frame[0], frame[1], frame[2:]
+
+    async def _send(self, writer, write_lock, frame_value) -> None:
+        data = encode_frame(frame_value, self.max_frame_bytes)
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _answer(self, request_id, op, args, writer, write_lock) -> None:
+        try:
+            payload = await self._run_engine(op, lambda: self._dispatch(op, args))
+        except BaseException as exc:  # noqa: BLE001 — every failure travels back
+            await self._send(writer, write_lock, [request_id, "err", exc])
+            return
+        await self._send(writer, write_lock, [request_id, "ok", payload])
+
+    # ------------------------------------------------------------------ streams
+    async def _stream_open(
+        self, request_id, args, streams, writer, write_lock, peer
+    ) -> None:
+        if request_id in streams:
+            raise ProtocolError(f"stream request id {request_id} is already open")
+        if len(streams) >= self.max_streams:
+            # A limit breach is a typed error on a connection that stays
+            # usable — unlike a framing violation, nothing is corrupted.
+            error = ProtocolError(
+                f"connection stream limit reached ({self.max_streams} open); "
+                "close a stream before opening another"
+            )
+            self.engine._events.emit("net_protocol_error", peer=peer, error=str(error))
+            await self._send(writer, write_lock, [request_id, "err", error])
+            return
+        if not (
+            len(args) == 3
+            and isinstance(args[1], int)
+            and args[1] >= 1
+            and isinstance(args[2], int)
+            and args[2] >= 1
+        ):
+            await self._send(
+                writer,
+                write_lock,
+                [
+                    request_id,
+                    "err",
+                    ProtocolError(
+                        "stream_open takes [doc_id, chunk_size >= 1, credit >= 1]"
+                    ),
+                ],
+            )
+            return
+        doc_id, chunk_size, credit = args
+        try:
+            iterator = await self._run_engine(
+                "stream_open", lambda: iter(self.engine._stream(doc_id))
+            )
+        except BaseException as exc:  # noqa: BLE001 — unknown doc, closed engine...
+            await self._send(writer, write_lock, [request_id, "err", exc])
+            return
+        stream = _ServerStream(credit)
+        streams[request_id] = stream
+        stream.task = asyncio.get_running_loop().create_task(
+            self._pump(request_id, stream, streams, iterator, chunk_size, writer, write_lock)
+        )
+
+    async def _pump(
+        self, request_id, stream, streams, iterator, chunk_size, writer, write_lock
+    ) -> None:
+        """Push chunks of one stream to the client while its credit lasts."""
+
+        def pull():
+            answers = []
+            tracer = self.engine._tracer
+            with tracer.span("net:stream_chunk"):
+                try:
+                    for _ in range(chunk_size):
+                        answers.append(next(iterator))
+                except StopIteration:
+                    return tuple(answers), True
+            return tuple(answers), False
+
+        loop = asyncio.get_running_loop()
+        try:
+            while not stream.closed:
+                if stream.credit <= 0:
+                    stream.refill.clear()
+                    await stream.refill.wait()
+                    continue
+                try:
+                    answers, exhausted = await loop.run_in_executor(
+                        self._executor, pull
+                    )
+                except BaseException as exc:  # noqa: BLE001 — stale, shard death...
+                    if not stream.closed:
+                        await self._send(writer, write_lock, [request_id, "err", exc])
+                    return
+                if stream.closed:
+                    return
+                stream.credit -= 1
+                await self._send(
+                    writer, write_lock, [request_id, "chunk", answers, exhausted]
+                )
+                if exhausted:
+                    return
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 — the connection died under the pump
+            pass
+        finally:
+            streams.pop(request_id, None)
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                # Run the generator's finalizer on the engine lane: it sends
+                # the shard-side stream_close through the pool.
+                try:
+                    await loop.run_in_executor(self._executor, close)
+                except Exception:  # noqa: BLE001
+                    pass
+
+    @staticmethod
+    def _stream_drop(streams: Dict[int, _ServerStream], request_id: int) -> None:
+        stream = streams.pop(request_id, None)
+        if stream is None:
+            return
+        stream.closed = True
+        stream.refill.set()  # wake a credit-blocked pump so it can exit
+        if stream.task is not None:
+            stream.task.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = []
+        if self.address is not None:
+            where.append(f"tcp={self.address[0]}:{self.address[1]}")
+        if self.unix_path is not None:
+            where.append(f"unix={self.unix_path}")
+        return f"EngineServer({', '.join(where) or 'not started'}, connections={self._connections})"

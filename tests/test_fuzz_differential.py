@@ -280,110 +280,144 @@ def _fault_scenario(case_seed: int):
     return workers, trees, queries, doc_query, ops, fault_plan
 
 
-def _replay_transcript(trees, queries, doc_query, ops, keep=None, **engine_kwargs):
-    """Replay a scenario schedule on one engine; return the full transcript.
+def _replay_ops(engine, trees, queries, doc_query, ops, keep=None):
+    """Replay a scenario schedule on one (possibly remote) engine facade.
 
     The transcript records every observable: epochs, per-batch rebuild and
     cursor-resume/invalidate counts, page contents/offsets/exhaustion,
     cursor invalidation reports, stream segments in production order with
     their end status, and the final answers + epoch of every document.
     """
-    from repro import CursorInvalidatedError, Engine, ReproError, StaleIteratorError
+    from repro import CursorInvalidatedError, ReproError, StaleIteratorError
 
     transcript = []
-    with Engine(**engine_kwargs) as engine:
-        docs = engine.add_documents(
-            trees,
-            queries=[queries[index] for index in doc_query],
-            doc_ids=list(range(len(trees))),
-        )
-        pages = {}
-        streams = {}
-        for op_index, op in enumerate(ops):
-            if keep is not None and op_index not in keep:
+    docs = engine.add_documents(
+        trees,
+        queries=[queries[index] for index in doc_query],
+        doc_ids=list(range(len(trees))),
+    )
+    pages = {}
+    streams = {}
+    for op_index, op in enumerate(ops):
+        if keep is not None and op_index not in keep:
+            continue
+        kind, doc_index = op[0], op[1]
+        if kind == "kill":
+            # Fault-injection schedules only: SIGKILL one worker of the
+            # replicated engine, mid-workload.  A no-op on the
+            # single-process oracle — the transcripts must stay
+            # byte-identical regardless.  A RemoteEngine points
+            # ``_kill_target`` at the server-side engine, so the kill
+            # lands on the real worker fleet while staying invisible to
+            # the network client.
+            target = getattr(engine, "_kill_target", engine)
+            if target.workers:
+                process = target._pool._shards[op[1]].process
+                process.kill()
+                process.join(timeout=10.0)
+            continue
+        doc = docs[doc_index]
+        if kind == "edits":
+            try:
+                report = doc.apply_edits(op[2])
+            except ReproError as exc:
+                # Minimization may drop a batch whose Insert created the
+                # node a later batch edits; the failure is deterministic
+                # (both engines replay the same schedule), so record it
+                # as a transcript event instead of aborting the replay.
+                transcript.append(
+                    ("edits-error", doc_index, type(exc).__name__, doc.epoch)
+                )
                 continue
-            kind, doc_index = op[0], op[1]
-            if kind == "kill":
-                # Fault-injection schedules only: SIGKILL one worker of the
-                # replicated engine, mid-workload.  A no-op on the
-                # single-process oracle — the transcripts must stay
-                # byte-identical regardless.
-                if engine.workers:
-                    process = engine._pool._shards[op[1]].process
-                    process.kill()
-                    process.join(timeout=10.0)
-                continue
-            doc = docs[doc_index]
-            if kind == "edits":
-                try:
-                    report = doc.apply_edits(op[2])
-                except ReproError as exc:
-                    # Minimization may drop a batch whose Insert created the
-                    # node a later batch edits; the failure is deterministic
-                    # (both engines replay the same schedule), so record it
-                    # as a transcript event instead of aborting the replay.
-                    transcript.append(
-                        ("edits-error", doc_index, type(exc).__name__, doc.epoch)
-                    )
-                    continue
+            transcript.append(
+                (
+                    "edits",
+                    doc_index,
+                    report.epoch,
+                    report.boxes_rebuilt,
+                    report.cursors_resumed,
+                    report.cursors_invalidated,
+                )
+            )
+        elif kind == "page":
+            previous = pages.get(doc_index)
+            try:
+                if previous is None or previous.exhausted:
+                    page = doc.page(page_size=3)
+                else:
+                    page = doc.page(cursor=previous)
                 transcript.append(
                     (
-                        "edits",
+                        "page",
                         doc_index,
-                        report.epoch,
-                        report.boxes_rebuilt,
-                        report.cursors_resumed,
-                        report.cursors_invalidated,
+                        _ordered_answers(page.answers),
+                        page.offset,
+                        page.exhausted,
+                        page.epoch,
                     )
                 )
-            elif kind == "page":
-                previous = pages.get(doc_index)
-                try:
-                    if previous is None or previous.exhausted:
-                        page = doc.page(page_size=3)
-                    else:
-                        page = doc.page(cursor=previous)
-                    transcript.append(
-                        (
-                            "page",
-                            doc_index,
-                            _ordered_answers(page.answers),
-                            page.offset,
-                            page.exhausted,
-                            page.epoch,
-                        )
-                    )
-                    pages[doc_index] = page
-                except CursorInvalidatedError as exc:
-                    transcript.append(
-                        ("cursor-invalidated", doc_index, exc.report.answers_delivered)
-                    )
-                    pages[doc_index] = None
-            else:
-                wanted = op[2]
-                iterator = streams.get(doc_index)
-                if iterator is None:
-                    iterator = iter(doc.stream())
-                    streams[doc_index] = iterator
-                collected = []
-                status = "open"
-                try:
-                    for _ in range(wanted):
-                        collected.append(next(iterator))
-                except StopIteration:
-                    status = "end"
-                    streams[doc_index] = None
-                except StaleIteratorError:
-                    status = "stale"
-                    streams[doc_index] = None
+                pages[doc_index] = page
+            except CursorInvalidatedError as exc:
                 transcript.append(
-                    ("stream", doc_index, _ordered_answers(collected), status)
+                    ("cursor-invalidated", doc_index, exc.report.answers_delivered)
                 )
-        for doc_index, doc in enumerate(docs):
+                pages[doc_index] = None
+        else:
+            wanted = op[2]
+            iterator = streams.get(doc_index)
+            if iterator is None:
+                iterator = iter(doc.stream())
+                streams[doc_index] = iterator
+            collected = []
+            status = "open"
+            try:
+                for _ in range(wanted):
+                    collected.append(next(iterator))
+            except StopIteration:
+                status = "end"
+                streams[doc_index] = None
+            except StaleIteratorError:
+                status = "stale"
+                streams[doc_index] = None
             transcript.append(
-                ("final", doc_index, _ordered_answers(doc.stream()), doc.epoch)
+                ("stream", doc_index, _ordered_answers(collected), status)
             )
+    for doc_index, doc in enumerate(docs):
+        transcript.append(
+            ("final", doc_index, _ordered_answers(doc.stream()), doc.epoch)
+        )
     return transcript
+
+
+def _replay_transcript(trees, queries, doc_query, ops, keep=None, **engine_kwargs):
+    """Replay a scenario schedule on one local engine; full transcript."""
+    from repro import Engine
+
+    with Engine(**engine_kwargs) as engine:
+        return _replay_ops(engine, trees, queries, doc_query, ops, keep=keep)
+
+
+def _replay_transcript_network(trees, queries, doc_query, ops, keep=None, **engine_kwargs):
+    """Replay a scenario through a real TCP connection to a served engine.
+
+    The schedule runs on a :class:`repro.RemoteEngine` talking to an
+    :class:`repro.EngineServer` over loopback TCP, with the server-side
+    engine built from ``engine_kwargs`` (typically sharded, possibly
+    replicated + fault-injected).  The transcript must be byte-identical
+    to the in-process one — answers, epochs, cursor invalidations, stream
+    staleness and all.
+    """
+    from repro import Engine
+    from repro.net import EngineServer, RemoteEngine
+
+    with Engine(**engine_kwargs) as engine:
+        server = EngineServer(engine).start()
+        try:
+            with RemoteEngine(server.address) as remote:
+                remote._kill_target = engine  # kill ops land on the real fleet
+                return _replay_ops(remote, trees, queries, doc_query, ops, keep=keep)
+        finally:
+            server.stop()
 
 
 def _transcripts(case_seed: int, start_method, keep=None, fault=False):
@@ -535,3 +569,125 @@ class TestFaultInjectedDifferential:
                 f"single-process (seed {case_seed}); minimized repro: {path}"
             )
         assert sharded == single
+
+
+# ===================================================== network differential
+N_NET = int(os.environ.get("REPRO_FUZZ_NET_SCENARIOS", "2"))
+
+
+class TestNetworkDifferential:
+    """The network serving tier vs the in-process oracle, transcript-exact.
+
+    The same randomized serving schedules as ``TestShardedDifferential``,
+    replayed through a :class:`repro.RemoteEngine` over real loopback TCP
+    against an :class:`repro.EngineServer` fronting a sharded engine — so
+    the differential covers the wire codec, the framing, the demultiplexer
+    and the credit-window streaming on top of everything below them.  The
+    fault leg additionally SIGKILLs a worker of the *server-side* replicated
+    fleet mid-schedule; the client must not be able to tell.
+    """
+
+    @pytest.mark.parametrize("case", range(N_NET))
+    def test_network_transcript_matches_single_process(self, case):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"fork start method unavailable on {sys.platform}")
+        case_seed = FUZZ_SEED + case
+        workers, trees, queries, doc_query, ops = _sharded_scenario(case_seed)
+        networked = _replay_transcript_network(
+            trees, queries, doc_query, ops, workers=workers, start_method="fork"
+        )
+        single = _replay_transcript(trees, queries, doc_query, ops)
+        assert networked == single
+
+    @pytest.mark.timeout(300)
+    def test_network_faulted_transcript_matches_single_process(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"fork start method unavailable on {sys.platform}")
+        case_seed = FUZZ_SEED
+        workers, trees, queries, doc_query, ops, fault_plan = _fault_scenario(case_seed)
+        networked = _replay_transcript_network(
+            trees, queries, doc_query, ops,
+            workers=workers, replicas=2, deadline=FAULT_DEADLINE,
+            fault_plan=fault_plan, start_method="fork",
+        )
+        single = _replay_transcript(trees, queries, doc_query, ops)
+        assert networked == single
+
+    @pytest.mark.timeout(120)
+    def test_midstream_server_shard_kill_is_invisible_to_client(self):
+        """SIGKILL the replica serving a live stream, mid-stream, behind the
+        server's back: the client's answer sequence must be unaffected.
+
+        The document is large enough (> one shard stream chunk) that the
+        engine-side stream still needs the dead worker after the kill, so
+        the replicated failover machinery (reopen on a survivor, replay
+        skip) actually runs — under a network client none the wiser.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"fork start method unavailable on {sys.platform}")
+        from repro import Engine, queries as Q
+        from repro.net import EngineServer, RemoteEngine
+        from repro.trees.unranked import UnrankedTree
+
+        # 2000 selected nodes: more than the worker's whole initial credit
+        # window can push ahead (4 chunks x 256 answers), so the engine-side
+        # stream is guaranteed to still need the worker when the kill lands
+        # (with only ~10 answers consumed no credit grant has gone out yet).
+        tree = UnrankedTree.from_nested(("b", ["a"] * 2000))
+        query = Q.select_labeled("a")
+        with Engine(workers=3, replicas=2, start_method="fork") as engine:
+            with Engine() as oracle_engine:
+                oracle = list(oracle_engine.add_tree(tree.copy(), query).stream())
+            server = EngineServer(engine).start()
+            try:
+                # A tiny client chunk keeps the server-side pump from
+                # prefetching the whole stream before the kill lands.
+                with RemoteEngine(server.address, stream_chunk_size=1) as remote:
+                    doc = remote.add_tree(tree.copy(), query)
+                    iterator = iter(doc.stream())
+                    collected = [next(iterator) for _ in range(10)]
+                    serving = [
+                        shard
+                        for shard, entry in enumerate(engine._pool._shards)
+                        if entry.streams
+                    ]
+                    assert serving, "no shard-side stream open mid-consumption"
+                    process = engine._pool._shards[serving[0]].process
+                    process.kill()
+                    process.join(timeout=10.0)
+                    collected.extend(iterator)
+                    assert _ordered_answers(collected) == _ordered_answers(oracle)
+                    assert engine.failovers_total >= 1
+            finally:
+                server.stop()
+
+    def test_slow_consumer_shrinks_client_credit_window(self):
+        """A consumer that lets pushed chunks pile up client-side must see
+        its adaptive credit window shrink (served answers unaffected)."""
+        from repro import Engine, queries as Q
+        from repro.engine.sharding import AdaptiveCredit
+        from repro.net import EngineServer, RemoteEngine
+        from repro.trees.unranked import UnrankedTree
+
+        tree = UnrankedTree.from_nested(("b", ["a"] * 40))
+        query = Q.select_labeled("a")
+        with Engine() as engine:
+            oracle = list(engine.add_tree(tree.copy(), query).stream())
+            server = EngineServer(engine).start()
+            try:
+                with RemoteEngine(server.address, stream_chunk_size=1) as remote:
+                    doc = remote.add_tree(tree.copy(), query)
+                    iterator = iter(doc.stream())
+                    collected = []
+                    for _ in range(len(oracle)):
+                        # Interleaved calls drain pushed chunks into the
+                        # stream buffer faster than the consumer pops them —
+                        # the network shape of a slow consumer.
+                        remote.ping()
+                        collected.append(next(iterator))
+                    assert _ordered_answers(collected) == _ordered_answers(oracle)
+                    stats = remote.net_stats()
+                    assert stats["credit_shrunk"] >= 1
+                    assert remote.credit.window == AdaptiveCredit.MIN_WINDOW
+            finally:
+                server.stop()
