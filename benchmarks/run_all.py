@@ -377,6 +377,13 @@ def _serving_traffic_run(
             "opened": opened,
             "resumed_across_edit_batches": resumed_across_edits,
             "invalidated_by_edit_batches": invalidated,
+            # resumed / (resumed + invalidated): the measured precision of the
+            # fine-grained cursor dependency test on this traffic schedule
+            "resume_rate": (
+                resumed_across_edits / (resumed_across_edits + invalidated)
+                if (resumed_across_edits + invalidated)
+                else None
+            ),
         },
         "final_answers": final_answers,
     }
@@ -770,6 +777,7 @@ def bench_serving(
             "round_trip_p50_s": round_trip_hist["p50"],
             "round_trip_p95_s": round_trip_hist["p95"],
             "round_trips_measured": round_trip_hist["count"],
+            "cursors": network["cursors"],
             "stream": net_stream,
             "answers_match_single_process": network_match,
         },
@@ -782,6 +790,7 @@ def bench_serving(
             "traffic_total_s": replicated["traffic_total_s"],
             "edit_batch_median_s": replicated["edit_batch_median_s"],
             "page_fetch_median_s": replicated["page_fetch_median_s"],
+            "cursors": replicated["cursors"],
             "answers_match_single_process": replicated_match,
             # one worker SIGKILL'd a third of the way through the schedule:
             # the overhead ratio is the failover + background-rebuild cost
@@ -859,6 +868,11 @@ FAILOVER_OVERHEAD_SLACK = 1.15
 #: budget by itself.
 FAILOVER_RESPAWN_ALLOWANCE_S = 0.75
 
+#: The seeded serving workload resumed 2 of 24 cursor decisions under the old
+#: whole-box ``id()`` trunk test; the fine-grained slot-mask test must beat
+#: this floor on every serving variant (gated by the quick smoke).
+CURSOR_RESUME_RATE_FLOOR = 2 / 24
+
 
 def _delay_regression_gate(payload, out_dir):
     """Fail the perf smoke if the bitset delay regressed vs the committed file.
@@ -904,10 +918,12 @@ def _speedup_lines(payload):
             f"edit batch {payload['edit_batch_median_s']*1e3:.2f}ms, "
             f"page fetch {payload['page_fetch_median_s']*1e3:.2f}ms"
         )
+        rate = cursors.get("resume_rate")
         lines.append(
             f"  cursors: {cursors['opened']} opened, "
             f"{cursors['resumed_across_edit_batches']} resumed across edit batches, "
             f"{cursors['invalidated_by_edit_batches']} invalidated"
+            + (f" (resume rate {rate:.2f})" if rate is not None else "")
         )
         sharded = payload.get("sharded")
         if sharded:
@@ -1099,6 +1115,27 @@ def main(argv=None) -> int:
                 if not payload["sharded"]["answers_match_single_process"]:
                     print("  sharded answers DIVERGED from single-process answers")
                     ok = False
+                # Cursor resume-rate gate (PR 10): the fine-grained dependency
+                # test must beat the seeded whole-box test's 2/24 resume rate
+                # on the recorded serving workload — on every serving variant.
+                for variant, block in (
+                    ("local", payload),
+                    ("sharded", payload["sharded"]),
+                    ("pipelined", payload["sharded_pipelined"]),
+                    ("replicated", payload["replicated"]),
+                    ("network", payload["network"]),
+                ):
+                    rate = block["cursors"]["resume_rate"]
+                    if rate is None:
+                        print(f"  {variant} traffic had no cursor decisions to measure")
+                        ok = False
+                    elif rate <= CURSOR_RESUME_RATE_FLOOR:
+                        print(
+                            f"  {variant} cursor resume rate {rate:.2f} did not beat "
+                            f"the seeded whole-box floor "
+                            f"({CURSOR_RESUME_RATE_FLOOR:.2f} = 2/24)"
+                        )
+                        ok = False
                 # Pipelined smoke (PR 5): batched ingest must serve the same
                 # answers as the single-process engine through the same
                 # traffic, and a large sharded stream() must pay fewer round

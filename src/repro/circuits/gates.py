@@ -25,6 +25,7 @@ Design notes
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.assignments import Assignment
@@ -58,6 +59,14 @@ class _Sentinel:
 TOP = _Sentinel("TOP")
 #: The ⊥-gate: captures the empty set of assignments.
 BOTTOM = _Sentinel("BOTTOM")
+
+#: Monotonic build-serial source for boxes (process-wide).  Serials exist so
+#: the serving layer can name a box *stably*: ``id(box)`` values are recycled
+#: by the allocator as soon as a box is collected, so an old trunk box and a
+#: freshly rebuilt one can alias — a serial never can.  Boxes shared through
+#: the cross-document build cache keep the serial of their first build (they
+#: are one object, hence one identity).
+_BOX_SERIALS = itertools.count(1)
 
 
 class VarGate:
@@ -138,6 +147,10 @@ class Box:
 
     Attributes
     ----------
+    serial:
+        Monotonic build serial, stamped at construction and never reused.
+        The serving layer keys cursor dependency masks and replaced-trunk
+        deltas by serial instead of ``id()`` (addresses are recycled).
     label:
         The tree-node label this box was built for (informational).
     leaf_payload:
@@ -182,6 +195,7 @@ class Box:
     """
 
     __slots__ = (
+        "serial",
         "label",
         "leaf_payload",
         "left_child",
@@ -211,6 +225,10 @@ class Box:
         right_child: Optional["Box"] = None,
         planned: bool = False,
     ):
+        #: monotonic build serial (see _BOX_SERIALS): the box's stable name
+        #: in cursor dependency masks, maintainer delta reports and the wire
+        #: codec — never recycled, unlike id().
+        self.serial = next(_BOX_SERIALS)
         self.label = label
         self.leaf_payload = leaf_payload
         self.left_child = left_child

@@ -12,9 +12,10 @@ served over many **evolving documents**.  Each local document packages:
   and benchmarks pin;
 * an **epoch counter** advanced once per applied edit batch;
 * the set of open :class:`~repro.engine.cursor.Cursor`\\ s, which the
-  document notifies after each edit with the identity set of replaced trunk
-  boxes (collected by the maintainer), driving the cursors'
-  resume-or-invalidate decision.
+  document notifies after each edit batch with the maintainer's
+  :class:`~repro.incremental.maintainer.BoxDelta` map (old-box serial →
+  rebuilt box + changed-slot mask, chained across the batch), driving the
+  cursors' fine-grained resume-or-invalidate decision.
 
 All documents added for content-equal queries share one compiled automaton —
 and therefore one box-plan cache — whether it came from the catalog or from
@@ -44,6 +45,7 @@ from repro.core.enumerator import TreeRuntime, WordRuntime, compiled_automaton_f
 from repro.core.results import UpdateStats
 from repro.errors import ServingError
 from repro.engine.catalog import QueryCatalog
+from repro.incremental.maintainer import BoxDelta
 from repro.engine.codec import CompiledQuery
 from repro.enumeration.assignment_iter import root_boxed_set
 from repro.engine.cursor import Cursor, CursorPage
@@ -213,14 +215,14 @@ class LocalDocument:
         except ValueError:
             pass
 
-    def _notify_cursors(self, description: str, replaced_boxes) -> Tuple[int, int]:
+    def _notify_cursors(self, description: str, deltas) -> Tuple[int, int]:
         resumed = 0
         invalidated = 0
         survivors: List[Cursor] = []
         for cursor in self._cursors:
             if not cursor.is_active():
                 continue  # pruned below
-            if cursor._note_edits(self.epoch, description, replaced_boxes):
+            if cursor._note_edits(self.epoch, description, deltas):
                 resumed += 1
                 survivors.append(cursor)
             else:
@@ -249,7 +251,14 @@ class LocalDocument:
         """
         edits = list(edits)
         report = BatchUpdateReport(document_id=self.doc_id, epoch=self.epoch)
-        replaced_union: List = []
+        # Deltas for the whole batch, keyed by the serial of the box as the
+        # *cursors* knew it (i.e. the pre-batch box).  An edit later in the
+        # batch can replace a box an earlier edit just built; such links are
+        # chained back to the pre-batch serial with the changed masks OR'd
+        # (slot fingerprints compose: unchanged in both hops means unchanged
+        # end to end).
+        batch_deltas: Dict[int, BoxDelta] = {}
+        origin: Dict[int, int] = {}  # new-box serial -> pre-batch serial
         descriptions: List[str] = []
         start = perf_counter()
         try:
@@ -257,14 +266,28 @@ class LocalDocument:
                 stats = self._apply_one(edit)
                 report.stats.append(stats)
                 report.boxes_rebuilt += stats.trunk_size
-                replaced_union.extend(self.maintainer.last_replaced_boxes)
+                for serial, delta in self.maintainer.last_replaced_deltas.items():
+                    root = origin.get(serial)
+                    if root is not None:
+                        prev = batch_deltas[root]
+                        delta = BoxDelta(
+                            old_serial=root,
+                            old_box=prev.old_box,
+                            new_box=delta.new_box,
+                            changed_mask=prev.changed_mask | delta.changed_mask,
+                        )
+                        origin.pop(prev.new_box.serial, None)
+                    else:
+                        root = serial
+                    batch_deltas[root] = delta
+                    origin[delta.new_box.serial] = root
                 descriptions.append(self._describe(edit))
         finally:
             if report.stats:
                 self.epoch += 1
                 report.epoch = self.epoch
                 description = "edit batch [" + "; ".join(descriptions) + "]"
-                resumed, invalidated = self._notify_cursors(description, replaced_union)
+                resumed, invalidated = self._notify_cursors(description, batch_deltas)
                 report.cursors_resumed = resumed
                 report.cursors_invalidated = invalidated
                 self.store.metrics.observe(
@@ -492,17 +515,20 @@ class LocalStore:
         return self.document(doc_id).open_cursor(page_size)
 
     def would_invalidate(self, doc_id, cursor: Cursor, node_or_position_id: int) -> bool:
-        """Predict whether a (non-rebalancing) edit at a node would hit a cursor.
+        """Predict whether an edit at a node *could* hit a cursor.
 
         Compares the node's prospective trunk (:meth:`ServedDocument.trunk_boxes`)
-        against the cursor's currently referenced boxes by identity.  Exact
-        for relabel/replace edits on a balanced term; structural edits may
-        additionally trigger rebalancing, which can only turn a predicted
-        ``False`` into an actual invalidation, never the reverse.
+        against the cursor's currently referenced boxes by build serial.  This
+        is the coarse whole-box projection of the cursor's dependency set, so
+        it is an upper bound: an actual edit whose rebuilt boxes are
+        fingerprint-equal at every slot the cursor still reads will let the
+        cursor resume even though this predicted a hit.  A predicted ``False``
+        can only turn into an actual invalidation through rebalancing, which
+        structural edits may additionally trigger.
         """
         document = self.document(doc_id)
-        trunk = {id(box) for box in document.trunk_boxes(node_or_position_id)}
-        return any(id(box) in trunk for box in cursor.referenced_boxes())
+        trunk = {box.serial for box in document.trunk_boxes(node_or_position_id)}
+        return any(box.serial in trunk for box in cursor.referenced_boxes())
 
     # ------------------------------------------------------------------- stats
     def stats(self) -> Dict[str, object]:

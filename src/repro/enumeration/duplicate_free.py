@@ -145,6 +145,7 @@ class _Frame:
         "steps",
         "emitting",
         "box",
+        "prod_slot_mask",
         "var_prov",
         "var_assignments",
         "var_pos",
@@ -168,6 +169,10 @@ class _Frame:
         self.steps = steps
         self.emitting = False
         self.box = None
+        #: mask over ``box`` slots whose ∪-gates fed live ×-gate provenance
+        #: at the last activation: the exact part of ``box`` the in-flight
+        #: ×-recursion can still read (see dependency_masks)
+        self.prod_slot_mask = 0
         self.var_prov = ()
         self.var_assignments = ()
         self.var_pos = 0
@@ -260,9 +265,9 @@ def enumerate_boxed_masks(gamma: Sequence[UnionGate]) -> Iterator[Tuple[Assignme
 
     Returns a :class:`MaskStackEnumeration` — a plain iterator whose frame
     stack is checkpointable: pausing between ``next()`` calls freezes the
-    whole enumeration state, and :meth:`MaskStackEnumeration.referenced_boxes`
-    reports exactly the boxes the remaining enumeration can still read (what
-    the serving layer's edit-stable cursors are built on).
+    whole enumeration state, and :meth:`MaskStackEnumeration.dependency_masks`
+    reports exactly which slots of which boxes the remaining enumeration can
+    still read (what the serving layer's edit-stable cursors are built on).
     """
     return MaskStackEnumeration(gamma)
 
@@ -279,12 +284,19 @@ class MaskStackEnumeration:
     * **checkpointing** — between two ``next()`` calls the enumeration is a
       passive value; a cursor can hold it across requests (and across edits
       of *other* regions of the document) and resume where it left off;
-    * **dependency reporting** — :meth:`referenced_boxes` lists the boxes the
-      frozen frames still reference.  Because the dirty sets of Lemma 7.3 are
-      upward closed (a rebuilt box's ancestors are all rebuilt), a box absent
-      from an edit's trunk roots an entirely untouched subtree, so the
-      remaining stream is unchanged iff no referenced box was rebuilt — the
-      exact test behind cursor resume-or-invalidate decisions.
+    * **dependency reporting** — :meth:`dependency_masks` maps each box the
+      frozen frames still reference to the mask of ∪-slots the remaining
+      stream can actually read (pending-step lower masks plus the live
+      ×-provenance slots of in-flight activations).  Because the dirty sets
+      of Lemma 7.3 are upward closed (a rebuilt box's ancestors are all
+      rebuilt), a box absent from an edit's trunk roots an entirely
+      untouched subtree; and for a box that *was* rebuilt, the remaining
+      stream is unchanged as long as the per-slot fingerprints of the read
+      slots are — the slot-mask trunk test behind cursor
+      resume-or-invalidate decisions (:meth:`referenced_boxes` is the
+      whole-box projection).  On survival :meth:`rebind` re-points the
+      frames at the rebuilt boxes so the next batch can be judged the same
+      way.
     """
 
     __slots__ = ("_stack", "on_delay")
@@ -323,28 +335,104 @@ class MaskStackEnumeration:
         return self
 
     def referenced_boxes(self) -> List[Box]:
-        """The boxes the remaining enumeration can still read.
+        """The boxes the remaining enumeration can still read (whole-box view).
 
-        Collected from the live frames: the interesting box being emitted,
-        the pending right-child box of an in-flight ×-gate combination, and
-        the boxes of every pending box-enumeration step.  Everything the
-        remaining stream will ever touch lies in the subtrees of these boxes,
-        so (dirty sets being upward closed) identity-comparing this list
-        against an edit's replaced trunk decides resumability exactly.
+        The coarse projection of :meth:`dependency_masks` — every box that
+        appears with a nonzero read mask, plus the pending right-child box of
+        an in-flight ×-gate combination.  Kept for capacity planning
+        (``LocalStore.would_invalidate``) and introspection; the cursor
+        resume-or-invalidate decision uses the per-slot masks instead.
         """
         boxes: List[Box] = []
         seen = set()
         for fr in self._stack:
             for candidate in (fr.box, fr.right_box):
-                if candidate is not None and id(candidate) not in seen:
-                    seen.add(id(candidate))
+                if candidate is not None and candidate.serial not in seen:
+                    seen.add(candidate.serial)
                     boxes.append(candidate)
             for step in fr.steps:
                 candidate = step[1]
-                if id(candidate) not in seen:
-                    seen.add(id(candidate))
+                if candidate.serial not in seen:
+                    seen.add(candidate.serial)
                     boxes.append(candidate)
         return boxes
+
+    def dependency_masks(self) -> Dict[int, Tuple[Box, int]]:
+        """Per-box slot masks the remaining enumeration can still read.
+
+        Returns ``{box.serial: (box, slot_mask)}`` collected from the live
+        frames:
+
+        * every pending box-enumeration step ``(is_walk, box, g, lower)``
+          contributes ``lower`` — the walk/descend of Algorithm 3 only ever
+          queries ``box``'s index (fib/fbb/targets/ranks/relations) masked by
+          the step's live lower slots, and those answers are determined by
+          the ∪-wiring reachable from them;
+        * a frame with an in-flight activation contributes its interesting
+          box at :attr:`_Frame.prod_slot_mask` — the slots whose ∪-gates fed
+          live ×-gate provenance.  The pending reads of the ×-recursion (the
+          box's child pointers, the right-child slots of not-yet-pushed right
+          frames) all lie inside the sub-DAG reachable from those slots, so
+          the mask subsumes them; remaining var-gate emission is frame-local
+          (the assignments were copied at activation) and reads no box at
+          all.
+
+        The point of the per-slot form: an edit that rebuilds a referenced
+        box but leaves the content reachable from every *read* slot
+        unchanged (equal slot fingerprints, see
+        ``repro.incremental.maintainer.BoxDelta``) cannot change the
+        remaining stream, so a cursor intersecting these masks with the
+        edit's changed-slot masks invalidates only on a true overlap.
+        """
+        deps: Dict[int, Tuple[Box, int]] = {}
+        for fr in self._stack:
+            box = fr.box
+            if box is not None and fr.prod_slot_mask:
+                held = deps.get(box.serial)
+                deps[box.serial] = (
+                    box,
+                    fr.prod_slot_mask | (held[1] if held is not None else 0),
+                )
+            for step in fr.steps:
+                box = step[1]
+                held = deps.get(box.serial)
+                deps[box.serial] = (
+                    box,
+                    step[3] | (held[1] if held is not None else 0),
+                )
+        return deps
+
+    def rebind(self, replacements: Dict[int, Box]) -> None:
+        """Swap frame box references for their rebuilt equivalents, by serial.
+
+        Called by a surviving cursor after an edit batch whose changed-slot
+        masks missed every dependency mask: the replaced boxes are equivalent
+        to their replacements *restricted to the slots this enumeration can
+        still read*, so swapping the references continues the byte-identical
+        stream while keeping the frames pointed at the live document — which
+        is what lets the *next* batch's deltas (keyed by the current boxes'
+        serials) be compared against this enumeration at all.
+
+        Only on-stack frames are touched: a cached off-stack child frame has
+        an empty step stack and every box-valued field it holds is
+        overwritten at its next activation before being read.
+        """
+        for fr in self._stack:
+            box = fr.box
+            if box is not None:
+                new = replacements.get(box.serial)
+                if new is not None:
+                    fr.box = new
+            box = fr.right_box
+            if box is not None:
+                new = replacements.get(box.serial)
+                if new is not None:
+                    fr.right_box = new
+            steps = fr.steps
+            for i, step in enumerate(steps):
+                new = replacements.get(step[1].serial)
+                if new is not None:
+                    steps[i] = (step[0], new, step[2], step[3])
 
     def __next__(self) -> Tuple[Assignment, int]:
         on_delay = self.on_delay
@@ -499,6 +587,7 @@ class MaskStackEnumeration:
                 n_prods = len(prod_lefts)
                 var_prov = [0] * n_vars
                 prod_prov = [0] * n_prods if n_prods else None
+                prod_slot_mask = 0
                 lm = first.local_mask & rf_lower
                 while lm:
                     low = lm & -lm
@@ -513,11 +602,14 @@ class MaskStackEnumeration:
                             vm ^= lowv
                     if n_prods:
                         qm = slot_prod_masks[s]
+                        if qm and pm:
+                            prod_slot_mask |= low
                         while qm:
                             lowq = qm & -qm
                             prod_prov[lowq.bit_length() - 1] |= pm
                             qm ^= lowq
                 fr.box = first
+                fr.prod_slot_mask = prod_slot_mask
                 fr.var_prov = var_prov
                 fr.var_assignments = var_assignments
                 fr.var_pos = 0

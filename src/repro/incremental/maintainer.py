@@ -19,8 +19,9 @@ paper's model prescribes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.automata.binary_tva import BinaryTVA
 from repro.circuits.build import (
@@ -39,7 +40,163 @@ from repro.errors import CircuitStructureError
 from repro.forest_algebra.maintenance import MaintainedTerm, UpdateReport
 from repro.forest_algebra.terms import TermNode
 
-__all__ = ["build_circuit_over_term", "IncrementalCircuitMaintainer"]
+__all__ = [
+    "build_circuit_over_term",
+    "BoxDelta",
+    "box_changed_mask",
+    "IncrementalCircuitMaintainer",
+]
+
+
+@dataclass(frozen=True)
+class BoxDelta:
+    """One replaced trunk box of an edit batch, with its changed-slot mask.
+
+    ``changed_mask`` has bit ``s`` set iff the content reachable from ∪-slot
+    ``s`` differs between ``old_box`` and ``new_box`` — where "content" is
+    the slot's *fingerprint*: its child wiring masks, its local var-gate
+    assignments and ×-gate child-slot pairs (at their global table indices,
+    so an interleave change across slots registers as changed), and,
+    recursively, the fingerprints of every child slot it references.  A slot
+    absent from either side (the widths differ) is always changed.
+
+    The mask is what makes the serving layer's cursor trunk test
+    fine-grained: a paused enumeration whose remaining reads
+    (:meth:`~repro.enumeration.duplicate_free.MaskStackEnumeration.dependency_masks`)
+    avoid every changed slot produces a byte-identical remaining stream over
+    ``new_box``, because every index query and gate-table read it can still
+    perform is determined by the reachable-slot fingerprints (the index
+    ranks are subtree-local path tuples, never global numberings).
+    """
+
+    old_serial: int
+    old_box: Box
+    new_box: Box
+    changed_mask: int
+
+
+def _child_changed_mask(old_child: Box, new_child: Box, deltas: Dict[int, "BoxDelta"]) -> int:
+    """Changed-slot mask between a replaced box's old and new child.
+
+    ``deltas`` holds this batch's deltas keyed by old-box serial; the trunk
+    is processed bottom-up, so a rebuilt child's delta is already there.  A
+    child pair that is the same object (untouched subtree, Lemma 7.3) or
+    content-hash-equal is unchanged everywhere; anything else — e.g. a
+    rebalancing rotation that gave the rebuilt parent a different
+    pre-existing child — conservatively counts as changed everywhere.
+    """
+    if old_child is new_child:
+        return 0
+    delta = deltas.get(old_child.serial)
+    if delta is not None and delta.new_box is new_child:
+        return delta.changed_mask
+    old_hash = old_child.content_hash
+    if old_hash is not None and old_hash == new_child.content_hash:
+        return 0
+    return -1  # all slots
+
+
+def _slot_states(box: Box) -> List[object]:
+    """The automaton state of each ∪-slot, in slot order.
+
+    Plan-built boxes answer from the stamped state signature (the
+    ``(state, False)`` entries are the ∪-slots, in order); hand-built boxes
+    from their gate objects.  Part of the slot fingerprint because the
+    cursor's root boxed set was *selected* by final states: positional
+    wiring equality alone could in principle pair a slot with a different
+    state's γ-gate.
+    """
+    sig = box.state_sig
+    if sig is not None:
+        return [state for state, is_top in sig if not is_top]
+    return [gate.state for gate in box.union_gates]
+
+
+def box_changed_mask(old: Box, new: Box, deltas: Dict[int, "BoxDelta"]) -> int:
+    """Compute the per-slot changed mask between a box and its replacement.
+
+    Slots are compared positionally (the cursor's dependency masks are over
+    the old box's slot numbering, which survival pins to the new box's); the
+    mask covers ``max`` of the two widths so a vanished slot reads as
+    changed.  See :class:`BoxDelta` for what "unchanged" guarantees.
+    """
+    if old is new:
+        return 0
+    old_hash = old.content_hash
+    if old_hash is not None and old_hash == new.content_hash:
+        return 0
+    old_n = old.n_unions
+    new_n = new.n_unions
+    full = (1 << max(old_n, new_n)) - 1
+    is_leaf = old.is_leaf_box()
+    if is_leaf != new.is_leaf_box():
+        return full
+    old_tables = old.enumeration_tables()
+    new_tables = new.enumeration_tables()
+    old_vars, old_var_masks = old_tables[0], old_tables[1]
+    new_vars, new_var_masks = new_tables[0], new_tables[1]
+    old_states = _slot_states(old)
+    new_states = _slot_states(new)
+    if is_leaf:
+        left_changed = right_changed = 0
+        old_prod_masks = new_prod_masks = None
+    else:
+        left_changed = _child_changed_mask(old.left_child, new.left_child, deltas)
+        right_changed = _child_changed_mask(old.right_child, new.right_child, deltas)
+        old_prod_lefts, old_prod_rights, old_prod_masks = old_tables[2:5]
+        new_prod_lefts, new_prod_rights, new_prod_masks = new_tables[2:5]
+        old_left, old_right = old.left_input_masks, old.right_input_masks
+        new_left, new_right = new.left_input_masks, new.right_input_masks
+    changed = 0
+    for s in range(max(old_n, new_n)):
+        bit = 1 << s
+        if s >= old_n or s >= new_n:
+            changed |= bit
+            continue
+        if old_states[s] != new_states[s]:
+            changed |= bit
+            continue
+        # Gate tables of all-var or all-prod boxes stamp the absent kind as
+        # an empty tuple rather than a row of zeros; index defensively.
+        vm = old_var_masks[s] if old_var_masks else 0
+        if vm != (new_var_masks[s] if new_var_masks else 0):
+            changed |= bit
+            continue
+        equal = True
+        while vm:
+            low = vm & -vm
+            i = low.bit_length() - 1
+            vm ^= low
+            if old_vars[i] != new_vars[i]:
+                equal = False
+                break
+        if is_leaf:
+            if not equal:
+                changed |= bit
+            continue
+        if old_left[s] != new_left[s] or old_right[s] != new_right[s]:
+            changed |= bit
+            continue
+        pm = old_prod_masks[s] if old_prod_masks else 0
+        if pm != (new_prod_masks[s] if new_prod_masks else 0):
+            changed |= bit
+            continue
+        left_refs = old_left[s]
+        right_refs = old_right[s]
+        while equal and pm:
+            low = pm & -pm
+            j = low.bit_length() - 1
+            pm ^= low
+            lslot = old_prod_lefts[j]
+            rslot = old_prod_rights[j]
+            if lslot != new_prod_lefts[j] or rslot != new_prod_rights[j]:
+                equal = False
+                break
+            left_refs |= 1 << lslot
+            right_refs |= 1 << rslot
+        if not equal or (left_refs & left_changed) or (right_refs & right_changed):
+            changed |= bit
+    return changed
 
 
 def _build_box_for_node(node: TermNode, automaton: BinaryTVA) -> Box:
@@ -154,6 +311,11 @@ class IncrementalCircuitMaintainer:
         #: the boxes replaced by the most recent apply_report call (the old
         #: trunk); read by the serving layer to invalidate cursors precisely.
         self.last_replaced_boxes: List[Box] = []
+        #: fine-grained view of the same trunk: old-box serial →
+        #: :class:`BoxDelta` with the per-slot changed mask, computed inline
+        #: during the bottom-up rebuild (children before parents, so a
+        #: parent's mask can consult its rebuilt children's).
+        self.last_replaced_deltas: Dict[int, BoxDelta] = {}
         #: observability hooks (both optional).  ``on_update_seconds`` is
         #: called with the wall-clock duration of each :meth:`apply_report`
         #: (the per-edit trunk rebuild of Lemma 7.3, feeding the
@@ -198,23 +360,34 @@ class IncrementalCircuitMaintainer:
         Returns the number of boxes rebuilt (the trunk size), the quantity
         Lemma 7.3 bounds by ``O(log |T|)`` per update.  The boxes the trunk
         *replaced* are collected in :attr:`last_replaced_boxes` (new term
-        nodes contribute nothing): the serving layer compares them against
-        the boxes a paused cursor still references to decide, per cursor,
+        nodes contribute nothing), and :attr:`last_replaced_deltas` records,
+        per replaced box, which ∪-slots' reachable content actually changed
+        (:class:`BoxDelta`): the serving layer intersects those masks with
+        the slot masks a paused cursor can still read to decide, per cursor,
         between resuming and invalidating.
         """
         on_update = self.on_update_seconds
         start = perf_counter() if on_update is not None else 0.0
         rebuilt = 0
         replaced: List[Box] = []
+        deltas: Dict[int, BoxDelta] = {}
         for node in report.dirty_bottom_up:
             old_box = node.box
-            if old_box is not None:
-                replaced.append(old_box)
-            node.box = _build_node(
+            new_box = _build_node(
                 node, self.automaton, self.relation_backend, self.use_index, self.build_cache
             )
+            node.box = new_box
+            if old_box is not None:
+                replaced.append(old_box)
+                deltas[old_box.serial] = BoxDelta(
+                    old_serial=old_box.serial,
+                    old_box=old_box,
+                    new_box=new_box,
+                    changed_mask=box_changed_mask(old_box, new_box, deltas),
+                )
             rebuilt += 1
         self.last_replaced_boxes = replaced
+        self.last_replaced_deltas = deltas
         self.version += 1
         if on_update is not None:
             on_update(perf_counter() - start)

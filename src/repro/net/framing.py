@@ -176,6 +176,7 @@ def _encode_domain(value: object, depth: int) -> Optional[list]:
                 value.answers_delivered,
                 value.edit,
                 value.boxes_hit,
+                encode_wire(value.regions, depth + 1),
             ],
         ]
     if isinstance(value, BaseException):
@@ -311,7 +312,9 @@ def _decode_domain(tag: str, data: object, depth: int) -> object:
             cursors_invalidated=data[5],
         )
     if tag == "inval":
-        _expect(isinstance(data, list) and len(data) == 7, "'inval' tag arity")
+        _expect(isinstance(data, list) and len(data) == 8, "'inval' tag arity")
+        regions = decode_wire(data[7], depth + 1)
+        _expect(isinstance(regions, tuple), "'inval' regions that are not a tuple")
         return CursorInvalidation(
             cursor_id=data[0],
             document_id=decode_wire(data[1], depth + 1),
@@ -320,6 +323,7 @@ def _decode_domain(tag: str, data: object, depth: int) -> object:
             answers_delivered=data[4],
             edit=data[5],
             boxes_hit=data[6],
+            regions=regions,
         )
     if tag == "exc":
         _expect(isinstance(data, list) and len(data) == 3, "'exc' tag arity")

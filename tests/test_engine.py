@@ -694,8 +694,9 @@ class TestResumeRateCounter:
     def _probe_targets(tree, query):
         """Find, in a scratch local store, (resume_target, invalidate_target):
         a b-node whose relabel trunk is provably disjoint from a freshly
-        fetched page-3 cursor, and an a-leaf (whose trunk always conflicts
-        with the answers the cursor still has to read)."""
+        fetched page-3 cursor, and an a-leaf (relabelling it away removes an
+        answer the cursor still has to read, so the changed slots overlap
+        its remaining-read masks)."""
         from repro.engine.local import LocalStore
 
         store = LocalStore()
@@ -728,7 +729,7 @@ class TestResumeRateCounter:
         resumed += report.cursors_resumed
         invalidated += report.cursors_invalidated
         page = doc.page(cursor=page)  # the resumed cursor keeps paging
-        report = doc.apply_edits([Relabel(invalidate_target, "a")])
+        report = doc.apply_edits([Relabel(invalidate_target, "b")])  # removes an answer
         resumed += report.cursors_resumed
         invalidated += report.cursors_invalidated
         with pytest.raises(CursorInvalidatedError):
@@ -773,6 +774,55 @@ class TestResumeRateCounter:
             stats = engine.stats()
         assert stats["cursors_resumed_across_edit_batches"] == 2
         assert stats["cursors_invalidated"] == 2
+
+    @pytest.mark.timeout(120)
+    def test_failover_with_open_cursors_matches_clean_run(self):
+        """Kill a replica of the cursor's document between edit batches, with
+        the cursor open: the surviving replica keeps serving byte-identical
+        pages, the rebuilt replica rejoins, and the engine-level
+        resume/invalidate counters end up exactly where a clean (kill-free)
+        run ends up — the fine-grained delta reports must not confuse the
+        replicated counter merge or the failover page path."""
+
+        def run(kill: bool):
+            transcript = []
+            with Engine(workers=3, replicas=2) as engine:
+                pads = [
+                    engine.add_tree(
+                        random_tree(16, LABELS, seed), tree_query(), doc_id=f"pad{seed}"
+                    )
+                    for seed in range(3)
+                ]
+                tree = _isolated_answers_tree()
+                query = select_labeled("a", ISOLATED_LABELS)
+                resume_target, invalidate_target = self._probe_targets(tree, query)
+                doc = engine.add_tree(tree, query, doc_id="main")
+                page = doc.page(page_size=2)
+                transcript.append(sorted(map(sorted, page.answers)))
+                report = doc.apply_edits([Relabel(resume_target, "b")])
+                transcript.append((report.cursors_resumed, report.cursors_invalidated))
+                if kill:
+                    victim = min(engine._replicas_of["main"])
+                    TestProtocolFaults._kill_worker(engine, victim)
+                    for d in pads + [doc]:
+                        d.count()  # observe the death, wherever it landed
+                    engine.await_repairs()
+                page = doc.page(cursor=page)  # the open cursor keeps paging
+                transcript.append(sorted(map(sorted, page.answers)))
+                report = doc.apply_edits([Relabel(invalidate_target, "b")])
+                transcript.append((report.cursors_resumed, report.cursors_invalidated))
+                with pytest.raises(CursorInvalidatedError):
+                    doc.page(cursor=page)
+                stats = engine.stats()
+                transcript.append(
+                    (
+                        stats["cursors_resumed_across_edit_batches"],
+                        stats["cursors_invalidated"],
+                    )
+                )
+            return transcript
+
+        assert run(kill=True) == run(kill=False)
 
 
 # ======================================================= replication/failover

@@ -691,3 +691,197 @@ class TestNetworkDifferential:
                     assert remote.credit.window == AdaptiveCredit.MIN_WINDOW
             finally:
                 server.stop()
+
+
+# ================================================= cursor-stability differential
+N_CURSOR = int(os.environ.get("REPRO_FUZZ_CURSOR_SCENARIOS", "12"))
+N_CURSOR_BACKENDS = int(os.environ.get("REPRO_FUZZ_CURSOR_BACKEND_SCENARIOS", "2"))
+
+
+def _cursor_scenario(case_seed: int):
+    """A relabel-heavy serving schedule exercising cursor resume paths.
+
+    Like :func:`_sharded_scenario`, but pages are opened before the edits
+    start and every other edit batch is a *guaranteed no-op relabel* (a node
+    relabelled to its current label), so the schedule deterministically
+    contains trunk rebuilds that are slot-for-slot fingerprint-equal — the
+    case the fine-grained dependency test must let cursors survive.
+    """
+    from repro.trees.edits import Relabel
+
+    rng = random.Random(61000 + case_seed)
+    n_docs = 2
+    # Regenerate until every document has a healthy answer count: a cursor
+    # exhausted by its first 3-answer page has nothing left to resume, and
+    # this leg exists to exercise resumes.
+    while True:
+        queries = [
+            random_unranked_tva(
+                rng.randrange(10_000),
+                n_states=rng.choice((2, 3)),
+                variables=("x", "y")[: rng.choice((1, 2))],
+                initial_density=rng.uniform(0.3, 0.7),
+                delta_density=rng.uniform(0.2, 0.5),
+            )
+        ]
+        trees = [
+            random_tree(rng.randint(8, 12), LABELS, seed=rng.randrange(10_000))
+            for _ in range(n_docs)
+        ]
+        if all(
+            len(unranked_satisfying_assignments(queries[0], tree)) >= 8
+            for tree in trees
+        ):
+            break
+    doc_query = [0] * n_docs
+    references = [tree.copy() for tree in trees]
+    ops = [("page", doc) for doc in range(n_docs)]
+    noop_turn = True
+    for _ in range(rng.randint(8, 12)):
+        doc = rng.randrange(n_docs)
+        kind = rng.choice(("edits", "edits", "page", "page", "page"))
+        if kind == "edits":
+            if noop_turn:
+                node = rng.choice(list(references[doc].nodes()))
+                batch = [Relabel(node.node_id, node.label)]
+            else:
+                batch = random_edit_sequence(
+                    references[doc], LABELS, 1,
+                    seed=rng.randrange(10_000), weights=(6, 1, 1, 1),
+                )
+            noop_turn = not noop_turn
+            for edit in batch:
+                edit.apply_to_tree(references[doc])
+            ops.append(("edits", doc, batch))
+        else:
+            ops.append(("page", doc))
+    return trees, queries, doc_query, ops
+
+
+class TestCursorStabilityDifferential:
+    """The fine-grained cursor dependency test, measured against oracles.
+
+    Two legs.  The local leg drives one cursor through relabel-heavy edit
+    sequences and checks, per edit, the fine decision against (a) the coarse
+    whole-box decision the old code would have made (recomputed from the
+    cursor's referenced-box serials and the maintainer's replaced set) and
+    (b) the brute-force answer-set oracle: a resumed cursor must drain to a
+    byte-identical suffix of the base-epoch stream (no false survivals), the
+    fine test must never invalidate where the coarse test resumes, and over
+    the whole suite it must resume strictly more often and false-invalidate
+    (invalidate although the brute-force answer set did not change) at most
+    as often.  The backend leg replays the same schedules on the sharded,
+    replicated and network engines, transcript-exact against the
+    single-process oracle — the resume/invalidate decision must be
+    indistinguishable across all four backends.
+    """
+
+    @pytest.mark.parametrize("case", range(N_CURSOR))
+    def test_fine_decisions_sound_and_more_precise_than_coarse(self, case):
+        from repro.engine.local import LocalStore
+
+        rng = random.Random(63000 + FUZZ_SEED + case)
+        query = random_unranked_tva(
+            rng.randrange(10_000),
+            n_states=rng.choice((2, 3)),
+            variables=("x", "y")[: rng.choice((1, 2))],
+            initial_density=rng.uniform(0.3, 0.7),
+            delta_density=rng.uniform(0.2, 0.5),
+        )
+        tree = random_tree(rng.randint(6, 10), LABELS, seed=rng.randrange(10_000))
+        reference = tree.copy()
+        store = LocalStore()
+        doc = store.add_tree(tree, query)
+
+        # The full base-epoch stream, recorded by a probe cursor at open time:
+        # the cursor under test must deliver exactly this, in this order.
+        base_stream = doc.open_cursor(page_size=10_000).fetch_all()
+        cursor = doc.open_cursor(page_size=2)
+        delivered = list(cursor.fetch().answers)
+
+        fine = {"resumed": 0, "invalidated": 0, "false_invalidated": 0}
+        coarse = {"resumed": 0, "invalidated": 0, "false_invalidated": 0}
+        answers_before = sorted(
+            map(sorted, unranked_satisfying_assignments(query, reference))
+        )
+        edits = iter(
+            random_edit_sequence(
+                reference.copy(), LABELS, 6,
+                seed=rng.randrange(10_000), weights=(6, 1, 1, 1),
+            )
+        )
+        # the guaranteed fingerprint-equal case: lead with a no-op relabel
+        first_node = next(iter(reference.nodes()))
+        from repro.trees.edits import Relabel
+
+        schedule = [Relabel(first_node.node_id, first_node.label)] + list(edits)
+        for edit in schedule:
+            if not cursor.is_active():
+                break
+            refs = {box.serial for box in cursor.referenced_boxes()}
+            report = doc.apply_edits([edit])
+            edit.apply_to_tree(reference)
+            answers_after = sorted(
+                map(sorted, unranked_satisfying_assignments(query, reference))
+            )
+            replaced = set(doc.maintainer.last_replaced_deltas)
+            changed = answers_before != answers_after
+            answers_before = answers_after
+            coarse_hit = bool(refs & replaced)
+            fine_hit = report.cursors_invalidated == 1
+            # the fine test only ever *refines* the coarse one
+            assert not (fine_hit and not coarse_hit), (
+                "fine test invalidated where the coarse whole-box test resumed"
+            )
+            for counters, hit in ((fine, fine_hit), (coarse, coarse_hit)):
+                counters["invalidated" if hit else "resumed"] += 1
+                if hit and not changed:
+                    counters["false_invalidated"] += 1
+            if fine_hit:
+                break
+            delivered.extend(cursor.fetch().answers)
+
+        if cursor.is_active():
+            delivered.extend(cursor.fetch_all())
+        if cursor.status in ("active", "exhausted"):
+            # no false survivals: the resumed cursor's pages are a
+            # byte-identical continuation of the base-epoch stream
+            assert delivered == base_stream
+        assert fine["resumed"] >= coarse["resumed"]
+        assert fine["false_invalidated"] <= coarse["false_invalidated"]
+        TestCursorStabilityDifferential._totals["fine_resumed"] += fine["resumed"]
+        TestCursorStabilityDifferential._totals["coarse_resumed"] += coarse["resumed"]
+        TestCursorStabilityDifferential._totals["cases"] += 1
+        if TestCursorStabilityDifferential._totals["cases"] == N_CURSOR:
+            # measured precision: across the suite the fine test resumes
+            # strictly more often than the coarse test would have
+            totals = TestCursorStabilityDifferential._totals
+            assert totals["fine_resumed"] > totals["coarse_resumed"], totals
+
+    _totals = {"fine_resumed": 0, "coarse_resumed": 0, "cases": 0}
+
+    @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("case", range(N_CURSOR_BACKENDS))
+    def test_cursor_transcripts_identical_across_backends(self, case):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"fork start method unavailable on {sys.platform}")
+        case_seed = FUZZ_SEED + case
+        trees, queries, doc_query, ops = _cursor_scenario(case_seed)
+        single = _replay_transcript(trees, queries, doc_query, ops)
+        sharded = _replay_transcript(
+            trees, queries, doc_query, ops, workers=2, start_method="fork"
+        )
+        replicated = _replay_transcript(
+            trees, queries, doc_query, ops,
+            workers=3, replicas=2, start_method="fork",
+        )
+        networked = _replay_transcript_network(
+            trees, queries, doc_query, ops, workers=2, start_method="fork"
+        )
+        assert sharded == single
+        assert replicated == single
+        assert networked == single
+        resumes = sum(
+            event[4] for event in single if event[0] == "edits"
+        )
+        assert resumes >= 1, "schedule produced no resumed cursors"

@@ -183,6 +183,7 @@ class TestWireCodec:
             answers_delivered=5,
             edit="delete node 4",
             boxes_hit=2,
+            regions=(("a", 4, 9, (0, 2)), ("r", 0, 17, (1,))),
         )
         exc = CursorInvalidatedError("cursor 3 invalidated", report=report)
         clone = decode_wire(encode_wire(exc))
@@ -190,6 +191,10 @@ class TestWireCodec:
         assert isinstance(clone.report, CursorInvalidation)
         assert clone.report.answers_delivered == 5
         assert clone.report.invalidated_epoch == 2
+        # the overlap regions survive the wire exactly (tuples, not lists),
+        # so the client-side report text equals the server-side one
+        assert clone.report.regions == report.regions
+        assert clone.report.describe() == report.describe()
 
     def test_unknown_exception_type_degrades_to_engine_error(self):
         frame = json.loads(canonical_json(encode_wire(ValueError("boom"))))
@@ -537,6 +542,31 @@ class TestRemoteEngineSurface:
             doc.apply_edits([Relabel(1, "b")])
             with pytest.raises(StaleIteratorError):
                 next(iterator)
+
+    def test_cursor_invalidation_report_parity_over_tcp(self, served_engine):
+        """The fine-grained invalidation report — overlap regions and the
+        describe() text — reaching a RemoteEngine client is identical to the
+        one an in-process engine produces for the same scenario."""
+        _engine, server = served_engine
+        query = queries.select_labeled("a")
+        target = next(
+            n.node_id for n in _tree().nodes() if n.label == "a" and n.is_leaf()
+        )
+
+        def run(doc):
+            page = doc.page(page_size=1)
+            doc.apply_edits([Relabel(target, "b")])  # removes an undelivered answer
+            with pytest.raises(CursorInvalidatedError) as excinfo:
+                doc.page(cursor=page)
+            return excinfo.value.report
+
+        with Engine() as local_engine:
+            local_report = run(local_engine.add_tree(_tree(), query, doc_id="parity"))
+        with RemoteEngine(server.address) as remote:
+            remote_report = run(remote.add_tree(_tree(), query, doc_id="parity"))
+        assert remote_report.regions  # the enriched fields crossed the wire
+        assert remote_report.regions == local_report.regions
+        assert remote_report.describe() == local_report.describe()
 
     def test_compile_is_digest_checked_and_cached(self, served_engine):
         engine, server = served_engine

@@ -254,7 +254,9 @@ class TestLocalStore:
         query = select_labeled("a", LABELS)
         doc = store.add_tree(tree_of_shape("random", 60, LABELS, 4), query)
         cursor = doc.open_cursor(page_size=2)  # unfetched: depends on the root box
-        leaf = next(iter(doc.enumerator.tree.leaves()))
+        # a genuinely answer-changing edit (a fingerprint-equal rebuild would
+        # let the cursor resume)
+        leaf = next(n for n in doc.enumerator.tree.leaves() if n.label != "a")
         with pytest.raises(ServingError, match="EditOperation"):
             doc.apply_edits([Relabel(leaf.node_id, "a"), "bogus"])
         assert doc.epoch == 1  # the applied prefix advanced the epoch
@@ -285,8 +287,8 @@ class TestLocalStore:
         closed.close()
         live = doc.open_cursor(page_size=3)
         assert doc._cursors == [live]  # exhausted/closed cursors were pruned
-        leaf = next(iter(doc.enumerator.tree.leaves()))
-        doc.apply_edits([Relabel(leaf.node_id, "a")])  # invalidates `live`
+        leaf = next(n for n in doc.enumerator.tree.leaves() if n.label != "a")
+        doc.apply_edits([Relabel(leaf.node_id, "a")])  # answer-changing: invalidates `live`
         assert doc._cursors == []
         stats = store.stats()
         assert stats["cursors_opened_total"] == 7
@@ -360,13 +362,14 @@ class TestCursors:
         assert len(combined) == len(set(combined))  # still duplicate-free
         assert sorted(map(sorted, combined)) == full  # the full base-epoch stream
 
-    def test_fresh_cursor_is_invalidated_by_any_edit(self):
-        """Before its first fetch a cursor depends on the root box, which
-        every edit rebuilds — a deterministic invalidation scenario."""
+    def test_fresh_cursor_is_invalidated_by_answer_changing_edit(self):
+        """Before its first fetch a cursor depends on every slot of the root
+        box; an edit that changes the answer set changes a root slot's
+        fingerprint — a deterministic invalidation scenario."""
         doc = self.store.add_tree(_tree_with_isolated_answers(), self.query)
         cursor = doc.open_cursor(page_size=5)
-        leaf = next(iter(doc.enumerator.tree.leaves()))
-        report = doc.apply_edits([Relabel(leaf.node_id, leaf.label)])
+        leaf = next(n for n in doc.enumerator.tree.leaves() if n.label == "b")
+        report = doc.apply_edits([Relabel(leaf.node_id, "a")])  # adds an answer
         assert report.cursors_invalidated == 1
         with pytest.raises(CursorInvalidatedError) as excinfo:
             cursor.fetch()
@@ -376,25 +379,69 @@ class TestCursors:
         assert inv.answers_delivered == 0
         assert inv.boxes_hit >= 1
         assert "relabel" in inv.edit
+        # the report names the overlapping region: document span + slots
+        assert inv.regions
+        label, lo, hi, slots = inv.regions[0]
+        assert isinstance(label, str) and slots
+        assert lo is not None and hi is not None
+        assert str(lo) in inv.describe() and "slot" in inv.describe()
         assert cursor.status == "invalidated"
         # the error is re-raised on every subsequent fetch
         with pytest.raises(CursorInvalidatedError):
             cursor.fetch()
 
+    def test_noop_relabel_lets_cursor_resume(self):
+        """A relabel to the same label rebuilds the whole trunk, but every
+        rebuilt box is slot-for-slot fingerprint-equal to the one it
+        replaced, so the fine-grained test sees no changed region: the
+        cursor rebinds onto the rebuilt boxes and resumes byte-identically.
+        (The coarse whole-box test used to invalidate here.)"""
+        doc = self.store.add_tree(_tree_with_isolated_answers(), self.query)
+        full = sorted(map(sorted, doc.answers()))
+        cursor = doc.open_cursor(page_size=3)
+        first = cursor.fetch()
+        leaf = next(iter(doc.enumerator.tree.leaves()))
+        report = doc.apply_edits([Relabel(leaf.node_id, leaf.label)])
+        assert report.boxes_rebuilt > 0  # the trunk really was rebuilt
+        assert report.cursors_resumed == 1
+        assert report.cursors_invalidated == 0
+        assert cursor.is_active()
+        combined = list(first.answers) + cursor.fetch_all()
+        assert len(combined) == len(set(combined))
+        assert sorted(map(sorted, combined)) == full
+
+    def test_label_equivalent_relabel_lets_cursor_resume(self):
+        """Relabelling b→d (both unselected) changes content hashes all the
+        way up the trunk, yet the automaton treats the labels identically,
+        so every rebuilt box has the same build plan — equal slot
+        fingerprints — and the cursor survives on the per-slot comparison
+        alone, not the content-hash fast path."""
+        doc = self.store.add_tree(_tree_with_isolated_answers(), self.query)
+        full = sorted(map(sorted, doc.answers()))
+        cursor = doc.open_cursor(page_size=3)
+        first = cursor.fetch()
+        leaf = next(n for n in doc.enumerator.tree.leaves() if n.label == "b")
+        report = doc.apply_edits([Relabel(leaf.node_id, "d")])
+        assert report.cursors_resumed == 1
+        assert report.cursors_invalidated == 0
+        combined = list(first.answers) + cursor.fetch_all()
+        assert sorted(map(sorted, combined)) == full
+
     def test_edit_hitting_trunk_invalidates_deterministically(self):
         doc = self.store.add_tree(_tree_with_isolated_answers(), self.query)
         cursor = doc.open_cursor(page_size=2)
         cursor.fetch()
-        # pick a node whose trunk *does* overlap the cursor's dependencies
+        # an answer-carrying leaf the cursor's remaining region still covers:
+        # removing its answer must invalidate
         target = None
         for node in doc.enumerator.tree.nodes():
-            if node.is_root():
+            if node.is_root() or node.label != "a" or not node.is_leaf():
                 continue
             if self.store.would_invalidate(doc.doc_id, cursor, node.node_id):
                 target = node
                 break
         assert target is not None, "no trunk-hitting edit target found"
-        report = doc.apply_edits([Relabel(target.node_id, target.label)])
+        report = doc.apply_edits([Relabel(target.node_id, "b")])
         assert report.cursors_invalidated == 1
         with pytest.raises(CursorInvalidatedError):
             cursor.fetch()
